@@ -1,0 +1,31 @@
+//! Ablation-study benchmarks (the `DESIGN.md` §5 design-choice studies).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use unitherm_bench::BENCH_SCALE;
+use unitherm_experiments::ablations;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+
+    g.bench_function("window_levels", |b| {
+        b.iter(|| black_box(ablations::window_levels(BENCH_SCALE).rows.len()))
+    });
+    g.bench_function("l1_size", |b| {
+        b.iter(|| black_box(ablations::l1_size(BENCH_SCALE).rows.len()))
+    });
+    g.bench_function("fill_rule", |b| {
+        b.iter(|| black_box(ablations::fill_rule(BENCH_SCALE).indices.len()))
+    });
+    g.bench_function("hybrid_isolation", |b| {
+        b.iter(|| black_box(ablations::hybrid_isolation(BENCH_SCALE).rows.len()))
+    });
+    g.bench_function("tdvfs_hysteresis", |b| {
+        b.iter(|| black_box(ablations::tdvfs_hysteresis(BENCH_SCALE).naive_transitions))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

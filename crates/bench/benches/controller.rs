@@ -1,0 +1,155 @@
+//! Hot-path benchmarks for the paper's control framework.
+//!
+//! These answer the deployment question the paper's software raises: how
+//! much CPU does the daemon itself burn per 4 Hz sensor sample? (Answer:
+//! nanoseconds — the framework is effectively free next to the 250 ms
+//! sampling period.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use unitherm_core::actuator::fan_mode_set;
+use unitherm_core::classify::BehaviorClassifier;
+use unitherm_core::control_array::{Policy, ThermalControlArray};
+use unitherm_core::controller::{ControllerConfig, UnifiedController};
+use unitherm_core::failsafe::Failsafe;
+use unitherm_core::feedforward::FeedforwardFanController;
+use unitherm_core::governor::CpuSpeedGovernor;
+use unitherm_core::tdvfs::Tdvfs;
+use unitherm_core::window::TwoLevelWindow;
+
+const FREQS: [u32; 5] = [2400, 2200, 2000, 1800, 1000];
+
+/// A deterministic pseudo-temperature stream exercising all regimes.
+fn temp_stream(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            48.0 + 6.0 * (t / 80.0).sin() + 0.4 * if i % 2 == 0 { 1.0 } else { -1.0 }
+        })
+        .collect()
+}
+
+fn bench_window(c: &mut Criterion) {
+    let stream = temp_stream(4096);
+    c.bench_function("window/push", |b| {
+        let mut w = TwoLevelWindow::default();
+        let mut i = 0;
+        b.iter(|| {
+            let s = stream[i & 4095];
+            i += 1;
+            black_box(w.push(black_box(s)))
+        });
+    });
+}
+
+fn bench_controller_observe(c: &mut Criterion) {
+    let stream = temp_stream(4096);
+    c.bench_function("controller/observe", |b| {
+        let mut ctl = UnifiedController::new(
+            &fan_mode_set(100),
+            Policy::MODERATE,
+            ControllerConfig::default(),
+        );
+        let mut i = 0;
+        b.iter(|| {
+            let s = stream[i & 4095];
+            i += 1;
+            black_box(ctl.observe(black_box(s)))
+        });
+    });
+}
+
+fn bench_array_build(c: &mut Criterion) {
+    let duties = fan_mode_set(100);
+    c.bench_function("control_array/build_n100", |b| {
+        b.iter(|| {
+            black_box(ThermalControlArray::with_default_len(
+                black_box(&duties),
+                Policy::MODERATE,
+            ))
+        });
+    });
+    c.bench_function("control_array/build_dvfs", |b| {
+        b.iter(|| {
+            black_box(ThermalControlArray::with_default_len(black_box(&FREQS), Policy::AGGRESSIVE))
+        });
+    });
+}
+
+fn bench_tdvfs(c: &mut Criterion) {
+    let stream = temp_stream(4096);
+    c.bench_function("tdvfs/observe", |b| {
+        let mut d = Tdvfs::with_defaults(&FREQS, Policy::MODERATE);
+        let mut i = 0;
+        b.iter(|| {
+            let s = stream[i & 4095];
+            i += 1;
+            black_box(d.observe(black_box(s)))
+        });
+    });
+}
+
+fn bench_governor(c: &mut Criterion) {
+    c.bench_function("cpuspeed/observe", |b| {
+        let mut g = CpuSpeedGovernor::with_defaults(&FREQS);
+        let mut i = 0u64;
+        b.iter(|| {
+            let u = if (i / 12) % 4 == 3 { 0.2 } else { 0.95 };
+            i += 1;
+            black_box(g.observe(black_box(0.25), black_box(u)))
+        });
+    });
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let stream = temp_stream(4096);
+    c.bench_function("classifier/push", |b| {
+        let mut cl = BehaviorClassifier::default();
+        let mut i = 0;
+        b.iter(|| {
+            let s = stream[i & 4095];
+            i += 1;
+            black_box(cl.push(black_box(s)))
+        });
+    });
+}
+
+fn bench_feedforward(c: &mut Criterion) {
+    let stream = temp_stream(4096);
+    c.bench_function("feedforward/observe", |b| {
+        let mut ctl = FeedforwardFanController::with_defaults(Policy::MODERATE, 100);
+        let mut i = 0;
+        b.iter(|| {
+            let s = stream[i & 4095];
+            let u = if (i / 40) % 2 == 0 { 0.95 } else { 0.2 };
+            i += 1;
+            black_box(ctl.observe(black_box(s), black_box(u)))
+        });
+    });
+}
+
+fn bench_failsafe(c: &mut Criterion) {
+    let stream = temp_stream(4096);
+    c.bench_function("failsafe/observe", |b| {
+        let mut fs = Failsafe::with_defaults();
+        let mut i = 0;
+        b.iter(|| {
+            let s = if i % 97 == 0 { None } else { Some(stream[i & 4095]) };
+            i += 1;
+            black_box(fs.observe(black_box(s)))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_window,
+    bench_controller_observe,
+    bench_array_build,
+    bench_tdvfs,
+    bench_governor,
+    bench_classifier,
+    bench_feedforward,
+    bench_failsafe
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! One benchmark per paper figure: the wall-clock cost of regenerating each
+//! evaluation result. These are the `bench_figN` targets promised in
+//! `DESIGN.md` §4.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use unitherm_bench::BENCH_SCALE;
+use unitherm_experiments::{fig1, fig10, fig2, fig5, fig6, fig7, fig8, fig9};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("fig1_static_curve", |b| {
+        b.iter(|| black_box(fig1::run(BENCH_SCALE).software_duty.len()))
+    });
+    g.bench_function("fig2_thermal_taxonomy", |b| {
+        b.iter(|| black_box(fig2::run(BENCH_SCALE).labels.len()))
+    });
+    g.bench_function("fig5_policy_sweep", |b| {
+        b.iter(|| black_box(fig5::run(BENCH_SCALE).avg_duties()))
+    });
+    g.bench_function("fig6_fan_comparison", |b| {
+        b.iter(|| black_box(fig6::run(BENCH_SCALE).reports.len()))
+    });
+    g.bench_function("fig7_max_pwm_sweep", |b| {
+        b.iter(|| black_box(fig7::run(BENCH_SCALE).settled_temps()))
+    });
+    g.bench_function("fig8_tdvfs_static_fan", |b| {
+        b.iter(|| black_box(fig8::run(BENCH_SCALE).scale_downs()))
+    });
+    g.bench_function("fig9_tdvfs_vs_cpuspeed", |b| {
+        b.iter(|| black_box(fig9::run(BENCH_SCALE).final_temps()))
+    });
+    g.bench_function("fig10_hybrid_sweep", |b| {
+        b.iter(|| black_box(fig10::run(BENCH_SCALE).avg_temps()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Simulator throughput benchmarks: how many simulated seconds per wall
+//! second the physics substrate and the cluster engine deliver.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use unitherm_cluster::{run_scenarios_parallel, DvfsScheme, FanScheme, Scenario, Simulation, WorkloadSpec};
+use unitherm_core::control_array::Policy;
+use unitherm_simnode::{Node, NodeConfig};
+
+fn bench_node_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("node");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("tick_50ms", |b| {
+        let mut node = Node::new(NodeConfig::default(), 1);
+        node.set_utilization(0.9);
+        b.iter(|| {
+            node.tick(black_box(0.05));
+            black_box(node.die_temp_c())
+        });
+    });
+    g.finish();
+}
+
+fn bench_cluster_second(c: &mut Criterion) {
+    // One simulated second (20 ticks + 4 samples) of a 4-node cluster under
+    // full coordinated control.
+    let mut g = c.benchmark_group("cluster");
+    for nodes in [1usize, 4, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("simulated_minute", nodes),
+            &nodes,
+            |b, &nodes| {
+                b.iter(|| {
+                    let report = Simulation::new(
+                        Scenario::new("bench")
+                            .with_nodes(nodes)
+                            .with_workload(WorkloadSpec::CpuBurn)
+                            .with_fan(FanScheme::dynamic(Policy::MODERATE, 50))
+                            .with_dvfs(DvfsScheme::tdvfs(Policy::MODERATE))
+                            .with_max_time(60.0)
+                            .with_recording(false),
+                    )
+                    .run();
+                    black_box(report.avg_temp_c())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_parallel_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep");
+    g.sample_size(10);
+    g.bench_function("8_scenarios_parallel", |b| {
+        b.iter(|| {
+            let scenarios: Vec<Scenario> = (0..8)
+                .map(|i| {
+                    Scenario::new(format!("s{i}"))
+                        .with_nodes(4)
+                        .with_seed(i)
+                        .with_workload(WorkloadSpec::CpuBurn)
+                        .with_fan(FanScheme::dynamic(Policy::MODERATE, 50))
+                        .with_max_time(60.0)
+                        .with_recording(false)
+                })
+                .collect();
+            black_box(run_scenarios_parallel(scenarios, 8).len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_node_tick, bench_cluster_second, bench_parallel_sweep);
+criterion_main!(benches);

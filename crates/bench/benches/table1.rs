@@ -1,0 +1,21 @@
+//! Table 1 regeneration benchmark: the six-run governor × fan-cap sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use unitherm_bench::BENCH_SCALE;
+use unitherm_experiments::table1;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("six_run_sweep", |b| {
+        b.iter(|| {
+            let result = table1::run(BENCH_SCALE);
+            black_box(result.cells.len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

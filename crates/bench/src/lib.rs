@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! Benchmark support crate.
+//!
+//! The actual benchmarks live in `benches/`:
+//!
+//! * `controller` — the paper-framework hot paths (window push, controller
+//!   observe, array build, daemon steps): the "can this run at 4 Hz in a
+//!   daemon" numbers;
+//! * `simulation` — physics and cluster throughput (simulated seconds per
+//!   wall second);
+//! * `figures` — one benchmark per paper figure regeneration (Fast scale);
+//! * `table1` — the Table 1 six-run sweep;
+//! * `ablations` — the DESIGN.md §5 ablation studies.
+//!
+//! Run with `cargo bench --workspace`.
+
+/// Re-exported so benches share one scale constant.
+pub use unitherm_experiments::Scale;
+
+/// The scale every benchmark uses (experiment regeneration benches measure
+/// the reduced configuration; shapes are identical to `Full`).
+pub const BENCH_SCALE: Scale = Scale::Fast;

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! Discrete-time cluster simulation.
+//!
+//! Reproduces the paper's experimental setup: a power-aware cluster (4 nodes
+//! in the paper) running an MPI workload with one rank per node, each node
+//! under a configurable combination of fan control and DVFS control:
+//!
+//! * physics advances at a fixed 50 ms tick;
+//! * the thermal sensor is polled at the paper's 4 Hz through the
+//!   lm-sensors driver, feeding whichever controllers are attached;
+//! * fan decisions travel through the i2c fan driver, DVFS decisions
+//!   through the cpufreq driver — the same seams the real system used;
+//! * ranks are BSP-coupled: every rank must reach a barrier before any
+//!   proceeds, so one throttled CPU stretches the whole job;
+//! * the wall-power meter integrates each node's draw at 1 Hz.
+//!
+//! Modules:
+//!
+//! * [`scheme`] — the control-scheme configuration (which fan policy, which
+//!   DVFS policy);
+//! * [`scenario`] — a complete experiment description (workload, nodes,
+//!   schemes, faults, duration, seed);
+//! * [`node_sim`] — one node's simulation state: hardware + drivers +
+//!   daemons + recorders;
+//! * [`sim`] — the cluster tick loop with barrier release;
+//! * [`report`] — structured run results (traces + the summary numbers the
+//!   paper's tables report);
+//! * [`sweep`] — parallel execution of independent scenarios (crossbeam
+//!   scoped threads, one per configuration).
+
+pub mod node_sim;
+pub mod rack;
+pub mod report;
+pub mod scenario;
+pub mod scheme;
+pub mod sim;
+pub mod sweep;
+
+pub use rack::{RackConfig, RackModel};
+pub use report::{NodeReport, RunReport};
+pub use scenario::{Scenario, WorkloadSpec};
+pub use scheme::{DvfsScheme, FanScheme};
+pub use sim::Simulation;
+pub use sweep::run_scenarios_parallel;

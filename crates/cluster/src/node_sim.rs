@@ -1,0 +1,557 @@
+//! Per-node simulation state: hardware, drivers, daemons, recorders.
+
+use unitherm_core::actuator::FreqMhz;
+use unitherm_core::failsafe::{Failsafe, FailsafeAction};
+use unitherm_core::fan_control::DynamicFanController;
+use unitherm_core::feedforward::FeedforwardFanController;
+use unitherm_core::governor::CpuSpeedGovernor;
+use unitherm_core::tdvfs::Tdvfs;
+use unitherm_hwmon::{CpufreqDriver, FanDriver, LmSensors};
+use unitherm_metrics::{RunningStats, TimeSeries};
+use unitherm_simnode::faults::FaultPlan;
+use unitherm_simnode::Node;
+use unitherm_workload::{WorkState, Workload};
+
+use crate::scenario::Scenario;
+use crate::scheme::{DvfsScheme, FanScheme};
+
+/// The fan-side daemon attached to a node.
+pub enum FanDaemon {
+    /// Chip automatic mode: no software in the loop.
+    ChipAuto,
+    /// Software static-curve daemon through the manual-mode driver.
+    Static {
+        /// The curve to evaluate each sample.
+        curve: unitherm_core::baseline::StaticFanCurve,
+        /// The manual-mode driver.
+        driver: FanDriver,
+    },
+    /// Constant duty (applied once at attach time).
+    Constant {
+        /// The pinned duty.
+        duty: u8,
+        /// Driver retained to keep the chip in manual mode.
+        driver: FanDriver,
+    },
+    /// The paper's dynamic history-based controller.
+    Dynamic {
+        /// The controller.
+        controller: DynamicFanController,
+        /// The manual-mode driver.
+        driver: FanDriver,
+    },
+    /// The feedforward-augmented dynamic controller (§5 future work).
+    DynamicFeedforward {
+        /// The controller (consumes temperature and utilization).
+        controller: FeedforwardFanController,
+        /// The manual-mode driver.
+        driver: FanDriver,
+    },
+}
+
+/// The DVFS-side daemon attached to a node.
+pub enum DvfsDaemon {
+    /// No frequency management.
+    None,
+    /// The temperature-aware tDVFS daemon.
+    Tdvfs {
+        /// The daemon.
+        daemon: Tdvfs,
+        /// The cpufreq driver.
+        driver: CpufreqDriver,
+    },
+    /// The CPUSPEED utilization governor.
+    CpuSpeed {
+        /// The governor.
+        governor: CpuSpeedGovernor,
+        /// The cpufreq driver.
+        driver: CpufreqDriver,
+    },
+}
+
+/// Recorded traces and counters for one node.
+pub struct NodeRecorder {
+    /// Sensor temperature (°C) at each sample.
+    pub temp: TimeSeries,
+    /// Commanded fan duty (%) at each sample.
+    pub duty: TimeSeries,
+    /// Requested CPU frequency (MHz) at each sample.
+    pub freq: TimeSeries,
+    /// Instantaneous wall power (W) at each sample.
+    pub power: TimeSeries,
+    /// CPU utilization at each sample.
+    pub util: TimeSeries,
+    /// Frequency-change events: `(time, new MHz)`.
+    pub freq_events: Vec<(f64, FreqMhz)>,
+    /// Whether series recording is enabled.
+    pub enabled: bool,
+    /// Streaming temperature statistics (kept even when series recording is
+    /// off, so benchmark-mode runs still report averages).
+    pub temp_stats: RunningStats,
+    /// Streaming commanded-duty statistics.
+    pub duty_stats: RunningStats,
+}
+
+impl NodeRecorder {
+    fn new(node_idx: usize, enabled: bool) -> Self {
+        let n = |metric: &str| format!("node{node_idx}.{metric}");
+        Self {
+            temp: TimeSeries::new(n("temp"), "°C"),
+            duty: TimeSeries::new(n("duty"), "%"),
+            freq: TimeSeries::new(n("freq"), "MHz"),
+            power: TimeSeries::new(n("power"), "W"),
+            util: TimeSeries::new(n("util"), ""),
+            freq_events: Vec::new(),
+            enabled,
+            temp_stats: RunningStats::new(),
+            duty_stats: RunningStats::new(),
+        }
+    }
+}
+
+/// One node's full simulation state.
+pub struct NodeSim {
+    /// The simulated hardware.
+    pub node: Node,
+    /// The rank's workload.
+    pub workload: Box<dyn Workload>,
+    /// lm-sensors access.
+    pub lm: LmSensors,
+    /// Fan-side daemon.
+    pub fan_daemon: FanDaemon,
+    /// DVFS-side daemon.
+    pub dvfs_daemon: DvfsDaemon,
+    /// Trace recorder.
+    pub rec: NodeRecorder,
+    /// Optional failsafe watchdog.
+    pub failsafe: Option<Failsafe>,
+    /// Wall-clock second at which this rank's workload finished.
+    pub finish_time_s: Option<f64>,
+}
+
+impl NodeSim {
+    /// Builds one node per the scenario.
+    pub fn build(scenario: &Scenario, node_idx: usize) -> Self {
+        let seed = scenario.node_seed(node_idx);
+        let faults = scenario
+            .faults
+            .iter()
+            .find(|(n, _)| *n == node_idx)
+            .map(|(_, p)| p.clone())
+            .unwrap_or_else(FaultPlan::none);
+        let mut node =
+            Node::with_faults(scenario.node_config_for(node_idx).clone(), seed, faults);
+        let workload = scenario.workload.instantiate(node_idx, scenario.seed);
+
+        let fan_daemon = match scenario.fan_for(node_idx) {
+            FanScheme::ChipAutomatic { max_duty } => {
+                // Cap the automatic curve in hardware, stay in auto mode.
+                node.smbus_write(
+                    unitherm_simnode::node::ADT7467_ADDR,
+                    unitherm_simnode::adt7467::regs::PWM_MAX,
+                    unitherm_simnode::units::DutyCycle::new(*max_duty).to_register(),
+                )
+                .expect("chip reachable at build time");
+                FanDaemon::ChipAuto
+            }
+            FanScheme::SoftwareStatic { curve } => {
+                let mut driver = FanDriver::probe_at(
+                    &mut node,
+                    unitherm_simnode::node::ADT7467_ADDR,
+                    curve.pwm_max,
+                )
+                .expect("chip reachable at build time");
+                let duty = curve.duty_for(node.die_temp_c());
+                driver.set_duty(&mut node, duty).expect("initial duty");
+                FanDaemon::Static { curve: *curve, driver }
+            }
+            FanScheme::Constant { duty } => {
+                let mut driver =
+                    FanDriver::probe(&mut node).expect("chip reachable at build time");
+                driver.set_duty(&mut node, *duty).expect("constant duty");
+                FanDaemon::Constant { duty: *duty, driver }
+            }
+            FanScheme::Dynamic { policy, max_duty, config } => {
+                let mut driver = FanDriver::probe_at(
+                    &mut node,
+                    unitherm_simnode::node::ADT7467_ADDR,
+                    *max_duty,
+                )
+                .expect("chip reachable at build time");
+                let controller = DynamicFanController::new(*policy, *max_duty, *config);
+                driver
+                    .set_duty(&mut node, controller.current_duty())
+                    .expect("initial duty");
+                FanDaemon::Dynamic { controller, driver }
+            }
+            FanScheme::DynamicFeedforward { policy, max_duty, config, feedforward } => {
+                let mut driver = FanDriver::probe_at(
+                    &mut node,
+                    unitherm_simnode::node::ADT7467_ADDR,
+                    *max_duty,
+                )
+                .expect("chip reachable at build time");
+                let controller =
+                    FeedforwardFanController::new(*policy, *max_duty, *config, *feedforward);
+                driver
+                    .set_duty(&mut node, controller.current_duty())
+                    .expect("initial duty");
+                FanDaemon::DynamicFeedforward { controller, driver }
+            }
+        };
+
+        let dvfs_daemon = match &scenario.dvfs {
+            DvfsScheme::None => DvfsDaemon::None,
+            DvfsScheme::Tdvfs { policy, config } => {
+                let driver = CpufreqDriver::probe(&node);
+                let freqs = driver.available_mhz().to_vec();
+                DvfsDaemon::Tdvfs { daemon: Tdvfs::new(&freqs, *policy, *config), driver }
+            }
+            DvfsScheme::CpuSpeed { config } => {
+                let driver = CpufreqDriver::probe(&node);
+                let freqs = driver.available_mhz().to_vec();
+                DvfsDaemon::CpuSpeed {
+                    governor: CpuSpeedGovernor::new(&freqs, *config),
+                    driver,
+                }
+            }
+        };
+
+        Self {
+            node,
+            workload,
+            lm: LmSensors::new(),
+            fan_daemon,
+            dvfs_daemon,
+            rec: NodeRecorder::new(node_idx, scenario.record_series),
+            failsafe: scenario.failsafe.map(Failsafe::new),
+            finish_time_s: None,
+        }
+    }
+
+    /// Forces maximum cooling: full allowed fan duty and the lowest
+    /// frequency, regardless of which daemons are attached.
+    fn force_max_cooling(&mut self) {
+        match &mut self.fan_daemon {
+            FanDaemon::ChipAuto => {
+                // Take the chip into manual mode at full duty; the release
+                // path returns it to automatic.
+                let _ = self.node.smbus_write(
+                    unitherm_simnode::node::ADT7467_ADDR,
+                    unitherm_simnode::adt7467::regs::PWM_CONFIG,
+                    1,
+                );
+                let _ = self.node.smbus_write(
+                    unitherm_simnode::node::ADT7467_ADDR,
+                    unitherm_simnode::adt7467::regs::PWM_CURRENT,
+                    0xFF,
+                );
+            }
+            FanDaemon::Static { driver, .. }
+            | FanDaemon::Constant { driver, .. }
+            | FanDaemon::Dynamic { driver, .. }
+            | FanDaemon::DynamicFeedforward { driver, .. } => {
+                let _ = driver.set_duty(&mut self.node, 100);
+            }
+        }
+        let lowest = *self
+            .node
+            .available_frequencies_khz()
+            .last()
+            .expect("P-state ladder is non-empty");
+        let _ = self.node.set_frequency_khz(lowest);
+    }
+
+    /// Returns control to the normal daemons after a failsafe release:
+    /// reapply whatever each daemon currently wants.
+    fn restore_daemon_control(&mut self) {
+        match &mut self.fan_daemon {
+            FanDaemon::ChipAuto => {
+                let _ = self.node.smbus_write(
+                    unitherm_simnode::node::ADT7467_ADDR,
+                    unitherm_simnode::adt7467::regs::PWM_CONFIG,
+                    0,
+                );
+            }
+            FanDaemon::Static { curve, driver } => {
+                let duty = curve.duty_for(self.node.die_temp_c());
+                let _ = driver.set_duty(&mut self.node, duty);
+            }
+            FanDaemon::Constant { duty, driver } => {
+                let duty = *duty;
+                let _ = driver.set_duty(&mut self.node, duty);
+            }
+            FanDaemon::Dynamic { controller, driver } => {
+                let _ = driver.set_duty(&mut self.node, controller.current_duty());
+            }
+            FanDaemon::DynamicFeedforward { controller, driver } => {
+                let _ = driver.set_duty(&mut self.node, controller.current_duty());
+            }
+        }
+        let mhz = match &self.dvfs_daemon {
+            DvfsDaemon::None => {
+                self.node.available_frequencies_khz()[0] / 1000
+            }
+            DvfsDaemon::Tdvfs { daemon, .. } => daemon.current_frequency_mhz(),
+            DvfsDaemon::CpuSpeed { governor, .. } => governor.current_frequency_mhz(),
+        };
+        let _ = self.node.set_frequency_khz(mhz * 1000);
+    }
+
+    /// Advances the workload by one tick and applies its utilization to the
+    /// CPU. Returns the rank's state after the tick.
+    pub fn tick_workload(&mut self, dt_s: f64) -> WorkState {
+        let speed = self.node.speed_factor();
+        let out = self.workload.advance(dt_s, speed);
+        self.node.set_load(out.utilization, out.activity);
+        self.workload.state()
+    }
+
+    /// Advances the physics and per-tick daemons (CPUSPEED observes
+    /// utilization every tick).
+    pub fn tick_hardware(&mut self, dt_s: f64, now_s: f64) {
+        let failsafe_engaged = self.failsafe.as_ref().is_some_and(Failsafe::is_engaged);
+        if let DvfsDaemon::CpuSpeed { governor, driver } = &mut self.dvfs_daemon {
+            let util = self.node.utilization();
+            if let Some(mhz) = governor.observe(dt_s, util) {
+                if !failsafe_engaged
+                    && driver.set_mhz(&mut self.node, mhz).unwrap_or(false)
+                    && self.rec.enabled
+                {
+                    self.rec.freq_events.push((now_s, mhz));
+                }
+            }
+        }
+        self.node.tick(dt_s);
+    }
+
+    /// Runs the 4 Hz sampling path: read the sensor, run the failsafe
+    /// watchdog, feed the controllers, apply decisions through the drivers
+    /// (unless the failsafe owns the actuators), record traces.
+    pub fn on_sample(&mut self, now_s: f64) {
+        // Hottest-sensor read. `fresh` distinguishes a live reading from
+        // the stale fallback the controllers tolerate — the failsafe cares
+        // about the difference.
+        let fresh = self.lm.read_hottest_celsius(&mut self.node).ok();
+        let temp = fresh.or_else(|| {
+            self.lm.last_good().map(unitherm_simnode::units::MilliCelsius::to_celsius)
+        });
+
+        if let Some(fs) = &mut self.failsafe {
+            match fs.observe(fresh) {
+                Some(FailsafeAction::Engage(_)) => self.force_max_cooling(),
+                Some(FailsafeAction::Release) => self.restore_daemon_control(),
+                None => {}
+            }
+        }
+        let failsafe_engaged = self.failsafe.as_ref().is_some_and(Failsafe::is_engaged);
+
+        if let Some(t) = temp {
+            // Daemons keep observing (their state must stay current), but
+            // while the failsafe owns the actuators their decisions are
+            // not applied.
+            match &mut self.fan_daemon {
+                FanDaemon::ChipAuto | FanDaemon::Constant { .. } => {}
+                FanDaemon::Static { curve, driver } => {
+                    let duty = curve.duty_for(t);
+                    if !failsafe_engaged && duty != driver.last_commanded() {
+                        let _ = driver.set_duty(&mut self.node, duty);
+                    }
+                }
+                FanDaemon::Dynamic { controller, driver } => {
+                    if let Some(decision) = controller.observe(t) {
+                        if !failsafe_engaged {
+                            let _ = driver.set_duty(&mut self.node, decision.mode);
+                        }
+                    }
+                }
+                FanDaemon::DynamicFeedforward { controller, driver } => {
+                    let util = self.node.utilization();
+                    if let Some(decision) = controller.observe(t, util) {
+                        if !failsafe_engaged {
+                            let _ = driver.set_duty(&mut self.node, decision.mode);
+                        }
+                    }
+                }
+            }
+            if let DvfsDaemon::Tdvfs { daemon, driver } = &mut self.dvfs_daemon {
+                if let Some(event) = daemon.observe(t) {
+                    let mhz = event.frequency_mhz();
+                    if !failsafe_engaged
+                        && driver.set_mhz(&mut self.node, mhz).unwrap_or(false)
+                        && self.rec.enabled
+                    {
+                        self.rec.freq_events.push((now_s, mhz));
+                    }
+                }
+            }
+        }
+
+        let s = self.node.state();
+        if let Some(t) = temp {
+            self.rec.temp_stats.push(t);
+        }
+        self.rec.duty_stats.push(f64::from(s.fan_duty.percent()));
+        if self.rec.enabled {
+            if let Some(t) = temp {
+                self.rec.temp.push(now_s, t);
+            }
+            self.rec.duty.push(now_s, f64::from(s.fan_duty.percent()));
+            self.rec.freq.push(now_s, f64::from(self.node.requested_frequency_khz() / 1000));
+            self.rec.power.push(now_s, s.wall_power_w);
+            self.rec.util.push(now_s, s.utilization);
+        }
+    }
+
+    /// The duty the fan daemon currently commands (for diagnostics).
+    pub fn commanded_duty(&self) -> u8 {
+        match &self.fan_daemon {
+            FanDaemon::ChipAuto => self.node.state().fan_duty.percent(),
+            FanDaemon::Static { driver, .. }
+            | FanDaemon::Constant { driver, .. }
+            | FanDaemon::Dynamic { driver, .. }
+            | FanDaemon::DynamicFeedforward { driver, .. } => driver.last_commanded(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::WorkloadSpec;
+    use unitherm_core::control_array::Policy;
+
+    fn scenario_with(fan: FanScheme, dvfs: DvfsScheme) -> Scenario {
+        Scenario::new("node-sim-test")
+            .with_nodes(1)
+            .with_fan(fan)
+            .with_dvfs(dvfs)
+            .with_workload(WorkloadSpec::CpuBurn)
+    }
+
+    /// Drives a lone node for `seconds`.
+    fn run(ns: &mut NodeSim, seconds: f64) {
+        let dt = 0.05;
+        let per_sample = 5; // 0.25 s
+        let steps = (seconds / dt).round() as usize;
+        for i in 0..steps {
+            let _ = ns.tick_workload(dt);
+            let now = (i + 1) as f64 * dt;
+            ns.tick_hardware(dt, now);
+            if (i + 1) % per_sample == 0 {
+                ns.on_sample(now);
+            }
+        }
+    }
+
+    #[test]
+    fn chip_auto_needs_no_driver() {
+        let sc = scenario_with(FanScheme::ChipAutomatic { max_duty: 75 }, DvfsScheme::None);
+        let mut ns = NodeSim::build(&sc, 0);
+        run(&mut ns, 120.0);
+        // Burn heats the node; the chip's auto curve raises duty but never
+        // past the hardware cap.
+        let duty = ns.node.state().fan_duty.percent();
+        assert!(duty > 10, "auto curve responded: {duty}");
+        assert!(duty <= 75);
+    }
+
+    #[test]
+    fn constant_scheme_pins_duty() {
+        let sc = scenario_with(FanScheme::Constant { duty: 75 }, DvfsScheme::None);
+        let mut ns = NodeSim::build(&sc, 0);
+        run(&mut ns, 60.0);
+        assert_eq!(ns.node.state().fan_duty.percent(), 75);
+        assert_eq!(ns.commanded_duty(), 75);
+    }
+
+    #[test]
+    fn dynamic_scheme_raises_duty_under_burn() {
+        let sc = scenario_with(FanScheme::dynamic(Policy::MODERATE, 100), DvfsScheme::None);
+        let mut ns = NodeSim::build(&sc, 0);
+        run(&mut ns, 200.0);
+        assert!(
+            ns.commanded_duty() > 20,
+            "dynamic controller should have engaged: {}",
+            ns.commanded_duty()
+        );
+    }
+
+    #[test]
+    fn static_software_follows_temperature() {
+        let sc = scenario_with(
+            FanScheme::SoftwareStatic {
+                curve: unitherm_core::baseline::StaticFanCurve::with_max(75),
+            },
+            DvfsScheme::None,
+        );
+        let mut ns = NodeSim::build(&sc, 0);
+        run(&mut ns, 200.0);
+        let temp = ns.node.die_temp_c();
+        let expected = unitherm_core::baseline::StaticFanCurve::with_max(75).duty_for(temp);
+        let actual = ns.commanded_duty();
+        assert!(
+            (i32::from(actual) - i32::from(expected)).abs() <= 6,
+            "static daemon tracks the curve: {actual} vs {expected} at {temp}°C"
+        );
+    }
+
+    #[test]
+    fn cpuspeed_daemon_changes_frequencies() {
+        let sc = scenario_with(
+            FanScheme::ChipAutomatic { max_duty: 100 },
+            DvfsScheme::cpuspeed(),
+        );
+        let mut ns = NodeSim::build(&sc, 0);
+        run(&mut ns, 250.0);
+        // Burn alternates bursts and gaps; the governor must have reacted.
+        assert!(
+            ns.node.cpu().freq_transition_count() > 0,
+            "CPUSPEED should transition on burn gaps"
+        );
+        assert!(!ns.rec.freq_events.is_empty());
+    }
+
+    #[test]
+    fn tdvfs_daemon_scales_when_fan_capped() {
+        let sc = scenario_with(
+            FanScheme::dynamic(Policy::MODERATE, 20),
+            DvfsScheme::tdvfs(Policy::MODERATE),
+        );
+        let mut ns = NodeSim::build(&sc, 0);
+        run(&mut ns, 280.0);
+        // A 20 %-capped fan cannot hold burn below 51 °C, so tDVFS must have
+        // scaled down at least once (it may legitimately have restored the
+        // original frequency during a burn gap by the end of the run).
+        assert!(
+            ns.node.cpu().freq_transition_count() > 0,
+            "tDVFS never engaged"
+        );
+        assert!(
+            ns.rec.freq_events.iter().any(|&(_, f)| f < 2400),
+            "no scale-down recorded: {:?}",
+            ns.rec.freq_events
+        );
+    }
+
+    #[test]
+    fn recorder_captures_all_series() {
+        let sc = scenario_with(FanScheme::ChipAutomatic { max_duty: 100 }, DvfsScheme::None);
+        let mut ns = NodeSim::build(&sc, 0);
+        run(&mut ns, 10.0);
+        assert_eq!(ns.rec.temp.len(), 40);
+        assert_eq!(ns.rec.duty.len(), 40);
+        assert_eq!(ns.rec.freq.len(), 40);
+        assert_eq!(ns.rec.power.len(), 40);
+        assert_eq!(ns.rec.util.len(), 40);
+    }
+
+    #[test]
+    fn recording_can_be_disabled() {
+        let sc = scenario_with(FanScheme::ChipAutomatic { max_duty: 100 }, DvfsScheme::None)
+            .with_recording(false);
+        let mut ns = NodeSim::build(&sc, 0);
+        run(&mut ns, 10.0);
+        assert!(ns.rec.temp.is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! Structured run results.
+//!
+//! A [`RunReport`] carries both the raw traces (for regenerating the paper's
+//! figures) and the summary numbers its tables report: execution time,
+//! average wall power, frequency-transition counts and the power-delay
+//! product.
+
+use unitherm_core::actuator::FreqMhz;
+use unitherm_metrics::stats::power_delay_product;
+use unitherm_metrics::{Summary, TimeSeries};
+
+/// Results for one node.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// Sensor temperature trace (°C).
+    pub temp: TimeSeries,
+    /// Commanded fan duty trace (%).
+    pub duty: TimeSeries,
+    /// Requested CPU frequency trace (MHz).
+    pub freq: TimeSeries,
+    /// Instantaneous wall power trace (W).
+    pub power: TimeSeries,
+    /// CPU utilization trace.
+    pub util: TimeSeries,
+    /// Frequency-change events `(time, new MHz)` issued by the daemons.
+    pub freq_events: Vec<(f64, FreqMhz)>,
+    /// Hardware frequency transitions actually performed.
+    pub freq_transitions: u64,
+    /// Hardware thermal-throttle engagements.
+    pub throttle_events: u64,
+    /// Failsafe-watchdog engagements (0 when no failsafe attached).
+    pub failsafe_engagements: u64,
+    /// True if the node crossed the shutdown threshold.
+    pub shut_down: bool,
+    /// Average wall power over the whole run (exact, from the meter), W.
+    pub avg_wall_power_w: f64,
+    /// Total wall energy, J.
+    pub energy_j: f64,
+    /// Temperature summary over all sensor samples.
+    pub temp_summary: Summary,
+    /// Commanded-duty summary over all samples.
+    pub duty_summary: Summary,
+    /// When this rank's workload finished, if it did.
+    pub finish_time_s: Option<f64>,
+}
+
+/// Results for one scenario run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Scenario name.
+    pub name: String,
+    /// Fan scheme label.
+    pub fan_label: String,
+    /// DVFS scheme label.
+    pub dvfs_label: String,
+    /// Workload label.
+    pub workload_label: String,
+    /// Per-node results.
+    pub nodes: Vec<NodeReport>,
+    /// Simulated wall time actually elapsed, seconds.
+    pub wall_time_s: f64,
+    /// True when every rank finished before the time limit.
+    pub completed: bool,
+    /// Job execution time: the time the last rank finished, or the wall
+    /// time for unbounded / unfinished runs.
+    pub exec_time_s: f64,
+    /// Rack intake-air trace when rack coupling was enabled.
+    pub rack_air: Option<TimeSeries>,
+}
+
+impl RunReport {
+    /// Average per-node wall power across the cluster, W.
+    pub fn avg_node_power_w(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        self.nodes.iter().map(|n| n.avg_wall_power_w).sum::<f64>() / self.nodes.len() as f64
+    }
+
+    /// Mean of per-node average temperatures, °C.
+    pub fn avg_temp_c(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        self.nodes.iter().map(|n| n.temp_summary.mean).sum::<f64>() / self.nodes.len() as f64
+    }
+
+    /// Hottest temperature seen on any node, °C.
+    pub fn max_temp_c(&self) -> f64 {
+        self.nodes.iter().map(|n| n.temp_summary.max).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Mean of per-node average commanded duty, %.
+    pub fn avg_duty_pct(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        self.nodes.iter().map(|n| n.duty_summary.mean).sum::<f64>() / self.nodes.len() as f64
+    }
+
+    /// Total hardware frequency transitions across the cluster (Table 1's
+    /// "# freq changes").
+    pub fn total_freq_transitions(&self) -> u64 {
+        self.nodes.iter().map(|n| n.freq_transitions).sum()
+    }
+
+    /// Total thermal-throttle engagements across the cluster.
+    pub fn total_throttle_events(&self) -> u64 {
+        self.nodes.iter().map(|n| n.throttle_events).sum()
+    }
+
+    /// True if any node shut down.
+    pub fn any_shutdown(&self) -> bool {
+        self.nodes.iter().any(|n| n.shut_down)
+    }
+
+    /// The paper's power-delay product: average per-node power × execution
+    /// time (Table 1).
+    pub fn power_delay_product(&self) -> f64 {
+        power_delay_product(self.avg_node_power_w(), self.exec_time_s)
+    }
+
+    /// Earliest DVFS scale-down event across the cluster (Figure 10's
+    /// trigger time), if any.
+    pub fn first_dvfs_event_time_s(&self) -> Option<f64> {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.freq_events.first().map(|(t, _)| *t))
+            .min_by(|a, b| a.partial_cmp(b).expect("times are finite"))
+    }
+
+    /// Lowest frequency any node was ever commanded to, MHz.
+    pub fn min_commanded_freq_mhz(&self) -> Option<FreqMhz> {
+        self.nodes.iter().flat_map(|n| n.freq_events.iter().map(|&(_, f)| f)).min()
+    }
+
+    /// One-line summary, used by the `repro` binary.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{}: fan={} dvfs={} wl={} | exec={:.1}s avgP={:.2}W avgT={:.2}°C maxT={:.2}°C duty={:.1}% freqChg={} PDP={:.0}",
+            self.name,
+            self.fan_label,
+            self.dvfs_label,
+            self.workload_label,
+            self.exec_time_s,
+            self.avg_node_power_w(),
+            self.avg_temp_c(),
+            self.max_temp_c(),
+            self.avg_duty_pct(),
+            self.total_freq_transitions(),
+            self.power_delay_product(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unitherm_metrics::Summary;
+
+    fn node_report(power: f64, temp_mean: f64, transitions: u64) -> NodeReport {
+        NodeReport {
+            temp: TimeSeries::new("t", "°C"),
+            duty: TimeSeries::new("d", "%"),
+            freq: TimeSeries::new("f", "MHz"),
+            power: TimeSeries::new("p", "W"),
+            util: TimeSeries::new("u", ""),
+            freq_events: vec![(10.0, 2200), (20.0, 2000)],
+            freq_transitions: transitions,
+            throttle_events: 0,
+            failsafe_engagements: 0,
+            shut_down: false,
+            avg_wall_power_w: power,
+            energy_j: power * 100.0,
+            temp_summary: Summary { count: 10, mean: temp_mean, min: temp_mean - 5.0, max: temp_mean + 5.0, std_dev: 1.0 },
+            duty_summary: Summary { count: 10, mean: 50.0, min: 10.0, max: 90.0, std_dev: 5.0 },
+            finish_time_s: Some(100.0),
+        }
+    }
+
+    fn report() -> RunReport {
+        RunReport {
+            name: "test".into(),
+            fan_label: "dynamic".into(),
+            dvfs_label: "tDVFS".into(),
+            workload_label: "BT.B".into(),
+            nodes: vec![node_report(100.0, 50.0, 2), node_report(96.0, 54.0, 4)],
+            wall_time_s: 100.0,
+            completed: true,
+            exec_time_s: 100.0,
+            rack_air: None,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = report();
+        assert_eq!(r.avg_node_power_w(), 98.0);
+        assert_eq!(r.avg_temp_c(), 52.0);
+        assert_eq!(r.max_temp_c(), 59.0);
+        assert_eq!(r.total_freq_transitions(), 6);
+        assert_eq!(r.power_delay_product(), 9800.0);
+        assert_eq!(r.avg_duty_pct(), 50.0);
+        assert!(!r.any_shutdown());
+    }
+
+    #[test]
+    fn dvfs_event_queries() {
+        let r = report();
+        assert_eq!(r.first_dvfs_event_time_s(), Some(10.0));
+        assert_eq!(r.min_commanded_freq_mhz(), Some(2000));
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = RunReport {
+            name: "empty".into(),
+            fan_label: String::new(),
+            dvfs_label: String::new(),
+            workload_label: String::new(),
+            nodes: vec![],
+            wall_time_s: 0.0,
+            completed: false,
+            exec_time_s: 0.0,
+            rack_air: None,
+        };
+        assert_eq!(r.avg_node_power_w(), 0.0);
+        assert_eq!(r.avg_temp_c(), 0.0);
+        assert_eq!(r.first_dvfs_event_time_s(), None);
+        assert_eq!(r.min_commanded_freq_mhz(), None);
+    }
+
+    #[test]
+    fn summary_line_contains_key_numbers() {
+        let line = report().summary_line();
+        assert!(line.contains("exec=100.0s"));
+        assert!(line.contains("freqChg=6"));
+        assert!(line.contains("BT.B"));
+    }
+}

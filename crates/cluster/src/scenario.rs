@@ -1,0 +1,460 @@
+//! Experiment descriptions.
+//!
+//! A [`Scenario`] is everything needed to run one experiment arm
+//! deterministically: node count, workload, control schemes, fault plans,
+//! duration bounds and the seed. Experiments construct scenarios; the
+//! [`crate::sim::Simulation`] executes them.
+
+use unitherm_simnode::faults::FaultPlan;
+use unitherm_simnode::NodeConfig;
+use unitherm_workload::burn::BurnConfig;
+use unitherm_workload::{
+    CpuBurn, NpbBenchmark, NpbClass, PhaseWorkload, ScriptWorkload, Segment, Workload,
+};
+
+use crate::scheme::{DvfsScheme, FanScheme};
+
+/// Which workload every rank runs.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum WorkloadSpec {
+    /// The cpu-burn stressor (unbounded; runs until `max_time_s`).
+    #[default]
+    CpuBurn,
+    /// cpu-burn with explicit burst tuning.
+    CpuBurnTuned(BurnConfig),
+    /// A NAS-style benchmark.
+    Npb {
+        /// Which benchmark.
+        bench: NpbBenchmark,
+        /// Problem class.
+        class: NpbClass,
+    },
+    /// A scripted utilization trace (same script on every rank).
+    Script(Vec<Segment>),
+    /// A recorded utilization trace replayed on every rank: rows of
+    /// `(time_s, utilization, activity)`. Build from CSV with
+    /// [`unitherm_workload::TraceWorkload::from_csv_file`] and embed the
+    /// points, or write them directly in a scenario JSON.
+    Trace {
+        /// Trace rows, strictly increasing in time.
+        points: Vec<(f64, f64, f64)>,
+        /// Replay in a loop instead of finishing at the last timestamp.
+        looped: bool,
+    },
+    /// Idle (baseline measurements).
+    Idle,
+}
+
+impl WorkloadSpec {
+    /// Instantiates the workload for one rank.
+    pub fn instantiate(&self, rank: usize, seed: u64) -> Box<dyn Workload> {
+        match self {
+            WorkloadSpec::CpuBurn => {
+                Box::new(CpuBurn::new(seed ^ (rank as u64).wrapping_mul(0x2545_F491_4F6C_DD1D)))
+            }
+            WorkloadSpec::CpuBurnTuned(cfg) => Box::new(CpuBurn::with_config(
+                *cfg,
+                seed ^ (rank as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
+            )),
+            WorkloadSpec::Npb { bench, class } => Box::new(bench.rank_program(*class, rank, seed)),
+            WorkloadSpec::Script(segments) => Box::new(ScriptWorkload::new(segments.clone())),
+            WorkloadSpec::Trace { points, looped } => {
+                let trace = unitherm_workload::TraceWorkload::from_points_with_activity(points);
+                Box::new(if *looped { trace.looped() } else { trace })
+            }
+            WorkloadSpec::Idle => Box::new(PhaseWorkload::new(vec![
+                unitherm_workload::Phase::comm(f64::MAX / 4.0, 0.02),
+            ])),
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadSpec::CpuBurn | WorkloadSpec::CpuBurnTuned(_) => "cpu-burn".to_string(),
+            WorkloadSpec::Npb { bench, class } => bench.name(*class),
+            WorkloadSpec::Script(_) => "script".to_string(),
+            WorkloadSpec::Trace { .. } => "trace".to_string(),
+            WorkloadSpec::Idle => "idle".to_string(),
+        }
+    }
+
+    /// True when the workload completes on its own (vs. running until the
+    /// time limit).
+    pub fn is_finite(&self) -> bool {
+        matches!(
+            self,
+            WorkloadSpec::Npb { .. }
+                | WorkloadSpec::Script(_)
+                | WorkloadSpec::Trace { looped: false, .. }
+        )
+    }
+}
+
+// Serde defaults: scenario JSON files only need to name what they change.
+fn default_nodes() -> usize {
+    4
+}
+fn default_seed() -> u64 {
+    0xC0FFEE
+}
+fn default_max_time() -> f64 {
+    300.0
+}
+fn default_dt() -> f64 {
+    0.05
+}
+fn default_sample_period() -> f64 {
+    0.25
+}
+fn default_fan() -> FanScheme {
+    FanScheme::ChipAutomatic { max_duty: 100 }
+}
+fn default_true() -> bool {
+    true
+}
+
+/// A complete experiment description.
+///
+/// Serializable: scenario JSON files (see `examples/scenarios/`) only need
+/// to carry the fields they change — everything else defaults to the
+/// paper's 4-node setup.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Scenario {
+    /// Human-readable name (appears in reports).
+    pub name: String,
+    /// Number of nodes (the paper uses 4).
+    #[serde(default = "default_nodes")]
+    pub nodes: usize,
+    /// Master seed; per-node seeds derive from it.
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+    /// Hard wall-clock limit in simulated seconds.
+    #[serde(default = "default_max_time")]
+    pub max_time_s: f64,
+    /// Physics tick in seconds.
+    #[serde(default = "default_dt")]
+    pub dt_s: f64,
+    /// Sensor sampling period in seconds (the paper: 250 ms).
+    #[serde(default = "default_sample_period")]
+    pub sample_period_s: f64,
+    /// Fan-side control scheme (same on every node).
+    #[serde(default = "default_fan")]
+    pub fan: FanScheme,
+    /// DVFS-side control scheme (same on every node).
+    #[serde(default)]
+    pub dvfs: DvfsScheme,
+    /// Workload specification.
+    #[serde(default)]
+    pub workload: WorkloadSpec,
+    /// Fault plans keyed by node index.
+    #[serde(default)]
+    pub faults: Vec<(usize, FaultPlan)>,
+    /// Node hardware configuration.
+    #[serde(default)]
+    pub node_config: NodeConfig,
+    /// Record full time series (disable for benchmark throughput runs).
+    #[serde(default = "default_true")]
+    pub record_series: bool,
+    /// Extra simulated seconds after every rank finishes (still bounded by
+    /// `max_time_s`). Lets experiments observe post-job cooldown behaviour,
+    /// e.g. tDVFS restoring the original frequency (Figure 8).
+    #[serde(default)]
+    pub cooldown_s: f64,
+    /// Optional failsafe watchdog on every node (forces maximum cooling on
+    /// sensor blackouts or panic temperatures).
+    #[serde(default)]
+    pub failsafe: Option<unitherm_core::failsafe::FailsafeConfig>,
+    /// Optional rack-level ambient coupling: node exhaust heat recirculates
+    /// into a shared intake-air volume.
+    #[serde(default)]
+    pub rack: Option<crate::rack::RackConfig>,
+    /// Per-node fan-scheme overrides (heterogeneous clusters: a dusty or
+    /// undersized fan on one node). Nodes not listed use `fan`.
+    #[serde(default)]
+    pub fan_overrides: Vec<(usize, FanScheme)>,
+    /// Per-node hardware-config overrides (a hotter node position, a
+    /// different heatsink). Nodes not listed use `node_config`.
+    #[serde(default)]
+    pub node_config_overrides: Vec<(usize, NodeConfig)>,
+}
+
+impl Scenario {
+    /// A 4-node scenario with the paper's defaults: traditional fan control,
+    /// no DVFS, cpu-burn, 300 s.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            nodes: 4,
+            seed: 0xC0FFEE,
+            max_time_s: 300.0,
+            dt_s: 0.05,
+            sample_period_s: 0.25,
+            fan: FanScheme::ChipAutomatic { max_duty: 100 },
+            dvfs: DvfsScheme::None,
+            workload: WorkloadSpec::CpuBurn,
+            faults: Vec::new(),
+            node_config: NodeConfig::default(),
+            record_series: true,
+            cooldown_s: 0.0,
+            failsafe: None,
+            rack: None,
+            fan_overrides: Vec::new(),
+            node_config_overrides: Vec::new(),
+        }
+    }
+
+    /// Builder: node count.
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Builder: seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: time limit.
+    pub fn with_max_time(mut self, seconds: f64) -> Self {
+        self.max_time_s = seconds;
+        self
+    }
+
+    /// Builder: fan scheme.
+    pub fn with_fan(mut self, fan: FanScheme) -> Self {
+        self.fan = fan;
+        self
+    }
+
+    /// Builder: DVFS scheme.
+    pub fn with_dvfs(mut self, dvfs: DvfsScheme) -> Self {
+        self.dvfs = dvfs;
+        self
+    }
+
+    /// Builder: workload.
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Builder: attach a fault plan to a node.
+    pub fn with_fault(mut self, node: usize, plan: FaultPlan) -> Self {
+        self.faults.push((node, plan));
+        self
+    }
+
+    /// Builder: series recording switch.
+    pub fn with_recording(mut self, record: bool) -> Self {
+        self.record_series = record;
+        self
+    }
+
+    /// Builder: post-completion cooldown observation window.
+    pub fn with_cooldown(mut self, seconds: f64) -> Self {
+        self.cooldown_s = seconds;
+        self
+    }
+
+    /// Builder: attach the failsafe watchdog to every node.
+    pub fn with_failsafe(mut self, cfg: unitherm_core::failsafe::FailsafeConfig) -> Self {
+        self.failsafe = Some(cfg);
+        self
+    }
+
+    /// Builder: couple the nodes through a shared rack air volume.
+    pub fn with_rack(mut self, cfg: crate::rack::RackConfig) -> Self {
+        self.rack = Some(cfg);
+        self
+    }
+
+    /// Builder: override the fan scheme on one node (heterogeneous
+    /// clusters).
+    pub fn with_node_fan(mut self, node: usize, fan: FanScheme) -> Self {
+        self.fan_overrides.push((node, fan));
+        self
+    }
+
+    /// Builder: override the hardware configuration on one node.
+    pub fn with_node_config(mut self, node: usize, cfg: NodeConfig) -> Self {
+        self.node_config_overrides.push((node, cfg));
+        self
+    }
+
+    /// The effective fan scheme for a node (override or cluster default).
+    pub fn fan_for(&self, node: usize) -> &FanScheme {
+        self.fan_overrides
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, f)| f)
+            .unwrap_or(&self.fan)
+    }
+
+    /// The effective hardware config for a node.
+    pub fn node_config_for(&self, node: usize) -> &NodeConfig {
+        self.node_config_overrides
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, c)| c)
+            .unwrap_or(&self.node_config)
+    }
+
+    /// Validates the scenario.
+    ///
+    /// # Panics
+    /// Panics on zero nodes, non-positive times, a sampling period not a
+    /// multiple of the tick, or fault plans for out-of-range nodes.
+    pub fn validate(&self) {
+        assert!(self.nodes >= 1, "need at least one node");
+        assert!(self.max_time_s > 0.0, "time limit must be positive");
+        assert!(self.dt_s > 0.0, "tick must be positive");
+        assert!(self.sample_period_s >= self.dt_s, "sampling cannot outpace the tick");
+        let ratio = self.sample_period_s / self.dt_s;
+        assert!(
+            (ratio - ratio.round()).abs() < 1e-9,
+            "sample period must be a whole number of ticks"
+        );
+        for (node, _) in &self.faults {
+            assert!(*node < self.nodes, "fault plan for nonexistent node {node}");
+        }
+        for (node, _) in &self.fan_overrides {
+            assert!(*node < self.nodes, "fan override for nonexistent node {node}");
+        }
+        for (node, cfg) in &self.node_config_overrides {
+            assert!(*node < self.nodes, "config override for nonexistent node {node}");
+            cfg.validate();
+        }
+        self.node_config.validate();
+    }
+
+    /// Per-node deterministic seed.
+    pub fn node_seed(&self, node: usize) -> u64 {
+        self.seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unitherm_workload::phases::WorkState;
+
+    #[test]
+    fn default_scenario_is_valid_and_paper_shaped() {
+        let s = Scenario::new("test");
+        s.validate();
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.sample_period_s, 0.25);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let s = Scenario::new("x")
+            .with_nodes(2)
+            .with_seed(9)
+            .with_max_time(10.0)
+            .with_fan(FanScheme::Constant { duty: 75 })
+            .with_dvfs(DvfsScheme::cpuspeed())
+            .with_workload(WorkloadSpec::Idle)
+            .with_recording(false);
+        s.validate();
+        assert_eq!(s.nodes, 2);
+        assert_eq!(s.seed, 9);
+        assert!(!s.record_series);
+    }
+
+    #[test]
+    fn node_seeds_differ() {
+        let s = Scenario::new("x");
+        let seeds: Vec<u64> = (0..4).map(|n| s.node_seed(n)).collect();
+        for i in 0..4 {
+            for j in 0..i {
+                assert_ne!(seeds[i], seeds[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn workload_spec_instantiates_each_kind() {
+        let specs = [
+            WorkloadSpec::CpuBurn,
+            WorkloadSpec::Npb { bench: NpbBenchmark::Bt, class: NpbClass::A },
+            WorkloadSpec::Script(vec![Segment::new(1.0, 0.5)]),
+            WorkloadSpec::Idle,
+        ];
+        for spec in &specs {
+            let mut w = spec.instantiate(0, 1);
+            let out = w.advance(0.25, 1.0);
+            assert!((0.0..=1.0).contains(&out.utilization), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn idle_spec_runs_forever_quietly() {
+        let mut w = WorkloadSpec::Idle.instantiate(0, 1);
+        for _ in 0..1000 {
+            let u = w.advance(0.25, 1.0).utilization;
+            assert!(u < 0.1);
+        }
+        assert_eq!(w.state(), WorkState::Running);
+    }
+
+    #[test]
+    fn finiteness_classification() {
+        assert!(!WorkloadSpec::CpuBurn.is_finite());
+        assert!(!WorkloadSpec::Idle.is_finite());
+        assert!(WorkloadSpec::Npb { bench: NpbBenchmark::Lu, class: NpbClass::B }.is_finite());
+        assert!(WorkloadSpec::Script(vec![Segment::new(1.0, 0.5)]).is_finite());
+        let points = vec![(0.0, 0.5, 0.5), (1.0, 0.8, 0.8)];
+        assert!(WorkloadSpec::Trace { points: points.clone(), looped: false }.is_finite());
+        assert!(!WorkloadSpec::Trace { points, looped: true }.is_finite());
+    }
+
+    #[test]
+    fn trace_spec_replays_in_a_simulation() {
+        use crate::sim::Simulation;
+        let report = Simulation::new(
+            Scenario::new("trace")
+                .with_nodes(1)
+                .with_workload(WorkloadSpec::Trace {
+                    points: vec![(0.0, 0.1, 0.1), (10.0, 0.9, 0.9), (20.0, 0.1, 0.1)],
+                    looped: false,
+                })
+                .with_max_time(60.0),
+        )
+        .run();
+        assert!(report.completed, "finite trace finishes");
+        assert!((report.exec_time_s - 20.0).abs() < 1.0, "exec {}", report.exec_time_s);
+        // The utilization trace actually reached the node.
+        let u = &report.nodes[0].util;
+        assert!(u.value_at(15.0).unwrap() > 0.8);
+        assert!(u.value_at(5.0).unwrap() < 0.2);
+    }
+
+    #[test]
+    fn ranks_get_distinct_burn_streams() {
+        let mut a = WorkloadSpec::CpuBurn.instantiate(0, 1);
+        let mut b = WorkloadSpec::CpuBurn.instantiate(1, 1);
+        let same = (0..500)
+            .filter(|_| {
+                (a.advance(0.25, 1.0).utilization - b.advance(0.25, 1.0).utilization).abs() < 1e-12
+            })
+            .count();
+        assert!(same < 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent node")]
+    fn fault_for_missing_node_rejected() {
+        Scenario::new("x").with_nodes(2).with_fault(5, FaultPlan::none()).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of ticks")]
+    fn misaligned_sampling_rejected() {
+        let mut s = Scenario::new("x");
+        s.sample_period_s = 0.13;
+        s.validate();
+    }
+}

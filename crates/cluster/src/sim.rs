@@ -1,0 +1,358 @@
+//! The cluster tick loop.
+//!
+//! [`Simulation::run`] drives all nodes in lockstep:
+//!
+//! ```text
+//!   every dt (50 ms):   workload advance → BSP barrier release →
+//!                       per-tick daemons (CPUSPEED) → physics tick
+//!   every 250 ms:       sensor sample → fan/tDVFS daemons → recorders
+//! ```
+//!
+//! Barrier release is all-or-nothing: a rank that reaches a barrier parks
+//! (near-zero utilization) until every unfinished rank arrives. A rank on a
+//! throttled or down-scaled CPU therefore delays the whole job — the
+//! mechanism behind the paper's execution-time results.
+
+use unitherm_workload::WorkState;
+
+use crate::node_sim::NodeSim;
+use crate::report::{NodeReport, RunReport};
+use crate::scenario::Scenario;
+
+/// A runnable cluster simulation.
+pub struct Simulation {
+    scenario: Scenario,
+    nodes: Vec<NodeSim>,
+    rack: Option<crate::rack::RackModel>,
+    rack_air: unitherm_metrics::TimeSeries,
+    time_s: f64,
+    ticks: u64,
+    ticks_per_sample: u64,
+}
+
+impl Simulation {
+    /// Builds the cluster from a scenario.
+    pub fn new(scenario: Scenario) -> Self {
+        scenario.validate();
+        let mut nodes: Vec<NodeSim> =
+            (0..scenario.nodes).map(|i| NodeSim::build(&scenario, i)).collect();
+        let ticks_per_sample = (scenario.sample_period_s / scenario.dt_s).round() as u64;
+        let rack = scenario.rack.map(|cfg| {
+            let idle_heat: f64 = nodes.iter().map(|ns| ns.node.heat_output_w()).sum();
+            let model = crate::rack::RackModel::new(cfg, idle_heat);
+            // Nodes breathe the rack air from t = 0.
+            for ns in &mut nodes {
+                ns.node.set_ambient_c(model.air_c());
+            }
+            model
+        });
+        Self {
+            scenario,
+            nodes,
+            rack,
+            rack_air: unitherm_metrics::TimeSeries::new("rack.air", "°C"),
+            time_s: 0.0,
+            ticks: 0,
+            ticks_per_sample,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn time_s(&self) -> f64 {
+        self.time_s
+    }
+
+    /// Immutable access to the nodes (diagnostics, tests).
+    pub fn nodes(&self) -> &[NodeSim] {
+        &self.nodes
+    }
+
+    /// Advances the cluster one tick.
+    pub fn tick(&mut self) {
+        let dt = self.scenario.dt_s;
+        self.ticks += 1;
+        self.time_s += dt;
+
+        // 1. Workloads advance; collect states for barrier logic.
+        let mut states = Vec::with_capacity(self.nodes.len());
+        for ns in &mut self.nodes {
+            states.push(ns.tick_workload(dt));
+        }
+
+        // 2. BSP barrier: release when every unfinished rank is parked.
+        let unfinished_parked = states
+            .iter()
+            .all(|s| matches!(s, WorkState::AtBarrier(_) | WorkState::Finished));
+        let any_parked = states.iter().any(|s| matches!(s, WorkState::AtBarrier(_)));
+        if unfinished_parked && any_parked {
+            for ns in &mut self.nodes {
+                ns.workload.release_barrier();
+            }
+        }
+
+        // 3. Per-tick daemons + physics.
+        for ns in &mut self.nodes {
+            ns.tick_hardware(dt, self.time_s);
+        }
+
+        // 3b. Rack air coupling: exhaust heat recirculates into the shared
+        // intake volume; every node breathes the updated air.
+        if let Some(rack) = &mut self.rack {
+            let heat: f64 = self.nodes.iter().map(|ns| ns.node.heat_output_w()).sum();
+            rack.step(dt, heat);
+            let air = rack.air_c();
+            for ns in &mut self.nodes {
+                ns.node.set_ambient_c(air);
+            }
+        }
+
+        // 4. Sampling path at 4 Hz.
+        if self.ticks % self.ticks_per_sample == 0 {
+            for ns in &mut self.nodes {
+                ns.on_sample(self.time_s);
+            }
+            if let Some(rack) = &self.rack {
+                if self.scenario.record_series {
+                    self.rack_air.push(self.time_s, rack.air_c());
+                }
+            }
+        }
+
+        // 5. Record finish times.
+        for ns in &mut self.nodes {
+            if ns.finish_time_s.is_none() && ns.workload.is_finished() {
+                ns.finish_time_s = Some(self.time_s);
+            }
+        }
+    }
+
+    /// True when every rank's workload finished.
+    pub fn all_finished(&self) -> bool {
+        self.nodes.iter().all(|ns| ns.workload.is_finished())
+    }
+
+    /// Runs to completion (every rank finished, plus the configured
+    /// cooldown) or to the time limit, whichever comes first, and produces
+    /// the report.
+    pub fn run(mut self) -> RunReport {
+        let finite = self.scenario.workload.is_finite();
+        let mut finished_at: Option<f64> = None;
+        while self.time_s < self.scenario.max_time_s {
+            self.tick();
+            if finite && finished_at.is_none() && self.all_finished() {
+                finished_at = Some(self.time_s);
+            }
+            if let Some(t) = finished_at {
+                if self.time_s >= t + self.scenario.cooldown_s {
+                    break;
+                }
+            }
+        }
+        self.into_report()
+    }
+
+    /// Finalizes the report from the current state.
+    pub fn into_report(self) -> RunReport {
+        let completed = self.nodes.iter().all(|ns| ns.finish_time_s.is_some());
+        let exec_time_s = if completed {
+            self.nodes
+                .iter()
+                .filter_map(|ns| ns.finish_time_s)
+                .fold(0.0f64, f64::max)
+        } else {
+            self.time_s
+        };
+
+        let nodes = self
+            .nodes
+            .into_iter()
+            .map(|ns| NodeReport {
+                temp: ns.rec.temp,
+                duty: ns.rec.duty,
+                freq: ns.rec.freq,
+                power: ns.rec.power,
+                util: ns.rec.util,
+                freq_events: ns.rec.freq_events,
+                freq_transitions: ns.node.cpu().freq_transition_count(),
+                throttle_events: ns.node.cpu().throttle_event_count(),
+                failsafe_engagements: ns
+                    .failsafe
+                    .as_ref()
+                    .map_or(0, unitherm_core::failsafe::Failsafe::engagement_count),
+                shut_down: ns.node.cpu().is_shut_down(),
+                avg_wall_power_w: ns.node.meter().average_power_w(),
+                energy_j: ns.node.meter().energy_j(),
+                temp_summary: ns.rec.temp_stats.summary(),
+                duty_summary: ns.rec.duty_stats.summary(),
+                finish_time_s: ns.finish_time_s,
+            })
+            .collect();
+
+        RunReport {
+            name: self.scenario.name.clone(),
+            fan_label: self.scenario.fan.label(),
+            dvfs_label: self.scenario.dvfs.label(),
+            workload_label: self.scenario.workload.label(),
+            nodes,
+            wall_time_s: self.time_s,
+            completed,
+            exec_time_s,
+            rack_air: if self.rack.is_some() { Some(self.rack_air) } else { None },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::WorkloadSpec;
+    use crate::scheme::{DvfsScheme, FanScheme};
+    use unitherm_core::control_array::Policy;
+    use unitherm_workload::{NpbBenchmark, NpbClass, Segment};
+
+    #[test]
+    fn idle_cluster_stays_cool_and_runs_to_limit() {
+        let report = Simulation::new(
+            Scenario::new("idle")
+                .with_nodes(2)
+                .with_workload(WorkloadSpec::Idle)
+                .with_max_time(30.0),
+        )
+        .run();
+        assert!(!report.completed, "idle runs to the limit");
+        assert!((report.wall_time_s - 30.0).abs() < 0.1);
+        assert!(report.avg_temp_c() < 45.0, "idle temp {}", report.avg_temp_c());
+        assert_eq!(report.total_freq_transitions(), 0);
+    }
+
+    #[test]
+    fn npb_job_completes_near_nominal_time() {
+        let report = Simulation::new(
+            Scenario::new("bt-a")
+                .with_nodes(4)
+                .with_workload(WorkloadSpec::Npb { bench: NpbBenchmark::Bt, class: NpbClass::A })
+                .with_fan(FanScheme::Constant { duty: 75 })
+                .with_max_time(200.0),
+        )
+        .run();
+        assert!(report.completed, "BT.A must finish within 200 s");
+        let nominal = NpbBenchmark::Bt.nominal_duration_s(NpbClass::A);
+        assert!(
+            (report.exec_time_s - nominal).abs() < nominal * 0.10,
+            "exec {} vs nominal {nominal}",
+            report.exec_time_s
+        );
+    }
+
+    #[test]
+    fn barrier_couples_ranks() {
+        // All ranks must finish within a whisker of each other despite
+        // per-rank wobble, because barriers re-synchronize every iteration.
+        let report = Simulation::new(
+            Scenario::new("bt-a")
+                .with_nodes(4)
+                .with_workload(WorkloadSpec::Npb { bench: NpbBenchmark::Bt, class: NpbClass::A })
+                .with_fan(FanScheme::Constant { duty: 75 })
+                .with_max_time(200.0),
+        )
+        .run();
+        let finishes: Vec<f64> = report.nodes.iter().map(|n| n.finish_time_s.unwrap()).collect();
+        let spread = finishes.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - finishes.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread < 1.0, "finish spread {spread} ({finishes:?})");
+    }
+
+    #[test]
+    fn script_workload_completes() {
+        let report = Simulation::new(
+            Scenario::new("script")
+                .with_nodes(1)
+                .with_workload(WorkloadSpec::Script(vec![
+                    Segment::new(5.0, 1.0),
+                    Segment::new(5.0, 0.1),
+                ]))
+                .with_max_time(60.0),
+        )
+        .run();
+        assert!(report.completed);
+        assert!((report.exec_time_s - 10.0).abs() < 0.5, "exec {}", report.exec_time_s);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let build = || {
+            Scenario::new("det")
+                .with_nodes(2)
+                .with_seed(77)
+                .with_workload(WorkloadSpec::CpuBurn)
+                .with_fan(FanScheme::dynamic(Policy::MODERATE, 100))
+                .with_max_time(60.0)
+        };
+        let a = Simulation::new(build()).run();
+        let b = Simulation::new(build()).run();
+        assert_eq!(a.avg_node_power_w(), b.avg_node_power_w());
+        assert_eq!(a.avg_temp_c(), b.avg_temp_c());
+        assert_eq!(a.nodes[0].temp.samples(), b.nodes[0].temp.samples());
+    }
+
+    #[test]
+    fn dynamic_fan_cools_burn_vs_weak_policy() {
+        let run = |pp: u32| {
+            Simulation::new(
+                Scenario::new(format!("burn-p{pp}"))
+                    .with_nodes(1)
+                    .with_workload(WorkloadSpec::CpuBurn)
+                    .with_fan(FanScheme::dynamic(Policy::new(pp).unwrap(), 100))
+                    .with_max_time(240.0),
+            )
+            .run()
+        };
+        let aggressive = run(25);
+        let weak = run(75);
+        assert!(
+            aggressive.avg_temp_c() < weak.avg_temp_c(),
+            "P25 {} vs P75 {}",
+            aggressive.avg_temp_c(),
+            weak.avg_temp_c()
+        );
+        assert!(
+            aggressive.avg_duty_pct() > weak.avg_duty_pct(),
+            "P25 duty {} vs P75 duty {}",
+            aggressive.avg_duty_pct(),
+            weak.avg_duty_pct()
+        );
+    }
+
+    #[test]
+    fn tdvfs_events_recorded_with_capped_fan() {
+        let report = Simulation::new(
+            Scenario::new("tdvfs")
+                .with_nodes(1)
+                .with_workload(WorkloadSpec::CpuBurn)
+                .with_fan(FanScheme::dynamic(Policy::MODERATE, 25))
+                .with_dvfs(DvfsScheme::tdvfs(Policy::MODERATE))
+                .with_max_time(240.0),
+        )
+        .run();
+        assert!(report.total_freq_transitions() > 0, "tDVFS must engage");
+        assert!(report.first_dvfs_event_time_s().is_some());
+        assert!(report.min_commanded_freq_mhz().unwrap() < 2400);
+    }
+
+    #[test]
+    fn report_reflects_scenario_labels() {
+        let report = Simulation::new(
+            Scenario::new("labels")
+                .with_nodes(1)
+                .with_workload(WorkloadSpec::Idle)
+                .with_fan(FanScheme::Constant { duty: 50 })
+                .with_dvfs(DvfsScheme::cpuspeed())
+                .with_max_time(5.0),
+        )
+        .run();
+        assert_eq!(report.name, "labels");
+        assert_eq!(report.fan_label, "constant(50%)");
+        assert_eq!(report.dvfs_label, "CPUSPEED");
+        assert_eq!(report.workload_label, "idle");
+    }
+}

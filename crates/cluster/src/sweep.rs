@@ -1,0 +1,119 @@
+//! Parallel execution of independent scenarios.
+//!
+//! Parameter sweeps (Figures 5, 7, 10; Table 1; the ablations) run many
+//! independent simulations. Each simulation is single-threaded and
+//! deterministic; the sweep fans them out across crossbeam scoped threads —
+//! the shared-nothing data-parallel idiom — and reassembles results in input
+//! order.
+
+use crossbeam::channel;
+use crossbeam::thread;
+
+use crate::report::RunReport;
+use crate::scenario::Scenario;
+use crate::sim::Simulation;
+
+/// Runs every scenario, using up to `max_threads` worker threads, and
+/// returns reports in the same order as the input.
+///
+/// # Panics
+/// Propagates panics from worker threads (a panicking simulation is a bug).
+pub fn run_scenarios_parallel(scenarios: Vec<Scenario>, max_threads: usize) -> Vec<RunReport> {
+    let n = scenarios.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = max_threads.max(1).min(n);
+    if workers == 1 {
+        return scenarios.into_iter().map(|s| Simulation::new(s).run()).collect();
+    }
+
+    let (task_tx, task_rx) = channel::unbounded::<(usize, Scenario)>();
+    let (result_tx, result_rx) = channel::unbounded::<(usize, RunReport)>();
+    for pair in scenarios.into_iter().enumerate() {
+        task_tx.send(pair).expect("queue open");
+    }
+    drop(task_tx);
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let task_rx = task_rx.clone();
+            let result_tx = result_tx.clone();
+            scope.spawn(move |_| {
+                while let Ok((idx, scenario)) = task_rx.recv() {
+                    let report = Simulation::new(scenario).run();
+                    result_tx.send((idx, report)).expect("result channel open");
+                }
+            });
+        }
+        drop(result_tx);
+    })
+    .expect("sweep worker panicked");
+
+    let mut results: Vec<Option<RunReport>> = (0..n).map(|_| None).collect();
+    while let Ok((idx, report)) = result_rx.recv() {
+        results[idx] = Some(report);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every scenario produced a report"))
+        .collect()
+}
+
+/// Runs every scenario with one worker per available CPU (capped at the
+/// scenario count).
+pub fn run_scenarios(scenarios: Vec<Scenario>) -> Vec<RunReport> {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    run_scenarios_parallel(scenarios, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::WorkloadSpec;
+    use crate::scheme::FanScheme;
+    use unitherm_core::control_array::Policy;
+
+    fn quick(name: &str, pp: u32) -> Scenario {
+        Scenario::new(name)
+            .with_nodes(1)
+            .with_workload(WorkloadSpec::CpuBurn)
+            .with_fan(FanScheme::dynamic(Policy::new(pp).unwrap(), 100))
+            .with_max_time(20.0)
+            .with_recording(false)
+    }
+
+    #[test]
+    fn empty_sweep() {
+        assert!(run_scenarios_parallel(vec![], 4).is_empty());
+    }
+
+    #[test]
+    fn results_preserve_input_order() {
+        let scenarios = vec![quick("a", 25), quick("b", 50), quick("c", 75)];
+        let reports = run_scenarios_parallel(scenarios, 3);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].name, "a");
+        assert_eq!(reports[1].name, "b");
+        assert_eq!(reports[2].name, "c");
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let serial = run_scenarios_parallel(vec![quick("x", 50)], 1);
+        let parallel = run_scenarios_parallel(vec![quick("x", 50), quick("y", 50)], 2);
+        assert_eq!(serial[0].avg_temp_c(), parallel[0].avg_temp_c());
+        assert_eq!(serial[0].avg_node_power_w(), parallel[0].avg_node_power_w());
+    }
+
+    #[test]
+    fn more_scenarios_than_threads() {
+        let scenarios: Vec<Scenario> =
+            (0..6).map(|i| quick(&format!("s{i}"), 50)).collect();
+        let reports = run_scenarios_parallel(scenarios, 2);
+        assert_eq!(reports.len(), 6);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.name, format!("s{i}"));
+        }
+    }
+}

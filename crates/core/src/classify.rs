@@ -1,0 +1,237 @@
+//! Thermal-behaviour classification (paper §3.1, Figure 2).
+//!
+//! The paper observes that parallel-application CPU temperature traces fall
+//! into three types:
+//!
+//! * **Type I — sudden**: drastic, *sustained* increase or decrease over a
+//!   short period (sharp CPU-utilization change);
+//! * **Type II — gradual**: steady drift over seconds (sustained CPU-bound
+//!   work without proactive control);
+//! * **Type III — jitter**: oscillation around a value with no sustained
+//!   direction (short bursty utilization, sensor noise).
+//!
+//! Types I and II change the actual operating temperature and deserve a
+//! control response; Type III does not. The classifier here reproduces that
+//! taxonomy per window round: it is used by the Figure 2 experiment to label
+//! trace segments, and its thresholds mirror the controller's deadband
+//! logic.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+use crate::window::WindowConfig;
+
+/// A thermal behaviour label for one window round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThermalBehavior {
+    /// Type I: sustained sharp change within one level-one window.
+    Sudden,
+    /// Type II: steady drift across the level-two horizon.
+    Gradual,
+    /// Type III: oscillation without sustained direction.
+    Jitter,
+    /// No significant activity.
+    Steady,
+}
+
+impl std::fmt::Display for ThermalBehavior {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ThermalBehavior::Sudden => "sudden",
+            ThermalBehavior::Gradual => "gradual",
+            ThermalBehavior::Jitter => "jitter",
+            ThermalBehavior::Steady => "steady",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifier thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassifierConfig {
+    /// Window geometry (shared with the controller).
+    pub window: WindowConfig,
+    /// Minimum |Δt_l1| (°C) to call a round *sudden*.
+    pub sudden_threshold_c: f64,
+    /// Minimum |Δt_l2| (°C) across the level-two FIFO to call a round
+    /// *gradual*.
+    pub gradual_threshold_c: f64,
+    /// Minimum within-window peak-to-peak spread (°C) to call a
+    /// non-directional round *jitter*.
+    pub jitter_amplitude_c: f64,
+}
+
+impl Default for ClassifierConfig {
+    fn default() -> Self {
+        Self {
+            window: WindowConfig::default(),
+            sudden_threshold_c: 2.0,
+            gradual_threshold_c: 1.0,
+            jitter_amplitude_c: 0.6,
+        }
+    }
+}
+
+/// Streaming thermal-behaviour classifier.
+#[derive(Debug, Clone)]
+pub struct BehaviorClassifier {
+    cfg: ClassifierConfig,
+    buf: Vec<f64>,
+    averages: VecDeque<f64>,
+}
+
+impl Default for BehaviorClassifier {
+    fn default() -> Self {
+        Self::new(ClassifierConfig::default())
+    }
+}
+
+impl BehaviorClassifier {
+    /// Creates a classifier.
+    pub fn new(cfg: ClassifierConfig) -> Self {
+        cfg.window.validate();
+        assert!(cfg.sudden_threshold_c > 0.0, "sudden threshold must be positive");
+        assert!(cfg.gradual_threshold_c > 0.0, "gradual threshold must be positive");
+        assert!(cfg.jitter_amplitude_c >= 0.0, "jitter amplitude must be non-negative");
+        Self {
+            cfg,
+            buf: Vec::with_capacity(cfg.window.l1_len),
+            averages: VecDeque::with_capacity(cfg.window.l2_len),
+        }
+    }
+
+    /// Feeds a sample; returns a label each time a window round completes.
+    pub fn push(&mut self, temp_c: f64) -> Option<ThermalBehavior> {
+        assert!(temp_c.is_finite(), "temperature sample must be finite");
+        self.buf.push(temp_c);
+        if self.buf.len() < self.cfg.window.l1_len {
+            return None;
+        }
+
+        let half = self.cfg.window.l1_len / 2;
+        let first: f64 = self.buf[..half].iter().sum();
+        let second: f64 = self.buf[half..].iter().sum();
+        let l1_delta = second - first;
+        let avg = (first + second) / self.cfg.window.l1_len as f64;
+        let spread = self.buf.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+            - self.buf.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        self.buf.clear();
+
+        if self.averages.len() == self.cfg.window.l2_len {
+            self.averages.pop_front();
+        }
+        self.averages.push_back(avg);
+        let l2_delta = if self.averages.len() >= 2 {
+            self.averages.back().expect("non-empty") - self.averages.front().expect("non-empty")
+        } else {
+            0.0
+        };
+
+        let label = if l1_delta.abs() >= self.cfg.sudden_threshold_c {
+            ThermalBehavior::Sudden
+        } else if l2_delta.abs() >= self.cfg.gradual_threshold_c {
+            ThermalBehavior::Gradual
+        } else if spread >= self.cfg.jitter_amplitude_c {
+            ThermalBehavior::Jitter
+        } else {
+            ThermalBehavior::Steady
+        };
+        Some(label)
+    }
+
+    /// Classifies a whole trace, returning one label per completed round.
+    pub fn classify_trace(trace: impl IntoIterator<Item = f64>) -> Vec<ThermalBehavior> {
+        let mut c = Self::default();
+        trace.into_iter().filter_map(|t| c.push(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_trace_is_steady() {
+        let labels = BehaviorClassifier::classify_trace(std::iter::repeat(45.0).take(40));
+        assert_eq!(labels.len(), 10);
+        assert!(labels.iter().all(|&l| l == ThermalBehavior::Steady), "{labels:?}");
+    }
+
+    #[test]
+    fn step_is_sudden() {
+        // 6 flat samples then a +5 °C step (mid-round, so the round's
+        // half-sums straddle it).
+        let mut trace = vec![45.0; 6];
+        trace.extend(vec![50.0; 10]);
+        let labels = BehaviorClassifier::classify_trace(trace);
+        assert!(labels.contains(&ThermalBehavior::Sudden), "{labels:?}");
+    }
+
+    #[test]
+    fn slow_ramp_is_gradual_not_sudden() {
+        // 0.08 °C per sample: Δ_l1 = 0.32 per round (below sudden), but the
+        // level-two delta reaches 4·0.32 = 1.28 ≥ 1.0.
+        let trace: Vec<f64> = (0..60).map(|i| 40.0 + 0.08 * f64::from(i)).collect();
+        let labels = BehaviorClassifier::classify_trace(trace);
+        assert!(labels.contains(&ThermalBehavior::Gradual), "{labels:?}");
+        assert!(!labels.contains(&ThermalBehavior::Sudden), "{labels:?}");
+    }
+
+    #[test]
+    fn oscillation_is_jitter() {
+        // ±0.5 °C alternation: spread 1.0 ≥ 0.6, no direction.
+        let trace: Vec<f64> =
+            (0..40).map(|i| 45.0 + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let labels = BehaviorClassifier::classify_trace(trace);
+        assert!(labels.iter().all(|&l| l == ThermalBehavior::Jitter), "{labels:?}");
+    }
+
+    #[test]
+    fn tiny_noise_is_steady_not_jitter() {
+        let trace: Vec<f64> =
+            (0..40).map(|i| 45.0 + if i % 2 == 0 { 0.1 } else { -0.1 }).collect();
+        let labels = BehaviorClassifier::classify_trace(trace);
+        assert!(labels.iter().all(|&l| l == ThermalBehavior::Steady), "{labels:?}");
+    }
+
+    #[test]
+    fn sudden_takes_precedence_over_jitter() {
+        // A step embedded in noisy samples: the round containing the step
+        // must be labelled sudden even though the spread is large.
+        let mut trace = vec![45.2, 44.8, 45.2, 44.8];
+        trace.extend([45.0, 45.0, 50.0, 50.0]);
+        let labels = BehaviorClassifier::classify_trace(trace);
+        assert_eq!(labels[1], ThermalBehavior::Sudden);
+    }
+
+    #[test]
+    fn figure2_style_trace_contains_all_three_types() {
+        // Mimics the paper's Figure 2: sudden rise, gradual climb, jitter
+        // plateau, sudden drop.
+        let mut trace = Vec::new();
+        trace.extend(vec![40.0; 6]); // steady (step lands mid-round below)
+        trace.extend(vec![48.0; 10]); // sudden rise
+        trace.extend((0..40).map(|i| 48.0 + 0.1 * f64::from(i))); // gradual climb
+        trace.extend((0..40).map(|i| 52.0 + if i % 2 == 0 { 0.5 } else { -0.5 })); // jitter
+        trace.extend(vec![42.0; 8]); // drop back
+        let labels = BehaviorClassifier::classify_trace(trace);
+        assert!(labels.contains(&ThermalBehavior::Sudden));
+        assert!(labels.contains(&ThermalBehavior::Gradual));
+        assert!(labels.contains(&ThermalBehavior::Jitter));
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(ThermalBehavior::Sudden.to_string(), "sudden");
+        assert_eq!(ThermalBehavior::Gradual.to_string(), "gradual");
+        assert_eq!(ThermalBehavior::Jitter.to_string(), "jitter");
+        assert_eq!(ThermalBehavior::Steady.to_string(), "steady");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_rejected() {
+        let cfg = ClassifierConfig { sudden_threshold_c: 0.0, ..Default::default() };
+        let _ = BehaviorClassifier::new(cfg);
+    }
+}

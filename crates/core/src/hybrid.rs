@@ -1,0 +1,189 @@
+//! Coordinated fan + DVFS control (paper §4.4).
+//!
+//! The hybrid controller runs the dynamic fan controller and the tDVFS
+//! daemon side by side under **one** `P_p`:
+//!
+//! * the fan absorbs thermal load continuously through the mode-index rule;
+//! * tDVFS engages only when the (possibly capped) fan cannot hold the
+//!   average temperature under the trigger threshold.
+//!
+//! The coordination the paper observes in Figure 10 — smaller `P_p` ⇒ more
+//! aggressive fan ⇒ *later* tDVFS trigger ⇒ less in-band performance loss —
+//! emerges from the shared policy rather than explicit hand-off logic,
+//! exactly as in the paper's design.
+
+use crate::actuator::{FanDuty, FreqMhz};
+use crate::control_array::Policy;
+use crate::controller::{ControllerConfig, Decision};
+use crate::fan_control::DynamicFanController;
+use crate::tdvfs::{Tdvfs, TdvfsConfig, TdvfsEvent};
+
+/// Combined decision for one temperature sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HybridDecision {
+    /// Fan duty change, if the fan controller moved.
+    pub fan: Option<Decision<FanDuty>>,
+    /// Frequency change, if tDVFS fired.
+    pub dvfs: Option<TdvfsEvent>,
+}
+
+impl HybridDecision {
+    /// True when neither mechanism acted.
+    pub fn is_empty(&self) -> bool {
+        self.fan.is_none() && self.dvfs.is_none()
+    }
+}
+
+/// The unified in-band + out-of-band controller.
+#[derive(Debug, Clone)]
+pub struct HybridController {
+    fan: DynamicFanController,
+    tdvfs: Tdvfs,
+    policy: Policy,
+}
+
+impl HybridController {
+    /// Creates the hybrid controller: one `P_p` for both mechanisms, a fan
+    /// duty cap, and the DVFS frequency ladder (descending MHz).
+    pub fn new(
+        policy: Policy,
+        max_duty: FanDuty,
+        frequencies_desc_mhz: &[FreqMhz],
+        controller_cfg: ControllerConfig,
+        tdvfs_cfg: TdvfsConfig,
+    ) -> Self {
+        let fan = DynamicFanController::new(policy, max_duty, controller_cfg);
+        let tdvfs = Tdvfs::new(frequencies_desc_mhz, policy, tdvfs_cfg);
+        Self { fan, tdvfs, policy }
+    }
+
+    /// Creates the hybrid controller with default tuning (51 °C threshold).
+    pub fn with_defaults(
+        policy: Policy,
+        max_duty: FanDuty,
+        frequencies_desc_mhz: &[FreqMhz],
+    ) -> Self {
+        Self::new(
+            policy,
+            max_duty,
+            frequencies_desc_mhz,
+            ControllerConfig::default(),
+            TdvfsConfig::default(),
+        )
+    }
+
+    /// The shared policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// The fan side.
+    pub fn fan(&self) -> &DynamicFanController {
+        &self.fan
+    }
+
+    /// The DVFS side.
+    pub fn tdvfs(&self) -> &Tdvfs {
+        &self.tdvfs
+    }
+
+    /// Currently commanded fan duty.
+    pub fn current_duty(&self) -> FanDuty {
+        self.fan.current_duty()
+    }
+
+    /// Currently requested CPU frequency.
+    pub fn current_frequency_mhz(&self) -> FreqMhz {
+        self.tdvfs.current_frequency_mhz()
+    }
+
+    /// Feeds one temperature sample to both mechanisms.
+    pub fn observe(&mut self, temp_c: f64) -> HybridDecision {
+        HybridDecision { fan: self.fan.observe(temp_c), dvfs: self.tdvfs.observe(temp_c) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FREQS: [FreqMhz; 5] = [2400, 2200, 2000, 1800, 1000];
+
+    fn hybrid(pp: u32, max_duty: FanDuty) -> HybridController {
+        HybridController::with_defaults(Policy::new(pp).unwrap(), max_duty, &FREQS)
+    }
+
+    /// Feeds a constant temperature for `seconds` at 4 Hz; returns the
+    /// emitted DVFS events.
+    fn feed(h: &mut HybridController, temp: f64, seconds: usize) -> Vec<TdvfsEvent> {
+        let mut out = Vec::new();
+        for _ in 0..seconds * 4 {
+            let d = h.observe(temp);
+            if let Some(e) = d.dvfs {
+                out.push(e);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn cool_workload_engages_neither() {
+        let mut h = hybrid(50, 100);
+        let events = feed(&mut h, 45.0, 60);
+        assert!(events.is_empty());
+        assert_eq!(h.current_frequency_mhz(), 2400);
+        assert_eq!(h.current_duty(), 1);
+    }
+
+    #[test]
+    fn heating_engages_fan_before_dvfs() {
+        let mut h = hybrid(50, 100);
+        // Ramp toward 50 °C (below the 51 °C threshold): fan reacts,
+        // DVFS must not.
+        for i in 0..240 {
+            let t = (42.0 + 0.1 * f64::from(i)).min(50.0);
+            let _ = h.observe(t);
+        }
+        assert!(h.current_duty() > 1, "fan engaged");
+        assert_eq!(h.current_frequency_mhz(), 2400, "DVFS untouched below threshold");
+    }
+
+    #[test]
+    fn sustained_heat_above_threshold_engages_dvfs() {
+        let mut h = hybrid(50, 25);
+        let events = feed(&mut h, 58.0, 60);
+        assert!(!events.is_empty(), "capped fan cannot hold 58 °C; DVFS must act");
+        assert!(h.current_frequency_mhz() < 2400);
+    }
+
+    #[test]
+    fn shared_policy_reaches_both_sides() {
+        let h = hybrid(25, 100);
+        assert_eq!(h.policy().value(), 25);
+        assert_eq!(h.fan().policy().value(), 25);
+        // Aggressive array: most of the DVFS array pinned at the lowest
+        // frequency.
+        assert_eq!(h.tdvfs().config().threshold_c, 51.0);
+    }
+
+    #[test]
+    fn decision_reports_both_channels() {
+        let mut h = hybrid(50, 100);
+        // Sudden jump from cool to hot: fan fires on the first completed
+        // round; DVFS needs sustained confirmation, so not yet.
+        h.observe(45.0);
+        h.observe(45.0);
+        h.observe(53.0);
+        let d = h.observe(53.0);
+        assert!(d.fan.is_some());
+        assert!(d.dvfs.is_none());
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn empty_decision_detected() {
+        let mut h = hybrid(50, 100);
+        let d = h.observe(45.0); // first sample of a round: nothing yet
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,731 @@
+//! Ablation studies for the design choices `DESIGN.md` §5 calls out.
+//!
+//! Each ablation isolates one mechanism of the paper's controller and
+//! measures what breaks without it:
+//!
+//! * [`window_levels`] — two-level window vs level-1-only vs level-2-only;
+//! * [`l1_size`] — level-one window length (2/4/8/16): the paper's claim
+//!   that 4 entries catch sudden changes while nullifying jitter;
+//! * [`fill_rule`] — Eq.(1)'s pinned-`g_N` fill vs a plain linear spread;
+//! * [`hybrid_isolation`] — coordinated fan + DVFS vs either in isolation
+//!   (the headline claim);
+//! * [`tdvfs_hysteresis`] — the "consistently above/below" confirmation vs
+//!   a naive instantaneous threshold.
+
+use std::path::Path;
+
+use unitherm_cluster::{run_scenarios_parallel, DvfsScheme, FanScheme, Scenario, WorkloadSpec};
+use unitherm_core::control_array::{Policy, ThermalControlArray};
+use unitherm_core::controller::{ControllerConfig, UnifiedController};
+use unitherm_core::tdvfs::TdvfsConfig;
+use unitherm_core::window::WindowConfig;
+use unitherm_metrics::{CsvWriter, TextTable, TimeSeries};
+use unitherm_workload::NpbBenchmark;
+
+use crate::{Experiment, Scale};
+
+// ---------------------------------------------------------------- helpers
+
+/// A deterministic synthetic sensor trace: flat with jitter, one sudden
+/// step, then a slow ramp. Exercises all three behaviour regimes without
+/// simulator noise, so ablation differences are attributable.
+fn synthetic_trace() -> Vec<f64> {
+    let mut t = Vec::new();
+    // 0–60 s: 45 °C with ±0.25 °C alternating jitter.
+    for i in 0..240 {
+        t.push(45.0 + if i % 2 == 0 { 0.25 } else { -0.25 });
+    }
+    // Sudden +6 °C step (lands mid-window).
+    t.extend([45.0, 45.0, 51.0, 51.0]);
+    // 60–120 s: hold at 51 °C with jitter.
+    for i in 0..236 {
+        t.push(51.0 + if i % 2 == 0 { 0.25 } else { -0.25 });
+    }
+    // 120–240 s: slow ramp +0.02 °C/sample (gradual, sub-deadband).
+    for i in 0..480 {
+        t.push(51.0 + 0.02 * f64::from(i));
+    }
+    t
+}
+
+/// Drives a controller over a trace; returns (decisions, final duty,
+/// samples-to-first-response-after-step).
+fn drive(mut ctl: UnifiedController<u8>, trace: &[f64]) -> (u64, u8, Option<usize>) {
+    let step_at = 240; // index where the sudden step begins
+    let mut first_response = None;
+    for (i, &temp) in trace.iter().enumerate() {
+        if ctl.observe(temp).is_some() && i >= step_at && first_response.is_none() {
+            first_response = Some(i - step_at);
+        }
+    }
+    let stats = ctl.stats();
+    (stats.level1 + stats.level2, ctl.current_mode(), first_response)
+}
+
+fn duties() -> Vec<u8> {
+    (1..=100).collect()
+}
+
+// ---------------------------------------------------- window-level ablation
+
+/// Result of the two-level-window ablation.
+#[derive(Debug, Clone)]
+pub struct WindowAblation {
+    /// (variant name, decisions, final duty, response delay in samples).
+    pub rows: Vec<(&'static str, u64, u8, Option<usize>)>,
+}
+
+/// Runs the window-level ablation (controller-level, simulator-free).
+pub fn window_levels(_scale: Scale) -> WindowAblation {
+    let trace = synthetic_trace();
+    let mk = || UnifiedController::new(&duties(), Policy::MODERATE, ControllerConfig::default());
+    let rows = vec![
+        ("two-level", {
+            let c = mk();
+            c
+        }),
+        ("level1-only", mk().with_level2_disabled()),
+        ("level2-only", mk().with_level1_disabled()),
+    ]
+    .into_iter()
+    .map(|(name, ctl)| {
+        let (dec, duty, resp) = drive(ctl, &trace);
+        (name, dec, duty, resp)
+    })
+    .collect();
+    WindowAblation { rows }
+}
+
+impl Experiment for WindowAblation {
+    fn id(&self) -> &'static str {
+        "ablate-window"
+    }
+
+    fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Ablation: two-level window vs single levels (synthetic trace)",
+            &["variant", "decisions", "final duty (%)", "step response (samples)"],
+        );
+        for (name, dec, duty, resp) in &self.rows {
+            t.row(&[
+                name.to_string(),
+                dec.to_string(),
+                duty.to_string(),
+                resp.map(|r| r.to_string()).unwrap_or_else(|| "—".into()),
+            ]);
+        }
+        t.render()
+    }
+
+    fn shape_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let get = |name: &str| {
+            self.rows.iter().find(|(n, ..)| *n == name).expect("variant present")
+        };
+        let (_, _, two_duty, two_resp) = *get("two-level");
+        let (_, _, l1_duty, l1_resp) = *get("level1-only");
+        let (_, _, l2_duty, _) = *get("level2-only");
+
+        // Two-level and level1-only both catch the sudden step fast.
+        for (name, resp) in [("two-level", two_resp), ("level1-only", l1_resp)] {
+            match resp {
+                Some(r) if r <= 8 => {}
+                other => v.push(format!("{name} step response {other:?}, expected ≤ 8 samples")),
+            }
+        }
+        // Level-1-only misses the slow ramp: its final duty falls short of
+        // the two-level controller's.
+        if l1_duty >= two_duty {
+            v.push(format!(
+                "level1-only final duty {l1_duty}% not below two-level {two_duty}% — ramp should be missed"
+            ));
+        }
+        // Level-2-only eventually reacts (non-trivial duty) but more
+        // sluggishly than the full controller responds to the step.
+        if l2_duty <= 1 {
+            v.push("level2-only never engaged".to_string());
+        }
+        v
+    }
+
+    fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        let mut w = CsvWriter::new();
+        let mut dec = TimeSeries::new("decisions", "");
+        let mut duty = TimeSeries::new("final_duty", "%");
+        for (i, (_, d, fd, _)) in self.rows.iter().enumerate() {
+            dec.push(i as f64, *d as f64);
+            duty.push(i as f64, f64::from(*fd));
+        }
+        w.add(dec);
+        w.add(duty);
+        w.write_to_file(dir.join("ablate_window.csv"))
+    }
+}
+
+// ------------------------------------------------------- L1 size ablation
+
+/// Result of the level-one-size ablation.
+#[derive(Debug, Clone)]
+pub struct L1SizeAblation {
+    /// (l1 length, jitter decisions, step response in samples).
+    pub rows: Vec<(usize, u64, Option<usize>)>,
+}
+
+/// Runs the level-one window-size ablation.
+pub fn l1_size(_scale: Scale) -> L1SizeAblation {
+    let rows = [2usize, 4, 8, 16]
+        .into_iter()
+        .map(|len| {
+            let cfg = ControllerConfig {
+                window: WindowConfig { l1_len: len, l2_len: 5 },
+                // No deadband: isolate the window's own jitter rejection,
+                // which is the paper's §3.2.1 argument for sizing.
+                l1_deadband_c: 0.0,
+                ..Default::default()
+            };
+            // Jitter phase: ±0.6 °C alternation, 400 samples. Start the
+            // controller mid-array so both index directions are available
+            // (at index 1, downward jitter reactions clamp invisibly).
+            let mut jitter_ctl = UnifiedController::new(&duties(), Policy::MODERATE, cfg);
+            jitter_ctl.force_index(50);
+            let mut jitter_decisions = 0;
+            for i in 0..400 {
+                let t = 45.0 + if i % 2 == 0 { 0.6 } else { -0.6 };
+                if jitter_ctl.observe(t).is_some() {
+                    jitter_decisions += 1;
+                }
+            }
+            // Step phase (fresh controller): response delay to +6 °C.
+            let mut step_ctl = UnifiedController::new(&duties(), Policy::MODERATE, cfg);
+            let mut resp = None;
+            for i in 0..200 {
+                let t = if i < len + len / 2 { 45.0 } else { 51.0 };
+                if step_ctl.observe(t).is_some() && resp.is_none() && i >= len + len / 2 {
+                    resp = Some(i - (len + len / 2));
+                }
+            }
+            (len, jitter_decisions, resp)
+        })
+        .collect();
+    L1SizeAblation { rows }
+}
+
+impl Experiment for L1SizeAblation {
+    fn id(&self) -> &'static str {
+        "ablate-l1size"
+    }
+
+    fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Ablation: level-one window length (paper picks 4)",
+            &["l1 length", "jitter decisions (of 400 samples)", "step response (samples)"],
+        );
+        for (len, jd, resp) in &self.rows {
+            t.row(&[
+                len.to_string(),
+                jd.to_string(),
+                resp.map(|r| r.to_string()).unwrap_or_else(|| "—".into()),
+            ]);
+        }
+        t.render()
+    }
+
+    fn shape_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let get = |len: usize| self.rows.iter().find(|(l, ..)| *l == len).expect("row");
+        let (_, j2, _) = *get(2);
+        let (_, j4, r4) = *get(4);
+        let (_, _, r16) = *get(16);
+        // A 2-entry window mistakes alternating jitter for sudden change
+        // (each window is [hi, lo] ⇒ a full-swing delta every round).
+        if j2 == 0 {
+            v.push("2-entry window did not react to jitter — expected it to".to_string());
+        }
+        // The paper's 4-entry window nullifies this jitter entirely.
+        if j4 > 0 {
+            v.push(format!("4-entry window made {j4} jitter decisions, expected 0"));
+        }
+        // Larger windows respond slower to a sudden step.
+        match (r4, r16) {
+            (Some(a), Some(b)) if b > a => {}
+            other => v.push(format!("16-entry window not slower than 4-entry: {other:?}")),
+        }
+        v
+    }
+
+    fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        let mut w = CsvWriter::new();
+        let mut jd = TimeSeries::new("jitter_decisions", "");
+        let mut rs = TimeSeries::new("step_response", "samples");
+        for (len, j, r) in &self.rows {
+            jd.push(*len as f64, *j as f64);
+            if let Some(r) = r {
+                rs.push(*len as f64, *r as f64);
+            }
+        }
+        w.add(jd);
+        w.add(rs);
+        w.write_to_file(dir.join("ablate_l1size.csv"))
+    }
+}
+
+// ----------------------------------------------------- fill-rule ablation
+
+/// Result of the array-fill ablation.
+#[derive(Debug, Clone)]
+pub struct FillAblation {
+    /// Duty commanded at each quartile index for both fills at P_p = 25.
+    pub eq1_duties: Vec<u8>,
+    /// Same indices under the plain linear spread.
+    pub linear_duties: Vec<u8>,
+    /// Indices probed.
+    pub indices: Vec<usize>,
+}
+
+/// Runs the fill-rule ablation: Eq.(1) at `P_p = 25` vs a linear spread
+/// (which is what Eq.(1) degenerates to at `P_p = 100`).
+pub fn fill_rule(_scale: Scale) -> FillAblation {
+    let modes = duties();
+    let eq1 = ThermalControlArray::with_default_len(&modes, Policy::AGGRESSIVE);
+    let linear = ThermalControlArray::with_default_len(&modes, Policy::new(100).expect("valid"));
+    let indices = vec![10usize, 25, 50, 75, 100];
+    FillAblation {
+        eq1_duties: indices.iter().map(|&i| eq1.mode_at(i)).collect(),
+        linear_duties: indices.iter().map(|&i| linear.mode_at(i)).collect(),
+        indices,
+    }
+}
+
+impl Experiment for FillAblation {
+    fn id(&self) -> &'static str {
+        "ablate-fill"
+    }
+
+    fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Ablation: Eq.(1) fill (P_p = 25) vs linear fill",
+            &["index", "Eq.(1) duty (%)", "linear duty (%)"],
+        );
+        for ((i, e), l) in self.indices.iter().zip(&self.eq1_duties).zip(&self.linear_duties) {
+            t.row(&[i.to_string(), e.to_string(), l.to_string()]);
+        }
+        t.render()
+    }
+
+    fn shape_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        // Eq.(1) at P25 commands at least as much duty at every index, and
+        // strictly more in the interior.
+        let mut strictly = 0;
+        for ((i, e), l) in self.indices.iter().zip(&self.eq1_duties).zip(&self.linear_duties) {
+            if e < l {
+                v.push(format!("index {i}: Eq.(1) duty {e}% below linear {l}%"));
+            }
+            if e > l {
+                strictly += 1;
+            }
+        }
+        if strictly < 2 {
+            v.push("Eq.(1) fill not strictly more aggressive anywhere in the interior".into());
+        }
+        // Both pin the extremes identically.
+        if self.eq1_duties.last() != self.linear_duties.last() {
+            v.push("arrays disagree at g_N".into());
+        }
+        v
+    }
+
+    fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        let mut w = CsvWriter::new();
+        let mut e = TimeSeries::new("eq1_duty", "%");
+        let mut l = TimeSeries::new("linear_duty", "%");
+        for ((i, a), b) in self.indices.iter().zip(&self.eq1_duties).zip(&self.linear_duties) {
+            e.push(*i as f64, f64::from(*a));
+            l.push(*i as f64, f64::from(*b));
+        }
+        w.add(e);
+        w.add(l);
+        w.write_to_file(dir.join("ablate_fill.csv"))
+    }
+}
+
+// ---------------------------------------------- hybrid-isolation ablation
+
+/// Result of the hybrid-vs-isolation ablation (the headline claim).
+#[derive(Debug, Clone)]
+pub struct HybridAblation {
+    /// (arm name, settled temp °C, time above threshold s, exec time s,
+    /// avg power W). Settled temp is the mean over the second half of the
+    /// run.
+    pub rows: Vec<(&'static str, f64, f64, f64, f64)>,
+    /// Threshold used for the time-above metric.
+    pub threshold_c: f64,
+}
+
+/// Runs hybrid vs fan-only vs DVFS-only on BT with a 50 %-capped fan.
+pub fn hybrid_isolation(scale: Scale) -> HybridAblation {
+    let threshold = 51.0;
+    let wl = WorkloadSpec::Npb { bench: NpbBenchmark::Bt, class: scale.npb_class() };
+    let scenarios = vec![
+        Scenario::new("hybrid")
+            .with_nodes(4)
+            .with_seed(0xAB1A7E)
+            .with_workload(wl.clone())
+            .with_fan(FanScheme::dynamic(Policy::MODERATE, 50))
+            .with_dvfs(DvfsScheme::tdvfs(Policy::MODERATE))
+            .with_max_time(scale.npb_time_limit_s()),
+        Scenario::new("fan-only")
+            .with_nodes(4)
+            .with_seed(0xAB1A7E)
+            .with_workload(wl.clone())
+            .with_fan(FanScheme::dynamic(Policy::MODERATE, 50))
+            .with_max_time(scale.npb_time_limit_s()),
+        Scenario::new("dvfs-only")
+            .with_nodes(4)
+            .with_seed(0xAB1A7E)
+            .with_workload(wl)
+            // A fixed weak fan: DVFS is the only adaptive mechanism.
+            .with_fan(FanScheme::Constant { duty: 25 })
+            .with_dvfs(DvfsScheme::tdvfs(Policy::MODERATE))
+            .with_max_time(scale.npb_time_limit_s()),
+    ];
+    let names = ["hybrid", "fan-only", "dvfs-only"];
+    let reports = run_scenarios_parallel(scenarios, 3);
+    let rows = names
+        .iter()
+        .zip(&reports)
+        .map(|(name, r)| {
+            let temp = &r.nodes[0].temp;
+            let above: f64 = temp
+                .samples()
+                .windows(2)
+                .filter(|w| w[0].value > threshold)
+                .map(|w| w[1].time_s - w[0].time_s)
+                .sum();
+            let settled = temp.summary_between(r.exec_time_s * 0.75, f64::INFINITY).mean;
+            (*name, settled, above, r.exec_time_s, r.avg_node_power_w())
+        })
+        .collect();
+    HybridAblation { rows, threshold_c: threshold }
+}
+
+impl Experiment for HybridAblation {
+    fn id(&self) -> &'static str {
+        "ablate-hybrid"
+    }
+
+    fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Ablation: coordinated control vs isolation (BT ×4, max duty 50 %)",
+            &["arm", "settled temp (°C)", "time > 51°C (s)", "exec time (s)", "avg power (W)"],
+        );
+        for (name, temp, above, exec, power) in &self.rows {
+            t.row(&[
+                name.to_string(),
+                format!("{temp:.2}"),
+                format!("{above:.1}"),
+                format!("{exec:.1}"),
+                format!("{power:.2}"),
+            ]);
+        }
+        t.render()
+    }
+
+    fn shape_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let get = |name: &str| {
+            *self.rows.iter().find(|(n, ..)| *n == name).expect("arm present")
+        };
+        let (_, hybrid_temp, _, hybrid_exec, _) = get("hybrid");
+        let (_, fan_temp, _, _, _) = get("fan-only");
+        let (_, _, _, dvfs_exec, _) = get("dvfs-only");
+        // Hybrid settles cooler than fan-only (DVFS backs the capped fan up
+        // once the fan saturates); measured over the final quarter where
+        // fan-only keeps drifting toward its hotter asymptote.
+        if hybrid_temp >= fan_temp - 0.5 {
+            v.push(format!(
+                "hybrid settled {hybrid_temp:.2}°C not below fan-only {fan_temp:.2}°C"
+            ));
+        }
+        // Hybrid finishes no slower than DVFS-only (the fan absorbs load
+        // that would otherwise cost frequency).
+        if hybrid_exec > dvfs_exec + 0.5 {
+            v.push(format!(
+                "hybrid exec {hybrid_exec:.1}s slower than dvfs-only {dvfs_exec:.1}s"
+            ));
+        }
+        v
+    }
+
+    fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        let mut w = CsvWriter::new();
+        let mut temp = TimeSeries::new("settled_temp", "°C");
+        let mut above = TimeSeries::new("time_above", "s");
+        let mut exec = TimeSeries::new("exec_time", "s");
+        for (i, (_, t, a, e, _)) in self.rows.iter().enumerate() {
+            temp.push(i as f64, *t);
+            above.push(i as f64, *a);
+            exec.push(i as f64, *e);
+        }
+        w.add(temp);
+        w.add(above);
+        w.add(exec);
+        w.write_to_file(dir.join("ablate_hybrid.csv"))
+    }
+}
+
+// --------------------------------------------- tDVFS hysteresis ablation
+
+/// Result of the hysteresis ablation.
+#[derive(Debug, Clone)]
+pub struct HysteresisAblation {
+    /// Transitions with the paper's confirmation rule.
+    pub confirmed_transitions: u64,
+    /// Transitions with a naive instantaneous threshold.
+    pub naive_transitions: u64,
+}
+
+/// Runs tDVFS with the paper's sustained-excess confirmation vs a naive
+/// 1-round threshold on bursty cpu-burn with a capped fan.
+pub fn tdvfs_hysteresis(scale: Scale) -> HysteresisAblation {
+    let mk = |name: &str, cfg: TdvfsConfig| {
+        Scenario::new(name)
+            .with_nodes(1)
+            .with_seed(0xAB1A7F)
+            .with_workload(WorkloadSpec::CpuBurn)
+            .with_fan(FanScheme::dynamic(Policy::MODERATE, 25))
+            .with_dvfs(DvfsScheme::Tdvfs { policy: Policy::MODERATE, config: cfg })
+            .with_max_time(scale.burn_duration_s())
+            .with_recording(false)
+    };
+    let confirmed = TdvfsConfig::default();
+    let naive = TdvfsConfig {
+        consecutive_rounds: 1,
+        hysteresis_c: 0.0,
+        settle_rounds: 0,
+        ..Default::default()
+    };
+    let reports = run_scenarios_parallel(vec![mk("confirmed", confirmed), mk("naive", naive)], 2);
+    HysteresisAblation {
+        confirmed_transitions: reports[0].total_freq_transitions(),
+        naive_transitions: reports[1].total_freq_transitions(),
+    }
+}
+
+impl Experiment for HysteresisAblation {
+    fn id(&self) -> &'static str {
+        "ablate-hysteresis"
+    }
+
+    fn render(&self) -> String {
+        format!(
+            "Ablation: tDVFS confirmation rule (cpu-burn, 25 %-capped fan)\n  \
+             confirmed (8 rounds + 1°C band): {} transitions\n  \
+             naive (instantaneous threshold): {} transitions\n",
+            self.confirmed_transitions, self.naive_transitions
+        )
+    }
+
+    fn shape_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if self.confirmed_transitions == 0 {
+            v.push("confirmed tDVFS never engaged".into());
+        }
+        if self.naive_transitions <= self.confirmed_transitions {
+            v.push(format!(
+                "naive threshold made {} transitions, not more than confirmed {}",
+                self.naive_transitions, self.confirmed_transitions
+            ));
+        }
+        v
+    }
+
+    fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        let mut w = CsvWriter::new();
+        let mut s = TimeSeries::new("transitions", "");
+        s.push(0.0, self.confirmed_transitions as f64);
+        s.push(1.0, self.naive_transitions as f64);
+        w.add(s);
+        w.write_to_file(dir.join("ablate_hysteresis.csv"))
+    }
+}
+
+// ------------------------------------------- feedforward extension study
+
+/// Result of the feedforward (future-work) study.
+#[derive(Debug, Clone)]
+pub struct FeedforwardStudy {
+    /// Mean temperature over the 60 s after the load step, reactive-only.
+    pub reactive_mean_c: f64,
+    /// Same window with utilization feedforward.
+    pub feedforward_mean_c: f64,
+    /// Peak temperature after the step, reactive-only.
+    pub reactive_peak_c: f64,
+    /// Peak with feedforward.
+    pub feedforward_peak_c: f64,
+    /// Seconds after the step until the commanded duty first rose 15 points
+    /// above its pre-step level, per arm (`None` = never).
+    pub reactive_duty_lag_s: Option<f64>,
+    /// Feedforward arm's duty lag.
+    pub feedforward_duty_lag_s: Option<f64>,
+}
+
+/// Runs the §5 future-work study: a hard idle→burn load step at t = 60 s,
+/// dynamic fan control with and without utilization feedforward.
+pub fn feedforward(_scale: Scale) -> FeedforwardStudy {
+    use unitherm_workload::Segment;
+    let step_at = 60.0;
+    let script = vec![Segment::new(step_at, 0.05), Segment::new(120.0, 1.0)];
+    let mk = |name: &str, fan: FanScheme| {
+        Scenario::new(name)
+            .with_nodes(1)
+            .with_seed(0xFF_5EED)
+            .with_workload(WorkloadSpec::Script(script.clone()))
+            .with_fan(fan)
+            .with_max_time(200.0)
+    };
+    let reports = run_scenarios_parallel(
+        vec![
+            mk("reactive", FanScheme::dynamic(Policy::MODERATE, 100)),
+            mk("feedforward", FanScheme::dynamic_feedforward(Policy::MODERATE, 100)),
+        ],
+        2,
+    );
+    let post = |r: &unitherm_cluster::RunReport| {
+        let temp = &r.nodes[0].temp;
+        let window = temp.summary_between(step_at, step_at + 60.0);
+        // The idle-phase controller may already hold a nonzero duty
+        // (sensor-noise ratchet), so measure the *response*: time until the
+        // duty rises 15 points above its pre-step level.
+        let pre_step = r.nodes[0].duty.value_at(step_at).unwrap_or(1.0);
+        let lag = r.nodes[0]
+            .duty
+            .samples()
+            .iter()
+            .find(|s| s.time_s >= step_at && s.value >= pre_step + 15.0)
+            .map(|s| s.time_s - step_at);
+        (window.mean, window.max, lag)
+    };
+    let (r_mean, r_peak, r_lag) = post(&reports[0]);
+    let (f_mean, f_peak, f_lag) = post(&reports[1]);
+    FeedforwardStudy {
+        reactive_mean_c: r_mean,
+        feedforward_mean_c: f_mean,
+        reactive_peak_c: r_peak,
+        feedforward_peak_c: f_peak,
+        reactive_duty_lag_s: r_lag,
+        feedforward_duty_lag_s: f_lag,
+    }
+}
+
+impl Experiment for FeedforwardStudy {
+    fn id(&self) -> &'static str {
+        "feedforward"
+    }
+
+    fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Future work (§5): utilization feedforward on an idle→burn step",
+            &["arm", "post-step mean (°C)", "post-step peak (°C)", "duty +15 pts after (s)"],
+        );
+        let lag = |l: Option<f64>| l.map(|v| format!("{v:.1}")).unwrap_or_else(|| "never".into());
+        t.row(&[
+            "reactive".into(),
+            format!("{:.2}", self.reactive_mean_c),
+            format!("{:.2}", self.reactive_peak_c),
+            lag(self.reactive_duty_lag_s),
+        ]);
+        t.row(&[
+            "feedforward".into(),
+            format!("{:.2}", self.feedforward_mean_c),
+            format!("{:.2}", self.feedforward_peak_c),
+            lag(self.feedforward_duty_lag_s),
+        ]);
+        t.render()
+    }
+
+    fn shape_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        // The feedforward fan engages sooner...
+        match (self.feedforward_duty_lag_s, self.reactive_duty_lag_s) {
+            (Some(f), Some(r)) => {
+                if f >= r {
+                    v.push(format!("feedforward duty lag {f:.1}s not below reactive {r:.1}s"));
+                }
+            }
+            (None, _) => v.push("feedforward arm never engaged the fan".into()),
+            (Some(_), None) => {} // reactive never engaged: even stronger win
+        }
+        // ...and the post-step window is no hotter (usually slightly
+        // cooler; the earlier actuation mostly buys latency, not degrees,
+        // because the die's fast RC jump is fan-independent).
+        if self.feedforward_mean_c > self.reactive_mean_c + 0.05 {
+            v.push(format!(
+                "feedforward post-step mean {:.2}°C above reactive {:.2}°C",
+                self.feedforward_mean_c, self.reactive_mean_c
+            ));
+        }
+        // Peak never worse.
+        if self.feedforward_peak_c > self.reactive_peak_c + 0.3 {
+            v.push(format!(
+                "feedforward peak {:.2}°C above reactive {:.2}°C",
+                self.feedforward_peak_c, self.reactive_peak_c
+            ));
+        }
+        v
+    }
+
+    fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        let mut w = CsvWriter::new();
+        let mut mean = TimeSeries::new("post_step_mean", "°C");
+        mean.push(0.0, self.reactive_mean_c);
+        mean.push(1.0, self.feedforward_mean_c);
+        let mut peak = TimeSeries::new("post_step_peak", "°C");
+        peak.push(0.0, self.reactive_peak_c);
+        peak.push(1.0, self.feedforward_peak_c);
+        w.add(mean);
+        w.add(peak);
+        w.write_to_file(dir.join("feedforward.csv"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_ablation_shape() {
+        let r = window_levels(Scale::Fast);
+        assert!(r.shape_violations().is_empty(), "{}\n{:?}", r.render(), r.shape_violations());
+    }
+
+    #[test]
+    fn l1_size_ablation_shape() {
+        let r = l1_size(Scale::Fast);
+        assert!(r.shape_violations().is_empty(), "{}\n{:?}", r.render(), r.shape_violations());
+    }
+
+    #[test]
+    fn fill_ablation_shape() {
+        let r = fill_rule(Scale::Fast);
+        assert!(r.shape_violations().is_empty(), "{}\n{:?}", r.render(), r.shape_violations());
+    }
+
+    #[test]
+    fn hybrid_ablation_shape() {
+        let r = hybrid_isolation(Scale::Fast);
+        assert!(r.shape_violations().is_empty(), "{}\n{:?}", r.render(), r.shape_violations());
+    }
+
+    #[test]
+    fn hysteresis_ablation_shape() {
+        let r = tdvfs_hysteresis(Scale::Fast);
+        assert!(r.shape_violations().is_empty(), "{}\n{:?}", r.render(), r.shape_violations());
+    }
+
+    #[test]
+    fn feedforward_study_shape() {
+        let r = feedforward(Scale::Fast);
+        assert!(r.shape_violations().is_empty(), "{}\n{:?}", r.render(), r.shape_violations());
+    }
+}

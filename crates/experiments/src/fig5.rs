@@ -1,0 +1,164 @@
+//! Figure 5: dynamic fan control under `P_p ∈ {75, 50, 25}` on cpu-burn.
+//!
+//! The paper runs cpu-burn for about five minutes under three policies and
+//! reports (a) temperature and fan-speed traces, (b) average PWM duty of
+//! 36 % / 53 % / 70 % for `P_p` = 75 / 50 / 25, and (c) that the controller
+//! responds to sudden and gradual changes but not jitter.
+//!
+//! Shape criteria: smaller `P_p` ⇒ strictly higher average duty and strictly
+//! lower average temperature; the fan must track load bursts (duty range is
+//! wide); jitter alone must not saturate the controller.
+
+use std::path::Path;
+
+use unitherm_cluster::{run_scenarios_parallel, FanScheme, RunReport, Scenario, WorkloadSpec};
+use unitherm_core::control_array::Policy;
+use unitherm_metrics::{AsciiPlot, CsvWriter};
+
+use crate::{Experiment, Scale};
+
+/// One policy arm of Figure 5.
+#[derive(Debug, Clone)]
+pub struct Fig5Arm {
+    /// The policy value (75, 50, 25).
+    pub pp: u32,
+    /// Full run report (temperature and duty traces inside).
+    pub report: RunReport,
+}
+
+/// Figure 5 result: one arm per policy, same workload seed across arms.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// Arms ordered as the paper presents them: P75, P50, P25.
+    pub arms: Vec<Fig5Arm>,
+}
+
+/// Regenerates Figure 5.
+pub fn run(scale: Scale) -> Fig5Result {
+    let pps = [75u32, 50, 25];
+    let scenarios: Vec<Scenario> = pps
+        .iter()
+        .map(|&pp| {
+            Scenario::new(format!("fig5-p{pp}"))
+                .with_nodes(1)
+                .with_seed(0xF16_5) // identical burn pattern across arms
+                .with_workload(WorkloadSpec::CpuBurn)
+                .with_fan(FanScheme::dynamic(Policy::new(pp).expect("valid"), 100))
+                .with_max_time(scale.burn_duration_s())
+        })
+        .collect();
+    let reports = run_scenarios_parallel(scenarios, 3);
+    Fig5Result {
+        arms: pps.iter().zip(reports).map(|(&pp, report)| Fig5Arm { pp, report }).collect(),
+    }
+}
+
+impl Fig5Result {
+    /// Average commanded duty per arm, ordered as `arms`.
+    pub fn avg_duties(&self) -> Vec<f64> {
+        self.arms.iter().map(|a| a.report.avg_duty_pct()).collect()
+    }
+
+    /// Average temperature per arm, ordered as `arms`.
+    pub fn avg_temps(&self) -> Vec<f64> {
+        self.arms.iter().map(|a| a.report.avg_temp_c()).collect()
+    }
+}
+
+impl Experiment for Fig5Result {
+    fn id(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn render(&self) -> String {
+        let mut out =
+            String::from("Figure 5: dynamic fan control under P_p = 75 / 50 / 25 (cpu-burn)\n");
+        for arm in &self.arms {
+            let n = &arm.report.nodes[0];
+            out.push_str(&format!(
+                "\n-- P_p = {} --   avg duty {:.1}%   avg temp {:.2}°C\n",
+                arm.pp,
+                n.duty_summary.mean,
+                n.temp_summary.mean
+            ));
+            out.push_str(&AsciiPlot::new("temperature (top) / fan duty (bottom)")
+                .size(72, 10)
+                .add(&n.temp)
+                .render());
+            out.push_str(&AsciiPlot::new("").size(72, 8).y_range(0.0, 100.0).add(&n.duty).render());
+        }
+        out.push_str(&format!(
+            "\npaper avg PWM duty: P75=36 P50=53 P25=70; reproduced: P75={:.0} P50={:.0} P25={:.0}\n",
+            self.avg_duties()[0], self.avg_duties()[1], self.avg_duties()[2]
+        ));
+        out
+    }
+
+    fn shape_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let duties = self.avg_duties(); // [P75, P50, P25]
+        let temps = self.avg_temps();
+        if !(duties[2] > duties[1] && duties[1] > duties[0]) {
+            v.push(format!(
+                "avg duty not ordered P25 > P50 > P75: {:.1} / {:.1} / {:.1}",
+                duties[2], duties[1], duties[0]
+            ));
+        }
+        if !(temps[2] < temps[1] && temps[1] < temps[0]) {
+            v.push(format!(
+                "avg temp not ordered P25 < P50 < P75: {:.2} / {:.2} / {:.2}",
+                temps[2], temps[1], temps[0]
+            ));
+        }
+        // The controller must actually exercise the fan (respond to sudden
+        // bursts): each arm's duty trace spans a wide range.
+        for arm in &self.arms {
+            let span = arm.report.nodes[0].duty_summary;
+            if span.max - span.min < 20.0 {
+                v.push(format!(
+                    "P{} duty range only {:.0}–{:.0}%",
+                    arm.pp, span.min, span.max
+                ));
+            }
+        }
+        v
+    }
+
+    fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        let mut w = CsvWriter::new();
+        for arm in &self.arms {
+            let n = &arm.report.nodes[0];
+            let mut temp = n.temp.clone();
+            temp.name = format!("temp_p{}", arm.pp);
+            let mut duty = n.duty.clone();
+            duty.name = format!("duty_p{}", arm.pp);
+            w.add(temp);
+            w.add(duty);
+        }
+        w.write_to_file(dir.join("fig5.csv"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_holds() {
+        let r = run(Scale::Fast);
+        assert!(r.shape_violations().is_empty(), "{:?}", r.shape_violations());
+    }
+
+    #[test]
+    fn three_arms_in_paper_order() {
+        let r = run(Scale::Fast);
+        let pps: Vec<u32> = r.arms.iter().map(|a| a.pp).collect();
+        assert_eq!(pps, vec![75, 50, 25]);
+    }
+
+    #[test]
+    fn render_reports_paper_reference() {
+        let s = run(Scale::Fast).render();
+        assert!(s.contains("paper avg PWM duty"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Figure 9: tDVFS vs. CPUSPEED, both over our dynamic fan control.
+//!
+//! Setup per the paper: NPB BT on 4 nodes, dynamic fan with `P_p = 50`
+//! capped at 25 % duty — deliberately too weak to hold the threshold, so the
+//! DVFS layer must act. The paper observes that temperature *continues to
+//! increase* under CPUSPEED (which watches utilization, not temperature)
+//! while tDVFS *stabilizes* it.
+
+use std::path::Path;
+
+use unitherm_cluster::{run_scenarios_parallel, DvfsScheme, FanScheme, RunReport, Scenario, WorkloadSpec};
+use unitherm_core::control_array::Policy;
+use unitherm_metrics::{AsciiPlot, CsvWriter};
+use unitherm_workload::NpbBenchmark;
+
+use crate::{Experiment, Scale};
+
+/// Figure 9 result.
+#[derive(Debug, Clone)]
+pub struct Fig9Result {
+    /// The CPUSPEED run.
+    pub cpuspeed: RunReport,
+    /// The tDVFS run.
+    pub tdvfs: RunReport,
+    /// Threshold used by tDVFS.
+    pub threshold_c: f64,
+}
+
+/// Regenerates Figure 9.
+pub fn run(scale: Scale) -> Fig9Result {
+    let base = |name: &str| {
+        Scenario::new(name)
+            .with_nodes(4)
+            .with_seed(0xF16_9)
+            .with_workload(WorkloadSpec::Npb { bench: NpbBenchmark::Bt, class: scale.npb_class() })
+            .with_fan(FanScheme::dynamic(Policy::MODERATE, 25))
+            .with_max_time(scale.npb_time_limit_s())
+    };
+    let scenarios = vec![
+        base("fig9-cpuspeed").with_dvfs(DvfsScheme::cpuspeed()),
+        base("fig9-tdvfs").with_dvfs(DvfsScheme::tdvfs(Policy::MODERATE)),
+    ];
+    let mut reports = run_scenarios_parallel(scenarios, 2);
+    let tdvfs = reports.pop().expect("two reports");
+    let cpuspeed = reports.pop().expect("two reports");
+    Fig9Result { cpuspeed, tdvfs, threshold_c: 51.0 }
+}
+
+impl Fig9Result {
+    /// Mean node-0 temperature over the final quarter of each run.
+    pub fn final_temps(&self) -> (f64, f64) {
+        let tail = |r: &RunReport| {
+            r.nodes[0].temp.summary_between(r.exec_time_s * 0.75, f64::INFINITY).mean
+        };
+        (tail(&self.cpuspeed), tail(&self.tdvfs))
+    }
+
+    /// Late-run warming slope of the CPUSPEED arm, °C between the third and
+    /// fourth quarter means.
+    pub fn cpuspeed_late_rise(&self) -> f64 {
+        let t = &self.cpuspeed.nodes[0].temp;
+        let e = self.cpuspeed.exec_time_s;
+        t.summary_between(0.75 * e, e).mean - t.summary_between(0.5 * e, 0.75 * e).mean
+    }
+
+    /// The same slope for the tDVFS arm.
+    pub fn tdvfs_late_rise(&self) -> f64 {
+        let t = &self.tdvfs.nodes[0].temp;
+        let e = self.tdvfs.exec_time_s;
+        t.summary_between(0.75 * e, e).mean - t.summary_between(0.5 * e, 0.75 * e).mean
+    }
+}
+
+impl Experiment for Fig9Result {
+    fn id(&self) -> &'static str {
+        "fig9"
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::from(
+            "Figure 9: tDVFS vs CPUSPEED under a 25 %-capped dynamic fan (BT ×4)\n",
+        );
+        let mut cs = self.cpuspeed.nodes[0].temp.clone();
+        cs.name = "CPUSPEED".into();
+        let mut td = self.tdvfs.nodes[0].temp.clone();
+        td.name = "tDVFS".into();
+        out.push_str(&AsciiPlot::new("  node-0 temperature (°C)").size(72, 16).add(&cs).add(&td).render());
+        let (c, t) = self.final_temps();
+        out.push_str(&format!(
+            "  final-quarter temp: CPUSPEED {c:.2}°C (late rise {:+.2}°C), tDVFS {t:.2}°C (late rise {:+.2}°C)\n",
+            self.cpuspeed_late_rise(),
+            self.tdvfs_late_rise()
+        ));
+        out.push_str(&format!(
+            "  freq transitions: CPUSPEED {} vs tDVFS {}\n",
+            self.cpuspeed.total_freq_transitions(),
+            self.tdvfs.total_freq_transitions()
+        ));
+        out
+    }
+
+    fn shape_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let (cs_final, td_final) = self.final_temps();
+        // tDVFS ends cooler.
+        if td_final >= cs_final {
+            v.push(format!("tDVFS final {td_final:.2}°C not below CPUSPEED {cs_final:.2}°C"));
+        }
+        // tDVFS stabilizes near the threshold...
+        if td_final > self.threshold_c + 5.0 {
+            v.push(format!("tDVFS final {td_final:.2}°C far above threshold"));
+        }
+        // ...while CPUSPEED overshoots it.
+        if cs_final < self.threshold_c + 2.0 {
+            v.push(format!(
+                "CPUSPEED final {cs_final:.2}°C did not overshoot the threshold"
+            ));
+        }
+        // CPUSPEED still warming late in the run; tDVFS flat or cooling.
+        if self.tdvfs_late_rise() > 1.0 {
+            v.push(format!("tDVFS still rising late: {:+.2}°C", self.tdvfs_late_rise()));
+        }
+        if self.cpuspeed_late_rise() < self.tdvfs_late_rise() - 0.05 {
+            v.push(format!(
+                "CPUSPEED late rise {:+.2}°C not above tDVFS {:+.2}°C",
+                self.cpuspeed_late_rise(),
+                self.tdvfs_late_rise()
+            ));
+        }
+        // Transition counts: CPUSPEED thrashes, tDVFS does not.
+        let cs_tr = self.cpuspeed.total_freq_transitions();
+        let td_tr = self.tdvfs.total_freq_transitions();
+        if td_tr * 5 > cs_tr {
+            v.push(format!("tDVFS transitions {td_tr} not ≪ CPUSPEED {cs_tr}"));
+        }
+        v
+    }
+
+    fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        let mut w = CsvWriter::new();
+        let mut cs = self.cpuspeed.nodes[0].temp.clone();
+        cs.name = "temp_cpuspeed".into();
+        let mut csf = self.cpuspeed.nodes[0].freq.clone();
+        csf.name = "freq_cpuspeed".into();
+        let mut td = self.tdvfs.nodes[0].temp.clone();
+        td.name = "temp_tdvfs".into();
+        let mut tdf = self.tdvfs.nodes[0].freq.clone();
+        tdf.name = "freq_tdvfs".into();
+        w.add(cs);
+        w.add(csf);
+        w.add(td);
+        w.add(tdf);
+        w.write_to_file(dir.join("fig9.csv"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_holds() {
+        let r = run(Scale::Fast);
+        assert!(r.shape_violations().is_empty(), "{:?}", r.shape_violations());
+    }
+
+    #[test]
+    fn both_arms_complete() {
+        let r = run(Scale::Fast);
+        assert!(r.cpuspeed.completed);
+        assert!(r.tdvfs.completed);
+    }
+}

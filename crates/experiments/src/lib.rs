@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! Experiment runners regenerating every table and figure of the paper's
+//! evaluation (§4), plus the ablations listed in `DESIGN.md` §5.
+//!
+//! Each `figN` / `table1` module exposes:
+//!
+//! * `run(scale)` — executes the experiment deterministically and returns a
+//!   structured result;
+//! * `Result::render()` — a terminal rendering (ASCII plot / text table)
+//!   matching the paper's presentation;
+//! * `Result::shape_violations()` — the experiment's *shape acceptance
+//!   criteria* (who wins, orderings, crossovers — per the reproduction
+//!   contract, absolute numbers are not expected to match the authors'
+//!   testbed). An empty list means the reproduced result has the paper's
+//!   shape. Integration tests assert emptiness;
+//! * `Result::write_csv(dir)` — raw traces for external re-plotting.
+//!
+//! [`scale::Scale`] switches between `Full` (paper-sized runs: NPB class B,
+//! five-minute burns) and `Fast` (class A, shorter burns) so the same code
+//! serves the `repro` binary, the integration tests and the Criterion
+//! benches.
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig10;
+pub mod fig2;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod rack;
+pub mod scale;
+pub mod scenario_file;
+pub mod straggler;
+pub mod scaling;
+pub mod table1;
+
+pub use scale::Scale;
+
+/// Everything an experiment result can do, for uniform driving from the
+/// `repro` binary.
+pub trait Experiment {
+    /// Experiment identifier (e.g. `"fig5"`).
+    fn id(&self) -> &'static str;
+    /// Terminal rendering.
+    fn render(&self) -> String;
+    /// Violated shape criteria (empty = reproduction has the paper's shape).
+    fn shape_violations(&self) -> Vec<String>;
+    /// Writes raw traces as CSV under `dir`.
+    fn write_csv(&self, dir: &std::path::Path) -> std::io::Result<()>;
+}

@@ -1,0 +1,73 @@
+//! Experiment scale selection.
+
+use unitherm_workload::NpbClass;
+
+/// How big to run each experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-sized runs: NPB class B (~220 s for BT.4), five-minute burns.
+    Full,
+    /// Reduced runs for tests and benches: NPB class A (~55 s), short burns.
+    Fast,
+}
+
+impl Scale {
+    /// The NPB problem class to use.
+    ///
+    /// Both scales use class B: the thermal dynamics (sink time constant
+    /// ≈ 100 s) need the paper-length ~220 s runs for temperatures to cross
+    /// the tDVFS threshold at all; a class-A run ends before the platform
+    /// warms up. The simulation is cheap enough that tests afford it.
+    pub fn npb_class(self) -> NpbClass {
+        match self {
+            Scale::Full | Scale::Fast => NpbClass::B,
+        }
+    }
+
+    /// Duration for unbounded (cpu-burn) experiments, seconds.
+    pub fn burn_duration_s(self) -> f64 {
+        match self {
+            Scale::Full => 300.0, // "Each run lasts about five minutes" (§4.2)
+            Scale::Fast => 200.0,
+        }
+    }
+
+    /// Generous wall-clock ceiling for NPB jobs, seconds.
+    pub fn npb_time_limit_s(self) -> f64 {
+        match self {
+            Scale::Full | Scale::Fast => 600.0,
+        }
+    }
+
+    /// Parses from a `--fast` flag.
+    pub fn from_fast_flag(fast: bool) -> Self {
+        if fast {
+            Scale::Fast
+        } else {
+            Scale::Full
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_scales_use_class_b() {
+        assert_eq!(Scale::Full.npb_class(), NpbClass::B);
+        assert_eq!(Scale::Fast.npb_class(), NpbClass::B);
+    }
+
+    #[test]
+    fn durations_ordered() {
+        assert!(Scale::Full.burn_duration_s() > Scale::Fast.burn_duration_s());
+        assert!(Scale::Full.npb_time_limit_s() >= Scale::Fast.npb_time_limit_s());
+    }
+
+    #[test]
+    fn flag_parsing() {
+        assert_eq!(Scale::from_fast_flag(true), Scale::Fast);
+        assert_eq!(Scale::from_fast_flag(false), Scale::Full);
+    }
+}

@@ -1,0 +1,156 @@
+//! JSON scenario files: experiments as data.
+//!
+//! Every scenario component serializes, so downstream users can describe a
+//! run — workload, control schemes, faults, rack coupling, hardware
+//! constants — as a JSON document and execute it with
+//! `repro run-scenario <file>`, no Rust required. See
+//! `examples/scenarios/` for ready-made files.
+
+use std::path::Path;
+
+use unitherm_cluster::{RunReport, Scenario, Simulation};
+use unitherm_metrics::AsciiPlot;
+
+/// Errors loading or validating a scenario file.
+#[derive(Debug)]
+pub enum ScenarioFileError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The JSON did not parse into a [`Scenario`].
+    Parse(serde_json::Error),
+}
+
+impl std::fmt::Display for ScenarioFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioFileError::Io(e) => write!(f, "cannot read scenario file: {e}"),
+            ScenarioFileError::Parse(e) => write!(f, "invalid scenario JSON: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioFileError {}
+
+/// Loads a scenario from a JSON file.
+///
+/// The scenario is validated (panicking validation, as everywhere in the
+/// workspace: a bad scenario is a configuration bug the caller must fix).
+pub fn load(path: impl AsRef<Path>) -> Result<Scenario, ScenarioFileError> {
+    let text = std::fs::read_to_string(path).map_err(ScenarioFileError::Io)?;
+    let scenario: Scenario = serde_json::from_str(&text).map_err(ScenarioFileError::Parse)?;
+    scenario.validate();
+    Ok(scenario)
+}
+
+/// Serializes a scenario to pretty JSON (the round-trip counterpart of
+/// [`load`]; useful for generating templates).
+pub fn to_json(scenario: &Scenario) -> String {
+    serde_json::to_string_pretty(scenario).expect("scenarios always serialize")
+}
+
+/// Runs a loaded scenario and renders a human-readable report: summary
+/// line, per-node statistics, temperature plot.
+pub fn run_and_render(scenario: Scenario) -> (RunReport, String) {
+    let report = Simulation::new(scenario).run();
+    let mut out = String::new();
+    out.push_str(&report.summary_line());
+    out.push('\n');
+    if let Some(node) = report.nodes.first() {
+        if !node.temp.is_empty() {
+            out.push_str(
+                &AsciiPlot::new("node-0 temperature (°C)").size(72, 12).add(&node.temp).render(),
+            );
+        }
+    }
+    if let Some(air) = &report.rack_air {
+        if !air.is_empty() {
+            out.push_str(&AsciiPlot::new("rack intake air (°C)").size(72, 8).add(air).render());
+        }
+    }
+    for (i, n) in report.nodes.iter().enumerate() {
+        out.push_str(&format!(
+            "  node{i}: avgT={:.2}°C maxT={:.2}°C duty={:.1}% power={:.2}W freqChg={} throttles={} failsafe={}\n",
+            n.temp_summary.mean,
+            n.temp_summary.max,
+            n.duty_summary.mean,
+            n.avg_wall_power_w,
+            n.freq_transitions,
+            n.throttle_events,
+            n.failsafe_engagements,
+        ));
+    }
+    (report, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unitherm_cluster::{DvfsScheme, FanScheme, WorkloadSpec};
+    use unitherm_core::control_array::Policy;
+
+    fn sample() -> Scenario {
+        Scenario::new("json-roundtrip")
+            .with_nodes(2)
+            .with_seed(99)
+            .with_workload(WorkloadSpec::CpuBurn)
+            .with_fan(FanScheme::dynamic(Policy::MODERATE, 60))
+            .with_dvfs(DvfsScheme::tdvfs(Policy::MODERATE))
+            .with_max_time(30.0)
+            .with_failsafe(unitherm_core::failsafe::FailsafeConfig::default())
+            .with_rack(unitherm_cluster::rack::RackConfig::default())
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_scenario() {
+        let s = sample();
+        let json = to_json(&s);
+        let dir = std::env::temp_dir().join("unitherm_scn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.json");
+        std::fs::write(&path, &json).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.name, s.name);
+        assert_eq!(loaded.nodes, s.nodes);
+        assert_eq!(loaded.fan, s.fan);
+        assert_eq!(loaded.dvfs, s.dvfs);
+        assert_eq!(loaded.workload, s.workload);
+        assert_eq!(loaded.rack, s.rack);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn roundtripped_scenario_runs_identically() {
+        let direct = Simulation::new(sample()).run();
+        let json = to_json(&sample());
+        let reparsed: Scenario = serde_json::from_str(&json).unwrap();
+        let via_json = Simulation::new(reparsed).run();
+        assert_eq!(direct.avg_temp_c(), via_json.avg_temp_c());
+        assert_eq!(direct.avg_node_power_w(), via_json.avg_node_power_w());
+    }
+
+    #[test]
+    fn run_and_render_produces_report_text() {
+        let (report, text) = run_and_render(sample());
+        assert_eq!(report.nodes.len(), 2);
+        assert!(text.contains("node0:"));
+        assert!(text.contains("rack intake air"));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let err = load("/nonexistent/scenario.json").unwrap_err();
+        assert!(matches!(err, ScenarioFileError::Io(_)));
+        assert!(err.to_string().contains("cannot read"));
+    }
+
+    #[test]
+    fn bad_json_errors() {
+        let dir = std::env::temp_dir().join("unitherm_scn_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(matches!(err, ScenarioFileError::Parse(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,238 @@
+//! Table 1: performance and power of BT under CPUSPEED vs tDVFS across fan
+//! capabilities.
+//!
+//! The paper's table (reproduced for reference):
+//!
+//! | max PWM | CPUSPEED #chg | time | power | PDP | tDVFS #chg | time | power | PDP |
+//! |---------|---------------|------|-------|-----|------------|------|-------|-----|
+//! | 75 %    | 101 | 219 | 99.78 | 21853 | 2 | 219 | 97.93 | 21447 |
+//! | 50 %    | 122 | 222 | 99.30 | 22044 | 2 | 233 | 94.19 | 21946 |
+//! | 25 %    | 139 | 223 | 100.80| 22479 | 3 | 234 | 92.78 | 21710 |
+//!
+//! Shape criteria: tDVFS makes far fewer frequency changes; tDVFS draws less
+//! average power at every cap; tDVFS extends execution time at the capped
+//! settings (50/25 %) but matches at 75 %; tDVFS wins on power-delay
+//! product.
+
+use std::path::Path;
+
+use unitherm_cluster::{run_scenarios_parallel, DvfsScheme, FanScheme, RunReport, Scenario, WorkloadSpec};
+use unitherm_core::control_array::Policy;
+use unitherm_metrics::{CsvWriter, TextTable, TimeSeries};
+use unitherm_workload::NpbBenchmark;
+
+use crate::{Experiment, Scale};
+
+/// One row of Table 1 (one governor at one fan cap).
+#[derive(Debug, Clone)]
+pub struct Table1Cell {
+    /// Max allowed PWM duty, percent.
+    pub max_pwm: u8,
+    /// Governor name (`"CPUSPEED"` or `"tDVFS"`).
+    pub governor: &'static str,
+    /// Cluster-total frequency changes.
+    pub freq_changes: u64,
+    /// Execution time, seconds.
+    pub exec_time_s: f64,
+    /// Average per-node wall power, watts.
+    pub avg_power_w: f64,
+    /// Power-delay product, watt-seconds.
+    pub pdp: f64,
+}
+
+/// Table 1 result.
+#[derive(Debug, Clone)]
+pub struct Table1Result {
+    /// All six cells: caps {75, 50, 25} × {CPUSPEED, tDVFS}.
+    pub cells: Vec<Table1Cell>,
+    /// Full reports (same order as `cells`) for trace inspection.
+    pub reports: Vec<RunReport>,
+}
+
+/// Regenerates Table 1.
+pub fn run(scale: Scale) -> Table1Result {
+    let caps = [75u8, 50, 25];
+    let mut scenarios = Vec::new();
+    let mut meta = Vec::new();
+    for &cap in &caps {
+        for governor in ["CPUSPEED", "tDVFS"] {
+            let dvfs = match governor {
+                "CPUSPEED" => DvfsScheme::cpuspeed(),
+                _ => DvfsScheme::tdvfs(Policy::MODERATE),
+            };
+            scenarios.push(
+                Scenario::new(format!("table1-{governor}-max{cap}"))
+                    .with_nodes(4)
+                    .with_seed(0x7AB1_E1)
+                    .with_workload(WorkloadSpec::Npb {
+                        bench: NpbBenchmark::Bt,
+                        class: scale.npb_class(),
+                    })
+                    .with_fan(FanScheme::dynamic(Policy::MODERATE, cap))
+                    .with_dvfs(dvfs)
+                    .with_max_time(scale.npb_time_limit_s()),
+            );
+            meta.push((cap, governor));
+        }
+    }
+    let reports = run_scenarios_parallel(scenarios, 6);
+    let cells = meta
+        .iter()
+        .zip(&reports)
+        .map(|(&(max_pwm, governor), r)| Table1Cell {
+            max_pwm,
+            governor: if governor == "CPUSPEED" { "CPUSPEED" } else { "tDVFS" },
+            freq_changes: r.total_freq_transitions(),
+            exec_time_s: r.exec_time_s,
+            avg_power_w: r.avg_node_power_w(),
+            pdp: r.power_delay_product(),
+        })
+        .collect();
+    Table1Result { cells, reports }
+}
+
+impl Table1Result {
+    /// The cell for a governor at a cap.
+    pub fn cell(&self, governor: &str, max_pwm: u8) -> &Table1Cell {
+        self.cells
+            .iter()
+            .find(|c| c.governor == governor && c.max_pwm == max_pwm)
+            .expect("cell exists")
+    }
+}
+
+impl Experiment for Table1Result {
+    fn id(&self) -> &'static str {
+        "table1"
+    }
+
+    fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Table 1: BT under CPUSPEED vs tDVFS (dynamic fan, P_p = 50)",
+            &["max PWM", "governor", "# freq changes", "exec time (s)", "avg power (W)", "PDP (W·s)"],
+        );
+        for c in &self.cells {
+            t.row(&[
+                format!("{}%", c.max_pwm),
+                c.governor.to_string(),
+                c.freq_changes.to_string(),
+                format!("{:.1}", c.exec_time_s),
+                format!("{:.2}", c.avg_power_w),
+                format!("{:.0}", c.pdp),
+            ]);
+        }
+        let mut out = t.render();
+        out.push_str(
+            "paper:  CPUSPEED 101/122/139 changes, 219-223 s, 99.3-100.8 W;\n        tDVFS 2/2/3 changes, 219-234 s, 92.8-97.9 W, lower PDP at every cap\n",
+        );
+        out
+    }
+
+    fn shape_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        for &cap in &[75u8, 50, 25] {
+            let cs = self.cell("CPUSPEED", cap);
+            let td = self.cell("tDVFS", cap);
+            // tDVFS makes far fewer transitions (paper: up to 98 % fewer).
+            if td.freq_changes * 5 > cs.freq_changes {
+                v.push(format!(
+                    "cap {cap}%: tDVFS changes {} not ≪ CPUSPEED {}",
+                    td.freq_changes, cs.freq_changes
+                ));
+            }
+            // tDVFS uses less average power. At the 75 % cap the threshold
+            // is barely exceeded and both governors run near full speed, so
+            // allow a 1 % tolerance there; at the capped settings the win
+            // must be strict.
+            let power_slack = if cap == 75 { cs.avg_power_w * 0.01 } else { 0.0 };
+            if td.avg_power_w >= cs.avg_power_w + power_slack {
+                v.push(format!(
+                    "cap {cap}%: tDVFS power {:.2}W not below CPUSPEED {:.2}W",
+                    td.avg_power_w, cs.avg_power_w
+                ));
+            }
+            // tDVFS wins on power-delay product (same tolerance at 75 %).
+            let pdp_slack = if cap == 75 { cs.pdp * 0.01 } else { 0.0 };
+            if td.pdp >= cs.pdp + pdp_slack {
+                v.push(format!(
+                    "cap {cap}%: tDVFS PDP {:.0} not below CPUSPEED {:.0}",
+                    td.pdp, cs.pdp
+                ));
+            }
+        }
+        // At 75 % the fan holds the threshold, so tDVFS costs (almost) no
+        // time; at 25 % it extends execution measurably.
+        let t75 = self.cell("tDVFS", 75).exec_time_s / self.cell("CPUSPEED", 75).exec_time_s;
+        if !(0.97..=1.04).contains(&t75) {
+            v.push(format!("cap 75%: tDVFS/CPUSPEED time ratio {t75:.3} not ≈ 1"));
+        }
+        let t25 = self.cell("tDVFS", 25).exec_time_s / self.cell("CPUSPEED", 25).exec_time_s;
+        if t25 <= 1.0 {
+            v.push(format!("cap 25%: tDVFS did not extend execution (ratio {t25:.3})"));
+        }
+        if t25 > 1.15 {
+            v.push(format!("cap 25%: tDVFS extension {t25:.3} too large (paper ≈ 1.05)"));
+        }
+        // CPUSPEED transition counts grow as the fan weakens (paper:
+        // 101 → 122 → 139)? The mechanism there is marginal; we only require
+        // CPUSPEED to thrash (> 30 changes) at every cap.
+        for &cap in &[75u8, 50, 25] {
+            let cs = self.cell("CPUSPEED", cap);
+            if cs.freq_changes < 30 {
+                v.push(format!(
+                    "cap {cap}%: CPUSPEED only made {} changes — should thrash",
+                    cs.freq_changes
+                ));
+            }
+        }
+        v
+    }
+
+    fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        // The table itself as CSV (one row per cell, numeric columns keyed
+        // by pseudo-time = row index for the shared writer format).
+        let mut w = CsvWriter::new();
+        let mut changes = TimeSeries::new("freq_changes", "");
+        let mut time = TimeSeries::new("exec_time", "s");
+        let mut power = TimeSeries::new("avg_power", "W");
+        let mut pdp = TimeSeries::new("pdp", "W·s");
+        for (i, c) in self.cells.iter().enumerate() {
+            let x = i as f64;
+            changes.push(x, c.freq_changes as f64);
+            time.push(x, c.exec_time_s);
+            power.push(x, c.avg_power_w);
+            pdp.push(x, c.pdp);
+        }
+        w.add(changes);
+        w.add(time);
+        w.add(power);
+        w.add(pdp);
+        w.write_to_file(dir.join("table1.csv"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_holds() {
+        let r = run(Scale::Fast);
+        assert!(r.shape_violations().is_empty(), "{:?}", r.shape_violations());
+    }
+
+    #[test]
+    fn six_cells() {
+        let r = run(Scale::Fast);
+        assert_eq!(r.cells.len(), 6);
+        assert_eq!(r.cell("tDVFS", 25).max_pwm, 25);
+    }
+
+    #[test]
+    fn render_is_a_table() {
+        let s = run(Scale::Fast).render();
+        assert!(s.contains("CPUSPEED"));
+        assert!(s.contains("tDVFS"));
+        assert!(s.contains("PDP"));
+    }
+}

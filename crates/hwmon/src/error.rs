@@ -1,0 +1,103 @@
+//! Unified driver-layer error type.
+
+use unitherm_simnode::cpu::InvalidFrequency;
+use unitherm_simnode::i2c::I2cError;
+use unitherm_simnode::sensor::SensorDropout;
+
+/// An error raised by a hwmon-layer driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HwmonError {
+    /// An i2c transaction failed (NACK, missing device, bad register).
+    I2c(I2cError),
+    /// The thermal sensor did not respond.
+    Sensor(SensorDropout),
+    /// A cpufreq request named an unavailable frequency.
+    Frequency(InvalidFrequency),
+    /// Device probe failed (wrong or missing device ID).
+    ProbeFailed {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A sysfs path does not exist.
+    NoSuchAttribute {
+        /// The rejected path.
+        path: String,
+    },
+    /// A sysfs attribute is read-only.
+    ReadOnlyAttribute {
+        /// The attribute path.
+        path: String,
+    },
+    /// A sysfs write carried an unparsable or out-of-range value.
+    InvalidValue {
+        /// The attribute path.
+        path: String,
+        /// The rejected raw value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for HwmonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HwmonError::I2c(e) => write!(f, "i2c error: {e}"),
+            HwmonError::Sensor(e) => write!(f, "sensor error: {e}"),
+            HwmonError::Frequency(e) => write!(f, "cpufreq error: {e}"),
+            HwmonError::ProbeFailed { reason } => write!(f, "probe failed: {reason}"),
+            HwmonError::NoSuchAttribute { path } => write!(f, "no such attribute: {path}"),
+            HwmonError::ReadOnlyAttribute { path } => write!(f, "attribute is read-only: {path}"),
+            HwmonError::InvalidValue { path, value } => {
+                write!(f, "invalid value {value:?} for {path}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HwmonError {}
+
+impl From<I2cError> for HwmonError {
+    fn from(e: I2cError) -> Self {
+        HwmonError::I2c(e)
+    }
+}
+
+impl From<SensorDropout> for HwmonError {
+    fn from(e: SensorDropout) -> Self {
+        HwmonError::Sensor(e)
+    }
+}
+
+impl From<InvalidFrequency> for HwmonError {
+    fn from(e: InvalidFrequency) -> Self {
+        HwmonError::Frequency(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<HwmonError> = vec![
+            I2cError::NoDevice { addr: 0x2E }.into(),
+            SensorDropout.into(),
+            InvalidFrequency { requested_mhz: 2300, available_mhz: vec![2400] }.into(),
+            HwmonError::ProbeFailed { reason: "bad id".into() },
+            HwmonError::NoSuchAttribute { path: "hwmon0/zzz".into() },
+            HwmonError::ReadOnlyAttribute { path: "hwmon0/temp1_input".into() },
+            HwmonError::InvalidValue { path: "hwmon0/pwm1".into(), value: "abc".into() },
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn from_conversions() {
+        let e: HwmonError = I2cError::Nack { addr: 1 }.into();
+        assert!(matches!(e, HwmonError::I2c(_)));
+        let e: HwmonError = SensorDropout.into();
+        assert!(matches!(e, HwmonError::Sensor(_)));
+    }
+}

@@ -1,0 +1,320 @@
+//! The assembled userspace control stack for one node.
+//!
+//! [`ControlStack`] packages what the paper's machines actually ran — the
+//! lm-sensors poller, the manual-mode fan driver, the dynamic fan
+//! controller (optionally feedforward-augmented), the tDVFS daemon and the
+//! failsafe watchdog — behind one `sample()` call per 4 Hz tick. It is the
+//! single-node counterpart of the cluster simulator's daemon wiring, meant
+//! for library users driving a [`Node`] directly.
+//!
+//! ```
+//! use unitherm_core::control_array::Policy;
+//! use unitherm_hwmon::stack::ControlStack;
+//! use unitherm_simnode::{Node, NodeConfig};
+//!
+//! let mut node = Node::new(NodeConfig::default(), 1);
+//! let mut stack = ControlStack::builder(Policy::MODERATE)
+//!     .max_fan_duty(50)
+//!     .with_tdvfs()
+//!     .with_failsafe()
+//!     .probe(&mut node)
+//!     .expect("hardware reachable");
+//!
+//! // Drive: 20 Hz physics, 4 Hz control.
+//! node.set_utilization(1.0);
+//! for tick in 0..1200 {
+//!     node.tick(0.05);
+//!     if (tick + 1) % 5 == 0 {
+//!         stack.sample(&mut node);
+//!     }
+//! }
+//! assert!(node.state().fan_duty.percent() > 10, "controller engaged");
+//! ```
+
+use unitherm_core::control_array::Policy;
+use unitherm_core::controller::ControllerConfig;
+use unitherm_core::failsafe::{Failsafe, FailsafeAction, FailsafeConfig};
+use unitherm_core::feedforward::{FeedforwardConfig, FeedforwardFanController};
+use unitherm_core::tdvfs::{Tdvfs, TdvfsConfig};
+use unitherm_simnode::node::{Node, ADT7467_ADDR};
+
+use crate::error::HwmonError;
+use crate::fan_driver::FanDriver;
+use crate::lm_sensors::LmSensors;
+
+/// Builder for a [`ControlStack`].
+#[derive(Debug, Clone)]
+pub struct ControlStackBuilder {
+    policy: Policy,
+    max_duty: u8,
+    controller_cfg: ControllerConfig,
+    feedforward: Option<FeedforwardConfig>,
+    tdvfs: Option<TdvfsConfig>,
+    failsafe: Option<FailsafeConfig>,
+}
+
+impl ControlStackBuilder {
+    /// Maximum allowed fan duty (emulating weaker fans; default 100 %).
+    pub fn max_fan_duty(mut self, duty: u8) -> Self {
+        self.max_duty = duty;
+        self
+    }
+
+    /// Controller tuning (array length, temperature range, window).
+    pub fn controller_config(mut self, cfg: ControllerConfig) -> Self {
+        self.controller_cfg = cfg;
+        self
+    }
+
+    /// Enables utilization feedforward with default tuning.
+    pub fn with_feedforward(mut self) -> Self {
+        self.feedforward = Some(FeedforwardConfig::default());
+        self
+    }
+
+    /// Enables the tDVFS daemon with default tuning (51 °C threshold),
+    /// sharing the builder's policy.
+    pub fn with_tdvfs(mut self) -> Self {
+        self.tdvfs = Some(TdvfsConfig::default());
+        self
+    }
+
+    /// Enables the tDVFS daemon with explicit tuning.
+    pub fn with_tdvfs_config(mut self, cfg: TdvfsConfig) -> Self {
+        self.tdvfs = Some(cfg);
+        self
+    }
+
+    /// Enables the failsafe watchdog with default tuning.
+    pub fn with_failsafe(mut self) -> Self {
+        self.failsafe = Some(FailsafeConfig::default());
+        self
+    }
+
+    /// Probes the node's hardware (ADT7467 over i2c, cpufreq ladder) and
+    /// assembles the stack.
+    pub fn probe(self, node: &mut Node) -> Result<ControlStack, HwmonError> {
+        let fan_driver = FanDriver::probe_at(node, ADT7467_ADDR, self.max_duty)?;
+        let fan = FeedforwardFanController::new(
+            self.policy,
+            self.max_duty,
+            self.controller_cfg,
+            // Zero-gain feedforward reduces to the plain reactive controller.
+            self.feedforward.unwrap_or(FeedforwardConfig {
+                gain_c_per_util: 0.0,
+                ..Default::default()
+            }),
+        );
+        let tdvfs = match self.tdvfs {
+            Some(cfg) => {
+                let freqs: Vec<u32> = node
+                    .available_frequencies_khz()
+                    .iter()
+                    .map(|khz| khz / 1000)
+                    .collect();
+                Some(Tdvfs::new(&freqs, self.policy, cfg))
+            }
+            None => None,
+        };
+        Ok(ControlStack {
+            lm: LmSensors::new(),
+            fan_driver,
+            fan,
+            tdvfs,
+            failsafe: self.failsafe.map(Failsafe::new),
+        })
+    }
+}
+
+/// The assembled per-node control stack.
+#[derive(Debug)]
+pub struct ControlStack {
+    lm: LmSensors,
+    fan_driver: FanDriver,
+    fan: FeedforwardFanController,
+    tdvfs: Option<Tdvfs>,
+    failsafe: Option<Failsafe>,
+}
+
+/// What happened during one control sample.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SampleOutcome {
+    /// The temperature the controllers acted on, if any reading (fresh or
+    /// cached) was available.
+    pub temp_c: Option<f64>,
+    /// New fan duty commanded this sample.
+    pub fan_duty: Option<u8>,
+    /// New frequency commanded this sample, MHz.
+    pub freq_mhz: Option<u32>,
+    /// True while the failsafe owns the actuators.
+    pub failsafe_engaged: bool,
+}
+
+impl ControlStack {
+    /// Starts building a stack under the given policy.
+    pub fn builder(policy: Policy) -> ControlStackBuilder {
+        ControlStackBuilder {
+            policy,
+            max_duty: 100,
+            controller_cfg: ControllerConfig::default(),
+            feedforward: None,
+            tdvfs: None,
+            failsafe: None,
+        }
+    }
+
+    /// Runs one 4 Hz control sample against the node.
+    pub fn sample(&mut self, node: &mut Node) -> SampleOutcome {
+        let mut outcome = SampleOutcome::default();
+
+        let fresh = self.lm.read_hottest_celsius(node).ok();
+        let temp = fresh.or_else(|| self.lm.last_good().map(|m| m.to_celsius()));
+        outcome.temp_c = temp;
+
+        if let Some(fs) = &mut self.failsafe {
+            match fs.observe(fresh) {
+                Some(FailsafeAction::Engage(_)) => {
+                    let _ = self.fan_driver.set_duty(node, 100);
+                    let lowest =
+                        *node.available_frequencies_khz().last().expect("non-empty ladder");
+                    let _ = node.set_frequency_khz(lowest);
+                    outcome.fan_duty = Some(self.fan_driver.last_commanded());
+                    outcome.freq_mhz = Some(lowest / 1000);
+                }
+                Some(FailsafeAction::Release) => {
+                    let _ = self.fan_driver.set_duty(node, self.fan.current_duty());
+                    let mhz = self
+                        .tdvfs
+                        .as_ref()
+                        .map(Tdvfs::current_frequency_mhz)
+                        .unwrap_or_else(|| node.available_frequencies_khz()[0] / 1000);
+                    let _ = node.set_frequency_khz(mhz * 1000);
+                }
+                None => {}
+            }
+        }
+        let engaged = self.failsafe.as_ref().is_some_and(Failsafe::is_engaged);
+        outcome.failsafe_engaged = engaged;
+
+        if let Some(t) = temp {
+            let util = node.utilization();
+            if let Some(decision) = self.fan.observe(t, util) {
+                if !engaged && self.fan_driver.set_duty(node, decision.mode).is_ok() {
+                    outcome.fan_duty = Some(decision.mode);
+                }
+            }
+            if let Some(d) = &mut self.tdvfs {
+                if let Some(event) = d.observe(t) {
+                    let mhz = event.frequency_mhz();
+                    if !engaged && node.set_frequency_khz(mhz * 1000).is_ok() {
+                        outcome.freq_mhz = Some(mhz);
+                    }
+                }
+            }
+        }
+        outcome
+    }
+
+    /// The fan controller (for inspection).
+    pub fn fan(&self) -> &FeedforwardFanController {
+        &self.fan
+    }
+
+    /// The tDVFS daemon, if attached.
+    pub fn tdvfs(&self) -> Option<&Tdvfs> {
+        self.tdvfs.as_ref()
+    }
+
+    /// The failsafe watchdog, if attached.
+    pub fn failsafe(&self) -> Option<&Failsafe> {
+        self.failsafe.as_ref()
+    }
+
+    /// The sensor poller statistics.
+    pub fn sensors(&self) -> &LmSensors {
+        &self.lm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unitherm_simnode::faults::{FaultEvent, FaultPlan};
+    use unitherm_simnode::NodeConfig;
+
+    /// Drives node + stack for `seconds` under constant utilization.
+    fn drive(node: &mut Node, stack: &mut ControlStack, seconds: f64, util: f64) {
+        let steps = (seconds / 0.05).round() as usize;
+        for tick in 0..steps {
+            node.set_utilization(util);
+            node.tick(0.05);
+            if (tick + 1) % 5 == 0 {
+                stack.sample(node);
+            }
+        }
+    }
+
+    #[test]
+    fn stack_controls_a_burning_node() {
+        let mut node = Node::new(NodeConfig::default(), 41);
+        let mut stack = ControlStack::builder(Policy::MODERATE)
+            .with_tdvfs()
+            .probe(&mut node)
+            .unwrap();
+        drive(&mut node, &mut stack, 300.0, 1.0);
+        assert!(node.state().fan_duty.percent() > 20, "fan engaged");
+        assert_eq!(node.cpu().throttle_event_count(), 0, "no emergencies");
+    }
+
+    #[test]
+    fn capped_stack_uses_tdvfs() {
+        let mut node = Node::new(NodeConfig::default(), 42);
+        let mut stack = ControlStack::builder(Policy::MODERATE)
+            .max_fan_duty(20)
+            .with_tdvfs()
+            .probe(&mut node)
+            .unwrap();
+        drive(&mut node, &mut stack, 300.0, 1.0);
+        assert!(
+            stack.tdvfs().unwrap().scale_down_count() > 0,
+            "weak fan forces in-band action"
+        );
+    }
+
+    #[test]
+    fn failsafe_covers_sensor_blackout() {
+        let faults = FaultPlan::none().at(5.0, FaultEvent::SensorDropout);
+        let mut node = Node::with_faults(NodeConfig::default(), 43, faults);
+        let mut stack = ControlStack::builder(Policy::MODERATE)
+            .with_failsafe()
+            .probe(&mut node)
+            .unwrap();
+        drive(&mut node, &mut stack, 60.0, 1.0);
+        assert!(stack.failsafe().unwrap().is_engaged());
+        assert_eq!(node.state().fan_duty.percent(), 100, "failsafe forced full fan");
+    }
+
+    #[test]
+    fn feedforward_option_wires_through() {
+        let mut node = Node::new(NodeConfig::default(), 44);
+        let mut stack = ControlStack::builder(Policy::MODERATE)
+            .with_feedforward()
+            .probe(&mut node)
+            .unwrap();
+        // Idle for a while, then a hard load step: the feedforward fires.
+        drive(&mut node, &mut stack, 20.0, 0.05);
+        drive(&mut node, &mut stack, 5.0, 1.0);
+        assert!(stack.fan().feedforward_decision_count() > 0);
+    }
+
+    #[test]
+    fn sample_outcome_reports_temperature() {
+        let mut node = Node::new(NodeConfig::default(), 45);
+        let mut stack = ControlStack::builder(Policy::MODERATE).probe(&mut node).unwrap();
+        node.tick(0.25);
+        let out = stack.sample(&mut node);
+        let t = out.temp_c.expect("sensor readable");
+        assert!((t - node.die_temp_c()).abs() < 3.0);
+        assert!(!out.failsafe_engaged);
+    }
+}

@@ -1,0 +1,149 @@
+//! CSV export of aligned time series.
+//!
+//! Experiments write their raw traces as CSV so figures can be re-plotted
+//! with external tooling. Series are aligned on the union of their
+//! timestamps using zero-order hold; cells before a series' first sample are
+//! left empty.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::series::TimeSeries;
+
+/// Builder that renders one or more [`TimeSeries`] into a CSV document.
+#[derive(Debug, Default)]
+pub struct CsvWriter {
+    series: Vec<TimeSeries>,
+}
+
+impl CsvWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a series as an output column.
+    pub fn add(&mut self, series: TimeSeries) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Renders the CSV document to a string.
+    ///
+    /// The first column is `time_s`; each series contributes one column named
+    /// `<name> (<unit>)` (or just `<name>` when the unit is empty).
+    pub fn to_csv_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str("time_s");
+        for s in &self.series {
+            out.push(',');
+            if s.unit.is_empty() {
+                out.push_str(&escape(&s.name));
+            } else {
+                out.push_str(&escape(&format!("{} ({})", s.name, s.unit)));
+            }
+        }
+        out.push('\n');
+
+        // Union of timestamps, deduplicated.
+        let mut times: Vec<f64> =
+            self.series.iter().flat_map(|s| s.samples().iter().map(|x| x.time_s)).collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("timestamps are finite"));
+        times.dedup();
+
+        for t in times {
+            let _ = write!(out, "{t}");
+            for s in &self.series {
+                out.push(',');
+                if let Some(v) = s.value_at(t) {
+                    let _ = write!(out, "{v}");
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV document to `path`, creating parent directories.
+    pub fn write_to_file(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = File::create(path)?;
+        f.write_all(self.to_csv_string().as_bytes())
+    }
+}
+
+/// Quotes a CSV field when it contains separators or quotes.
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(name: &str, unit: &str, pts: &[(f64, f64)]) -> TimeSeries {
+        let mut s = TimeSeries::new(name, unit);
+        for &(t, v) in pts {
+            s.push(t, v);
+        }
+        s
+    }
+
+    #[test]
+    fn single_series_roundtrip() {
+        let mut w = CsvWriter::new();
+        w.add(ts("temp", "°C", &[(0.0, 40.0), (0.25, 41.0)]));
+        let csv = w.to_csv_string();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_s,temp (°C)");
+        assert_eq!(lines[1], "0,40");
+        assert_eq!(lines[2], "0.25,41");
+    }
+
+    #[test]
+    fn aligns_multiple_series_with_holes() {
+        let mut w = CsvWriter::new();
+        w.add(ts("a", "", &[(0.0, 1.0), (2.0, 2.0)]));
+        w.add(ts("b", "", &[(1.0, 10.0)]));
+        let csv = w.to_csv_string();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_s,a,b");
+        assert_eq!(lines[1], "0,1,"); // b has no value yet
+        assert_eq!(lines[2], "1,1,10"); // a holds previous value
+        assert_eq!(lines[3], "2,2,10"); // b holds previous value
+    }
+
+    #[test]
+    fn escapes_commas_and_quotes() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn empty_writer_emits_header_only() {
+        let csv = CsvWriter::new().to_csv_string();
+        assert_eq!(csv, "time_s\n");
+    }
+
+    #[test]
+    fn writes_file() {
+        let dir = std::env::temp_dir().join("unitherm_csv_test");
+        let path = dir.join("nested/out.csv");
+        let mut w = CsvWriter::new();
+        w.add(ts("x", "", &[(0.0, 1.0)]));
+        w.write_to_file(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("time_s,x"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

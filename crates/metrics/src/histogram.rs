@@ -1,0 +1,204 @@
+//! Fixed-bucket streaming histogram.
+//!
+//! [`TimeSeries::percentile`](crate::TimeSeries::percentile) sorts the whole
+//! sample vector — fine for figure-sized traces, wasteful for day-long
+//! monitoring. [`Histogram`] accumulates values into fixed-width buckets in
+//! O(1) per sample and answers quantile queries from the bucket counts,
+//! which is how long-horizon thermal telemetry is actually kept.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-range, fixed-width bucket histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    /// Values below `lo`.
+    underflow: u64,
+    /// Values at or above `hi`.
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `buckets` equal-width bins.
+    ///
+    /// # Panics
+    /// Panics on an empty range or zero buckets.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(buckets >= 1, "histogram needs at least one bucket");
+        Self { lo, hi, buckets: vec![0; buckets], underflow: 0, overflow: 0, count: 0 }
+    }
+
+    /// A histogram suited to die temperatures on this platform:
+    /// `[20, 100) °C` in 0.5 °C bins.
+    pub fn for_temperatures() -> Self {
+        Self::new(20.0, 100.0, 160)
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: f64) {
+        assert!(v.is_finite(), "histogram values must be finite");
+        self.count += 1;
+        if v < self.lo {
+            self.underflow += 1;
+        } else if v >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.buckets.len();
+            let width = (self.hi - self.lo) / n as f64;
+            let idx = (((v - self.lo) / width) as usize).min(n - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Total recorded values (including out-of-range ones).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Values that fell outside the range, `(under, over)`.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// The q-th quantile (`q ∈ [0, 100]`) estimated from bucket midpoints.
+    /// Returns `None` when empty. Underflow counts resolve to `lo`,
+    /// overflow to `hi`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        assert!((0.0..=100.0).contains(&q), "quantile must be in [0, 100]");
+        let rank = ((q / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if rank <= seen {
+            return Some(self.lo);
+        }
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if rank <= seen {
+                return Some(self.lo + (i as f64 + 0.5) * width);
+            }
+        }
+        Some(self.hi)
+    }
+
+    /// Merges another histogram with identical geometry (parallel
+    /// reduction across sweep workers).
+    ///
+    /// # Panics
+    /// Panics when geometries differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.lo, other.lo, "histogram ranges differ");
+        assert_eq!(self.hi, other.hi, "histogram ranges differ");
+        assert_eq!(self.buckets.len(), other.buckets.len(), "bucket counts differ");
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+    }
+
+    /// Bucket boundaries and counts, for export: `(bucket_lo, count)`.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        self.buckets.iter().enumerate().map(move |(i, &c)| (self.lo + i as f64 * width, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for v in [0.5, 1.5, 1.6, 9.9] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        let buckets: Vec<(f64, u64)> = h.buckets().collect();
+        assert_eq!(buckets[0], (0.0, 1));
+        assert_eq!(buckets[1], (1.0, 2));
+        assert_eq!(buckets[9], (9.0, 1));
+    }
+
+    #[test]
+    fn out_of_range_tracked() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(-1.0);
+        h.record(10.0);
+        h.record(99.0);
+        assert_eq!(h.out_of_range(), (1, 2));
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn quantiles_match_sorted_data_within_bucket_width() {
+        let mut h = Histogram::new(0.0, 100.0, 200);
+        let values: Vec<f64> = (0..1000).map(|i| (i as f64 * 7.919) % 100.0).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [5.0f64, 50.0, 95.0, 99.0] {
+            let exact = sorted[((q / 100.0 * 1000.0).ceil() as usize - 1).min(999)];
+            let est = h.quantile(q).unwrap();
+            assert!((est - exact).abs() <= 0.5 + 1e-9, "q{q}: est {est} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn quantile_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        assert_eq!(h.quantile(50.0), None);
+        h.record(-5.0); // underflow only
+        assert_eq!(h.quantile(50.0), Some(0.0));
+        let mut h2 = Histogram::new(0.0, 10.0, 10);
+        h2.record(50.0); // overflow only
+        assert_eq!(h2.quantile(50.0), Some(10.0));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        let mut b = Histogram::new(0.0, 10.0, 10);
+        a.record(1.0);
+        b.record(9.0);
+        b.record(-2.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.out_of_range(), (1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "ranges differ")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        let b = Histogram::new(0.0, 20.0, 10);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn temperature_preset_covers_platform_range() {
+        let mut h = Histogram::for_temperatures();
+        h.record(22.0);
+        h.record(85.0);
+        assert_eq!(h.out_of_range(), (0, 0));
+        // 0.5 °C bins.
+        let (first, _) = h.buckets().next().unwrap();
+        assert_eq!(first, 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_range_rejected() {
+        let _ = Histogram::new(5.0, 5.0, 10);
+    }
+}

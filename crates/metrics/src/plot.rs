@@ -1,0 +1,180 @@
+//! Terminal (ASCII) line plots.
+//!
+//! The `repro` binary prints each regenerated figure as a quick ASCII plot so
+//! the shape of a result (temperature stabilizing, fan duty stepping, DVFS
+//! transitions) can be eyeballed without leaving the terminal. CSV export
+//! (see [`crate::csv`]) remains the precise record.
+
+use std::fmt::Write as _;
+
+use crate::series::TimeSeries;
+
+/// Characters used to distinguish overlaid series, in order of addition.
+const GLYPHS: &[char] = &['*', '+', 'o', 'x', '#', '@', '%', '&'];
+
+/// An ASCII line-plot builder.
+#[derive(Debug)]
+pub struct AsciiPlot {
+    title: String,
+    width: usize,
+    height: usize,
+    series: Vec<TimeSeries>,
+    y_min: Option<f64>,
+    y_max: Option<f64>,
+}
+
+impl AsciiPlot {
+    /// Creates a plot with the given title and a default 72x18 canvas.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            width: 72,
+            height: 18,
+            series: Vec::new(),
+            y_min: None,
+            y_max: None,
+        }
+    }
+
+    /// Sets canvas size in characters (clamped to at least 16x4).
+    pub fn size(mut self, width: usize, height: usize) -> Self {
+        self.width = width.max(16);
+        self.height = height.max(4);
+        self
+    }
+
+    /// Fixes the y-axis range instead of auto-scaling.
+    pub fn y_range(mut self, min: f64, max: f64) -> Self {
+        assert!(min < max, "y_range requires min < max");
+        self.y_min = Some(min);
+        self.y_max = Some(max);
+        self
+    }
+
+    /// Adds a series to the plot (up to 8 series are distinguished).
+    #[allow(clippy::should_implement_trait)] // builder-style `add`, not arithmetic
+    pub fn add(mut self, series: &TimeSeries) -> Self {
+        self.series.push(series.clone());
+        self
+    }
+
+    /// Renders the plot to a string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let drawable: Vec<&TimeSeries> = self.series.iter().filter(|s| !s.is_empty()).collect();
+        if drawable.is_empty() {
+            out.push_str("  (no data)\n");
+            return out;
+        }
+
+        let t0 = drawable.iter().map(|s| s.first().unwrap().time_s).fold(f64::INFINITY, f64::min);
+        let t1 =
+            drawable.iter().map(|s| s.last().unwrap().time_s).fold(f64::NEG_INFINITY, f64::max);
+        let mut lo = self
+            .y_min
+            .unwrap_or_else(|| drawable.iter().map(|s| s.summary().min).fold(f64::INFINITY, f64::min));
+        let mut hi = self.y_max.unwrap_or_else(|| {
+            drawable.iter().map(|s| s.summary().max).fold(f64::NEG_INFINITY, f64::max)
+        });
+        if (hi - lo).abs() < 1e-9 {
+            lo -= 1.0;
+            hi += 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, s) in drawable.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for (col, row_hits) in (0..self.width).map(|col| {
+                let t = if t1 > t0 {
+                    t0 + (t1 - t0) * col as f64 / (self.width - 1) as f64
+                } else {
+                    t0
+                };
+                (col, s.value_at(t))
+            }) {
+                if let Some(v) = row_hits {
+                    let frac = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+                    let row = self.height - 1 - (frac * (self.height - 1) as f64).round() as usize;
+                    grid[row][col] = glyph;
+                }
+            }
+        }
+
+        let label_w = 9;
+        for (r, row) in grid.iter().enumerate() {
+            let y = hi - (hi - lo) * r as f64 / (self.height - 1) as f64;
+            let line: String = row.iter().collect();
+            let _ = writeln!(out, "{y:>label_w$.1} |{line}");
+        }
+        let _ = writeln!(out, "{:>label_w$} +{}", "", "-".repeat(self.width));
+        let _ = writeln!(out, "{:>label_w$}  t={t0:.0}s{:>w$}t={t1:.0}s", "", "", w = self.width.saturating_sub(16));
+        for (si, s) in drawable.iter().enumerate() {
+            let unit = if s.unit.is_empty() { String::new() } else { format!(" [{}]", s.unit) };
+            let _ = writeln!(out, "{:>label_w$}  {} {}{}", "", GLYPHS[si % GLYPHS.len()], s.name, unit);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(name: &str) -> TimeSeries {
+        let mut s = TimeSeries::new(name, "°C");
+        for i in 0..100 {
+            s.push(i as f64, 40.0 + i as f64 * 0.2);
+        }
+        s
+    }
+
+    #[test]
+    fn renders_nonempty_canvas() {
+        let plot = AsciiPlot::new("Figure X").add(&ramp("temp"));
+        let s = plot.render();
+        assert!(s.contains("Figure X"));
+        assert!(s.contains('*'));
+        assert!(s.contains("temp"));
+        assert!(s.lines().count() > 10);
+    }
+
+    #[test]
+    fn empty_plot_says_no_data() {
+        let s = AsciiPlot::new("empty").render();
+        assert!(s.contains("(no data)"));
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_glyphs() {
+        let mut flat = TimeSeries::new("flat", "");
+        for i in 0..100 {
+            flat.push(i as f64, 45.0);
+        }
+        let s = AsciiPlot::new("two").add(&ramp("ramp")).add(&flat).render();
+        assert!(s.contains('*'));
+        assert!(s.contains('+'));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut flat = TimeSeries::new("flat", "");
+        flat.push(0.0, 5.0);
+        flat.push(1.0, 5.0);
+        let s = AsciiPlot::new("flat").add(&flat).render();
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn fixed_y_range_clamps() {
+        let s = AsciiPlot::new("clamped").y_range(0.0, 10.0).add(&ramp("r")).render();
+        // The top label should be 10.0 even though the data exceeds it.
+        assert!(s.contains("10.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "min < max")]
+    fn bad_y_range_panics() {
+        let _ = AsciiPlot::new("bad").y_range(5.0, 5.0);
+    }
+}

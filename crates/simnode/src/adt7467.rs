@@ -1,0 +1,349 @@
+//! Register-level model of the Analog Devices ADT7467 "dBCool" remote
+//! thermal monitor and fan controller.
+//!
+//! The paper's platform regulates fan speed through this chip: in
+//! **automatic mode** the chip applies the static temperature→PWM map of the
+//! paper's Figure 1 (duty = PWMmin below Tmin, rising linearly to PWMmax at
+//! Tmax) — this is the "traditional static fan control" baseline. The
+//! paper's own driver switches the chip to **manual mode** and writes the
+//! PWM register directly over i2c.
+//!
+//! The register map below is a simplification of the real datasheet's, but
+//! keeps the same access style (byte registers over SMBus), the same duty
+//! encoding (0x00–0xFF) and the same behavioural split between automatic and
+//! manual control.
+
+use std::any::Any;
+
+use crate::i2c::{DeviceError, SmbusDevice};
+use crate::units::DutyCycle;
+
+/// Register addresses (simplified map).
+pub mod regs {
+    /// Measured remote (CPU) temperature in °C, unsigned. Read-only.
+    pub const TEMP_REMOTE: u8 = 0x26;
+    /// Current PWM1 duty, 0x00–0xFF. Writable only in manual mode.
+    pub const PWM_CURRENT: u8 = 0x30;
+    /// PWM1 maximum duty, 0x00–0xFF.
+    pub const PWM_MAX: u8 = 0x38;
+    /// Device ID. Read-only, returns [`DEVICE_ID`](super::DEVICE_ID).
+    pub const DEVICE_ID: u8 = 0x3D;
+    /// PWM1 configuration: 0 = automatic (remote-diode controlled),
+    /// 1 = manual.
+    pub const PWM_CONFIG: u8 = 0x5C;
+    /// PWM1 minimum duty, 0x00–0xFF.
+    pub const PWM_MIN: u8 = 0x64;
+    /// Tmin in °C, unsigned.
+    pub const TMIN: u8 = 0x67;
+    /// Tmax in °C, unsigned.
+    pub const TMAX: u8 = 0x68;
+}
+
+/// The device ID the real chip reports.
+pub const DEVICE_ID: u8 = 0x68;
+
+/// PWM control mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PwmMode {
+    /// Chip-controlled: the Figure-1 static curve.
+    Automatic,
+    /// Software-controlled: the PWM register holds whatever was written.
+    Manual,
+}
+
+/// The ADT7467 model.
+#[derive(Debug, Clone)]
+pub struct Adt7467 {
+    measured_temp_c: f64,
+    mode: PwmMode,
+    pwm_current: u8,
+    pwm_min: u8,
+    pwm_max: u8,
+    tmin_c: u8,
+    tmax_c: u8,
+}
+
+impl Default for Adt7467 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Adt7467 {
+    /// Creates the chip with the paper platform's defaults: automatic mode,
+    /// PWMmin = 10 %, Tmin = 38 °C, Tmax = 82 °C, PWMmax = 100 %.
+    pub fn new() -> Self {
+        let mut chip = Self {
+            measured_temp_c: 25.0,
+            mode: PwmMode::Automatic,
+            pwm_current: DutyCycle::new(10).to_register(),
+            pwm_min: DutyCycle::new(10).to_register(),
+            pwm_max: DutyCycle::MAX.to_register(),
+            tmin_c: 38,
+            tmax_c: 82,
+        };
+        chip.apply_automatic_curve();
+        chip
+    }
+
+    /// Feeds the chip a new remote-diode temperature (the simulator calls
+    /// this each tick with the die temperature) and, in automatic mode,
+    /// re-evaluates the static curve.
+    pub fn set_measured_temp_c(&mut self, temp_c: f64) {
+        assert!(temp_c.is_finite(), "measured temperature must be finite");
+        self.measured_temp_c = temp_c;
+        if self.mode == PwmMode::Automatic {
+            self.apply_automatic_curve();
+        }
+    }
+
+    /// Current PWM mode.
+    pub fn mode(&self) -> PwmMode {
+        self.mode
+    }
+
+    /// The duty cycle the chip is currently commanding.
+    pub fn commanded_duty(&self) -> DutyCycle {
+        DutyCycle::from_register(self.pwm_current)
+    }
+
+    /// The Figure-1 static curve evaluated at `temp_c` with the chip's
+    /// current Tmin/Tmax/PWMmin/PWMmax registers.
+    pub fn static_curve_duty(&self, temp_c: f64) -> DutyCycle {
+        let max = DutyCycle::from_register(self.pwm_max).fraction();
+        // PWM_MAX caps the whole channel: a PWM_MIN programmed above it is
+        // effectively clamped (keeps the curve monotone under any register
+        // contents).
+        let min = DutyCycle::from_register(self.pwm_min).fraction().min(max);
+        let tmin = f64::from(self.tmin_c);
+        let tmax = f64::from(self.tmax_c);
+        let frac = if temp_c <= tmin || tmax <= tmin {
+            min
+        } else if temp_c >= tmax {
+            max
+        } else {
+            min + (max - min) * (temp_c - tmin) / (tmax - tmin)
+        };
+        DutyCycle::from_fraction(frac.clamp(0.0, 1.0))
+    }
+
+    fn apply_automatic_curve(&mut self) {
+        self.pwm_current = self.static_curve_duty(self.measured_temp_c).to_register();
+    }
+
+    /// Clamps the current PWM into the [PWMmin-independent] PWMmax bound.
+    fn clamp_pwm(&mut self) {
+        if self.pwm_current > self.pwm_max {
+            self.pwm_current = self.pwm_max;
+        }
+    }
+}
+
+impl SmbusDevice for Adt7467 {
+    fn read_byte(&mut self, reg: u8) -> Result<u8, DeviceError> {
+        match reg {
+            regs::TEMP_REMOTE => Ok(self.measured_temp_c.round().clamp(0.0, 255.0) as u8),
+            regs::PWM_CURRENT => Ok(self.pwm_current),
+            regs::PWM_MAX => Ok(self.pwm_max),
+            regs::DEVICE_ID => Ok(DEVICE_ID),
+            regs::PWM_CONFIG => Ok(match self.mode {
+                PwmMode::Automatic => 0,
+                PwmMode::Manual => 1,
+            }),
+            regs::PWM_MIN => Ok(self.pwm_min),
+            regs::TMIN => Ok(self.tmin_c),
+            regs::TMAX => Ok(self.tmax_c),
+            other => Err(DeviceError::InvalidRegister(other)),
+        }
+    }
+
+    fn write_byte(&mut self, reg: u8, value: u8) -> Result<(), DeviceError> {
+        match reg {
+            regs::TEMP_REMOTE | regs::DEVICE_ID => Err(DeviceError::ReadOnlyRegister(reg)),
+            regs::PWM_CURRENT => {
+                if self.mode == PwmMode::Automatic {
+                    // The real chip ignores manual duty writes while the
+                    // automatic loop owns the output; we mirror that.
+                    return Ok(());
+                }
+                self.pwm_current = value;
+                self.clamp_pwm();
+                Ok(())
+            }
+            regs::PWM_MAX => {
+                self.pwm_max = value;
+                match self.mode {
+                    PwmMode::Automatic => self.apply_automatic_curve(),
+                    PwmMode::Manual => self.clamp_pwm(),
+                }
+                Ok(())
+            }
+            regs::PWM_CONFIG => {
+                self.mode = if value == 0 { PwmMode::Automatic } else { PwmMode::Manual };
+                if self.mode == PwmMode::Automatic {
+                    self.apply_automatic_curve();
+                }
+                Ok(())
+            }
+            regs::PWM_MIN => {
+                self.pwm_min = value;
+                if self.mode == PwmMode::Automatic {
+                    self.apply_automatic_curve();
+                }
+                Ok(())
+            }
+            regs::TMIN => {
+                self.tmin_c = value;
+                if self.mode == PwmMode::Automatic {
+                    self.apply_automatic_curve();
+                }
+                Ok(())
+            }
+            regs::TMAX => {
+                self.tmax_c = value;
+                if self.mode == PwmMode::Automatic {
+                    self.apply_automatic_curve();
+                }
+                Ok(())
+            }
+            other => Err(DeviceError::InvalidRegister(other)),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_platform() {
+        let mut chip = Adt7467::new();
+        assert_eq!(chip.mode(), PwmMode::Automatic);
+        assert_eq!(chip.read_byte(regs::TMIN), Ok(38));
+        assert_eq!(chip.read_byte(regs::TMAX), Ok(82));
+        assert_eq!(DutyCycle::from_register(chip.read_byte(regs::PWM_MIN).unwrap()).percent(), 10);
+        assert_eq!(chip.read_byte(regs::DEVICE_ID), Ok(0x68));
+    }
+
+    #[test]
+    fn figure1_curve_shape() {
+        let chip = Adt7467::new();
+        // Below Tmin: PWMmin.
+        assert_eq!(chip.static_curve_duty(25.0).percent(), 10);
+        assert_eq!(chip.static_curve_duty(38.0).percent(), 10);
+        // At Tmax and above: PWMmax.
+        assert_eq!(chip.static_curve_duty(82.0).percent(), 100);
+        assert_eq!(chip.static_curve_duty(95.0).percent(), 100);
+        // Midpoint: linear interpolation, (60-38)/(82-38) = 0.5 of the span.
+        let mid = chip.static_curve_duty(60.0).percent();
+        assert_eq!(mid, 55, "10 + 0.5·90 = 55, got {mid}");
+        // Monotone non-decreasing across the whole range.
+        let mut last = 0;
+        for t in 0..100 {
+            let d = chip.static_curve_duty(f64::from(t)).percent();
+            assert!(d >= last, "curve must be monotone at {t} °C");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn automatic_mode_tracks_temperature() {
+        let mut chip = Adt7467::new();
+        chip.set_measured_temp_c(38.0);
+        assert_eq!(chip.commanded_duty().percent(), 10);
+        chip.set_measured_temp_c(82.0);
+        assert_eq!(chip.commanded_duty().percent(), 100);
+        chip.set_measured_temp_c(50.0);
+        let d = chip.commanded_duty().percent();
+        assert!((34..=35).contains(&d), "50 °C ⇒ 10+90·12/44 ≈ 34.5 %, got {d}");
+    }
+
+    #[test]
+    fn manual_mode_obeys_writes() {
+        let mut chip = Adt7467::new();
+        chip.write_byte(regs::PWM_CONFIG, 1).unwrap();
+        assert_eq!(chip.mode(), PwmMode::Manual);
+        chip.write_byte(regs::PWM_CURRENT, DutyCycle::new(63).to_register()).unwrap();
+        assert_eq!(chip.commanded_duty().percent(), 63);
+        // Temperature changes no longer move the duty.
+        chip.set_measured_temp_c(90.0);
+        assert_eq!(chip.commanded_duty().percent(), 63);
+    }
+
+    #[test]
+    fn automatic_mode_ignores_duty_writes() {
+        let mut chip = Adt7467::new();
+        chip.set_measured_temp_c(50.0);
+        let before = chip.commanded_duty();
+        chip.write_byte(regs::PWM_CURRENT, 0xFF).unwrap();
+        assert_eq!(chip.commanded_duty(), before);
+    }
+
+    #[test]
+    fn pwm_max_caps_both_modes() {
+        let mut chip = Adt7467::new();
+        // Cap at 75 % as the paper does for Figure 6.
+        chip.write_byte(regs::PWM_MAX, DutyCycle::new(75).to_register()).unwrap();
+        chip.set_measured_temp_c(90.0);
+        assert_eq!(chip.commanded_duty().percent(), 75);
+
+        chip.write_byte(regs::PWM_CONFIG, 1).unwrap();
+        chip.write_byte(regs::PWM_CURRENT, DutyCycle::new(90).to_register()).unwrap();
+        assert_eq!(chip.commanded_duty().percent(), 75, "manual writes clamp to PWMmax");
+    }
+
+    #[test]
+    fn lowering_pwm_max_reclamps_current() {
+        let mut chip = Adt7467::new();
+        chip.write_byte(regs::PWM_CONFIG, 1).unwrap();
+        chip.write_byte(regs::PWM_CURRENT, DutyCycle::new(90).to_register()).unwrap();
+        chip.write_byte(regs::PWM_MAX, DutyCycle::new(50).to_register()).unwrap();
+        assert_eq!(chip.commanded_duty().percent(), 50);
+    }
+
+    #[test]
+    fn switching_back_to_auto_reapplies_curve() {
+        let mut chip = Adt7467::new();
+        chip.write_byte(regs::PWM_CONFIG, 1).unwrap();
+        chip.write_byte(regs::PWM_CURRENT, 0).unwrap();
+        chip.set_measured_temp_c(82.0);
+        chip.write_byte(regs::PWM_CONFIG, 0).unwrap();
+        assert_eq!(chip.commanded_duty().percent(), 100);
+    }
+
+    #[test]
+    fn temp_register_reads_rounded_reading() {
+        let mut chip = Adt7467::new();
+        chip.set_measured_temp_c(51.6);
+        assert_eq!(chip.read_byte(regs::TEMP_REMOTE), Ok(52));
+        chip.set_measured_temp_c(-5.0);
+        assert_eq!(chip.read_byte(regs::TEMP_REMOTE), Ok(0), "unsigned clamp");
+    }
+
+    #[test]
+    fn read_only_and_invalid_registers() {
+        let mut chip = Adt7467::new();
+        assert_eq!(
+            chip.write_byte(regs::TEMP_REMOTE, 1),
+            Err(DeviceError::ReadOnlyRegister(regs::TEMP_REMOTE))
+        );
+        assert_eq!(chip.read_byte(0x00), Err(DeviceError::InvalidRegister(0x00)));
+        assert_eq!(chip.write_byte(0x00, 1), Err(DeviceError::InvalidRegister(0x00)));
+    }
+
+    #[test]
+    fn custom_curve_degenerate_range() {
+        let mut chip = Adt7467::new();
+        // Tmax == Tmin: curve collapses to PWMmin (no division by zero).
+        chip.write_byte(regs::TMAX, 38).unwrap();
+        assert_eq!(chip.static_curve_duty(60.0).percent(), 10);
+    }
+}

@@ -1,0 +1,219 @@
+//! PWM CPU fan model.
+//!
+//! The fan converts a PWM duty cycle into rotational speed with a first-order
+//! lag (rotor inertia), stalls below a minimum duty, draws power cubically in
+//! speed (fan affinity laws), and can fail (rotor seized) for fault-injection
+//! experiments.
+//!
+//! Airflow delivered to the heatsink is modeled as proportional to RPM; the
+//! thermal model turns it into convective conductance.
+
+use crate::config::FanConfig;
+use crate::units::DutyCycle;
+
+/// A PWM-controlled axial fan.
+#[derive(Debug, Clone)]
+pub struct Fan {
+    cfg: FanConfig,
+    duty: DutyCycle,
+    rpm: f64,
+    failed: bool,
+}
+
+impl Fan {
+    /// Creates a fan at rest with 0 % duty.
+    pub fn new(cfg: FanConfig) -> Self {
+        Self { cfg, duty: DutyCycle::OFF, rpm: 0.0, failed: false }
+    }
+
+    /// Creates a fan already spinning at the equilibrium speed for `duty`.
+    pub fn new_at_duty(cfg: FanConfig, duty: DutyCycle) -> Self {
+        let mut f = Self::new(cfg);
+        f.duty = duty;
+        f.rpm = f.target_rpm();
+        f
+    }
+
+    /// Commanded duty cycle.
+    pub fn duty(&self) -> DutyCycle {
+        self.duty
+    }
+
+    /// Sets the commanded duty cycle. The rotor approaches the new target
+    /// speed over the spin-up time constant.
+    pub fn set_duty(&mut self, duty: DutyCycle) {
+        self.duty = duty;
+    }
+
+    /// Current rotor speed in RPM.
+    pub fn rpm(&self) -> f64 {
+        self.rpm
+    }
+
+    /// Rotor speed as a fraction of full speed, in `[0, 1]`.
+    pub fn speed_fraction(&self) -> f64 {
+        (self.rpm / self.cfg.max_rpm).clamp(0.0, 1.0)
+    }
+
+    /// Airflow fraction delivered to the heatsink, in `[0, 1]`
+    /// (proportional to rotor speed).
+    pub fn airflow(&self) -> f64 {
+        self.speed_fraction()
+    }
+
+    /// Electrical power drawn by the fan motor in W (cubic in speed).
+    pub fn power_w(&self) -> f64 {
+        self.cfg.max_power_w * self.speed_fraction().powi(3)
+    }
+
+    /// True when the rotor has seized.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Seizes the rotor: speed collapses to zero regardless of duty.
+    pub fn fail(&mut self) {
+        self.failed = true;
+    }
+
+    /// Repairs a failed rotor (it will spin back up toward the duty target).
+    pub fn repair(&mut self) {
+        self.failed = false;
+    }
+
+    /// Steady-state RPM for the current duty command.
+    fn target_rpm(&self) -> f64 {
+        if self.failed {
+            return 0.0;
+        }
+        let frac = self.duty.fraction();
+        if frac < self.cfg.stall_fraction {
+            // Below the stall threshold the motor cannot sustain rotation.
+            return 0.0;
+        }
+        self.cfg.max_rpm * frac
+    }
+
+    /// Advances rotor dynamics by `dt_s` seconds.
+    pub fn step(&mut self, dt_s: f64) {
+        assert!(dt_s > 0.0, "time step must be positive");
+        let target = self.target_rpm();
+        // Exact solution of the first-order lag over dt (stable for any dt).
+        let alpha = 1.0 - (-dt_s / self.cfg.time_constant_s).exp();
+        self.rpm += (target - self.rpm) * alpha;
+        if self.rpm < 1.0 && target == 0.0 {
+            self.rpm = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fan() -> Fan {
+        Fan::new(FanConfig::default())
+    }
+
+    #[test]
+    fn starts_at_rest() {
+        let f = fan();
+        assert_eq!(f.rpm(), 0.0);
+        assert_eq!(f.duty(), DutyCycle::OFF);
+        assert_eq!(f.power_w(), 0.0);
+    }
+
+    #[test]
+    fn spins_up_toward_duty_target() {
+        let mut f = fan();
+        f.set_duty(DutyCycle::new(100));
+        for _ in 0..200 {
+            f.step(0.05);
+        }
+        assert!((f.rpm() - 4300.0).abs() < 10.0, "rpm {}", f.rpm());
+        assert!((f.airflow() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn spinup_takes_roughly_the_time_constant() {
+        let mut f = fan();
+        f.set_duty(DutyCycle::new(100));
+        f.step(1.5); // one time constant
+        let frac = f.rpm() / 4300.0;
+        assert!((frac - 0.632).abs() < 0.02, "after 1 tau: {frac}");
+    }
+
+    #[test]
+    fn new_at_duty_is_at_equilibrium() {
+        let f = Fan::new_at_duty(FanConfig::default(), DutyCycle::new(50));
+        assert!((f.rpm() - 2150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rpm_linear_in_duty_above_stall() {
+        let f25 = Fan::new_at_duty(FanConfig::default(), DutyCycle::new(25));
+        let f50 = Fan::new_at_duty(FanConfig::default(), DutyCycle::new(50));
+        assert!((f50.rpm() / f25.rpm() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stalls_below_threshold() {
+        let mut f = fan();
+        f.set_duty(DutyCycle::new(3)); // below 4 % stall fraction
+        for _ in 0..100 {
+            f.step(0.1);
+        }
+        assert_eq!(f.rpm(), 0.0);
+    }
+
+    #[test]
+    fn min_running_duty_spins() {
+        let mut f = fan();
+        f.set_duty(DutyCycle::new(5));
+        for _ in 0..200 {
+            f.step(0.1);
+        }
+        assert!(f.rpm() > 100.0);
+    }
+
+    #[test]
+    fn power_is_cubic_in_speed() {
+        let half = Fan::new_at_duty(FanConfig::default(), DutyCycle::new(50));
+        let full = Fan::new_at_duty(FanConfig::default(), DutyCycle::new(100));
+        assert!((full.power_w() / half.power_w() - 8.0).abs() < 1e-6);
+        assert!((full.power_w() - 4.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failure_collapses_speed_and_repair_recovers() {
+        let mut f = Fan::new_at_duty(FanConfig::default(), DutyCycle::new(80));
+        assert!(f.rpm() > 3000.0);
+        f.fail();
+        assert!(f.is_failed());
+        for _ in 0..300 {
+            f.step(0.1);
+        }
+        assert_eq!(f.rpm(), 0.0, "failed fan must stop");
+        assert_eq!(f.power_w(), 0.0);
+        f.repair();
+        for _ in 0..300 {
+            f.step(0.1);
+        }
+        assert!((f.rpm() - 3440.0).abs() < 5.0, "repaired fan resumes, rpm {}", f.rpm());
+    }
+
+    #[test]
+    fn large_step_is_stable() {
+        let mut f = fan();
+        f.set_duty(DutyCycle::new(100));
+        f.step(1000.0);
+        assert!((f.rpm() - 4300.0).abs() < 1.0);
+        assert!(f.rpm() <= 4300.0 + 1e-9, "no overshoot");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_dt() {
+        fan().step(0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Timed fault injection for resilience experiments.
+//!
+//! A [`FaultPlan`] is a time-ordered script of [`FaultEvent`]s applied to a
+//! node as the simulation clock passes each event's deadline. It models the
+//! failure scenarios the paper's related work reacts to (fan failure, per
+//! Choi et al. \[10\] and Heath et al. \[7\]), plus sensor dropouts and ambient
+//! (machine-room) temperature excursions.
+
+use serde::{Deserialize, Serialize};
+
+/// A fault (or repair) applied to a node at a scheduled time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// The fan rotor seizes.
+    FanFailure,
+    /// The fan is replaced/repaired.
+    FanRepair,
+    /// The thermal sensor stops responding.
+    SensorDropout,
+    /// The thermal sensor recovers.
+    SensorRestore,
+    /// The i2c fan controller starts NACKing transactions.
+    I2cFailure,
+    /// The i2c fan controller recovers.
+    I2cRecovery,
+    /// The intake air temperature changes to the given value (°C) —
+    /// models an HVAC event or a hot spot forming in the rack.
+    AmbientStep(f64),
+}
+
+/// A time-ordered script of fault events.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<(f64, FaultEvent)>,
+    #[serde(skip)]
+    cursor: usize,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style: schedules an event at `time_s`.
+    ///
+    /// Events may be added in any order; the plan keeps them sorted by time.
+    ///
+    /// # Panics
+    /// Panics if called after delivery has started (events already consumed)
+    /// or with a non-finite time.
+    pub fn at(mut self, time_s: f64, event: FaultEvent) -> Self {
+        assert!(time_s.is_finite() && time_s >= 0.0, "event time must be finite and non-negative");
+        assert_eq!(self.cursor, 0, "cannot extend a fault plan after delivery started");
+        let idx = self.events.partition_point(|(t, _)| *t <= time_s);
+        self.events.insert(idx, (time_s, event));
+        self
+    }
+
+    /// Number of scheduled events (delivered or not).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drains all events due at or before `now_s`, in schedule order.
+    pub fn due(&mut self, now_s: f64) -> Vec<FaultEvent> {
+        let mut out = Vec::new();
+        while let Some(&(t, ev)) = self.events.get(self.cursor) {
+            if t <= now_s {
+                out.push(ev);
+                self.cursor += 1;
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Remaining undelivered events.
+    pub fn pending(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut plan = FaultPlan::none()
+            .at(10.0, FaultEvent::FanFailure)
+            .at(5.0, FaultEvent::AmbientStep(30.0))
+            .at(20.0, FaultEvent::FanRepair);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.due(4.9), vec![]);
+        assert_eq!(plan.due(5.0), vec![FaultEvent::AmbientStep(30.0)]);
+        assert_eq!(plan.due(15.0), vec![FaultEvent::FanFailure]);
+        assert_eq!(plan.pending(), 1);
+        assert_eq!(plan.due(100.0), vec![FaultEvent::FanRepair]);
+        assert_eq!(plan.pending(), 0);
+        assert_eq!(plan.due(200.0), vec![]);
+    }
+
+    #[test]
+    fn simultaneous_events_keep_insertion_order() {
+        let mut plan = FaultPlan::none()
+            .at(5.0, FaultEvent::FanFailure)
+            .at(5.0, FaultEvent::SensorDropout);
+        assert_eq!(plan.due(5.0), vec![FaultEvent::FanFailure, FaultEvent::SensorDropout]);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let mut plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert_eq!(plan.due(1e9), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "after delivery started")]
+    fn cannot_extend_after_delivery() {
+        let mut plan = FaultPlan::none().at(1.0, FaultEvent::FanFailure);
+        let _ = plan.due(2.0);
+        let _ = plan.at(3.0, FaultEvent::FanRepair);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_negative_time() {
+        let _ = FaultPlan::none().at(-1.0, FaultEvent::FanFailure);
+    }
+}

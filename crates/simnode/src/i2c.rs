@@ -1,0 +1,318 @@
+//! SMBus/i2c bus emulation.
+//!
+//! The paper's fan driver talks to the ADT7467 through the i2c protocol; we
+//! reproduce that control path so the "driver" layer (`unitherm-hwmon`)
+//! exercises real addressed register transactions instead of poking the fan
+//! model directly. The bus supports multiple attached devices, transaction
+//! accounting, and NACK fault injection.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+/// Error raised by a device while handling a register access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The register address is not implemented by the device.
+    InvalidRegister(u8),
+    /// The register exists but is read-only.
+    ReadOnlyRegister(u8),
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::InvalidRegister(r) => write!(f, "invalid register 0x{r:02x}"),
+            DeviceError::ReadOnlyRegister(r) => write!(f, "register 0x{r:02x} is read-only"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// Error raised by a bus transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum I2cError {
+    /// No device acknowledged the address.
+    NoDevice {
+        /// The unacknowledged 7-bit address.
+        addr: u8
+    },
+    /// The device NACKed the transaction (injected fault).
+    Nack {
+        /// The NACKing 7-bit address.
+        addr: u8
+    },
+    /// The device rejected the register access.
+    Device(DeviceError),
+}
+
+impl std::fmt::Display for I2cError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            I2cError::NoDevice { addr } => write!(f, "no device at address 0x{addr:02x}"),
+            I2cError::Nack { addr } => write!(f, "device 0x{addr:02x} NACKed"),
+            I2cError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for I2cError {}
+
+impl From<DeviceError> for I2cError {
+    fn from(e: DeviceError) -> Self {
+        I2cError::Device(e)
+    }
+}
+
+/// A device that speaks the SMBus byte-register protocol.
+pub trait SmbusDevice: Send {
+    /// Reads one register byte.
+    fn read_byte(&mut self, reg: u8) -> Result<u8, DeviceError>;
+    /// Writes one register byte.
+    fn write_byte(&mut self, reg: u8, value: u8) -> Result<(), DeviceError>;
+    /// Upcast for typed access from the simulator tick loop.
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable upcast for typed access from the simulator tick loop.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Counters describing bus traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Successful byte reads.
+    pub reads: u64,
+    /// Successful byte writes.
+    pub writes: u64,
+    /// Failed transactions (NACKs, missing devices, device errors).
+    pub errors: u64,
+}
+
+/// An i2c bus with addressed SMBus devices.
+#[derive(Default)]
+pub struct I2cBus {
+    devices: BTreeMap<u8, Box<dyn SmbusDevice>>,
+    nacking: Vec<u8>,
+    stats: BusStats,
+}
+
+impl std::fmt::Debug for I2cBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("I2cBus")
+            .field("addresses", &self.devices.keys().collect::<Vec<_>>())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl I2cBus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a device at a 7-bit address.
+    ///
+    /// # Panics
+    /// Panics if the address is already occupied or outside the 7-bit range —
+    /// both are wiring bugs, not runtime conditions.
+    pub fn attach(&mut self, addr: u8, device: Box<dyn SmbusDevice>) {
+        assert!(addr <= 0x7F, "i2c addresses are 7-bit, got 0x{addr:02x}");
+        assert!(
+            !self.devices.contains_key(&addr),
+            "i2c address 0x{addr:02x} already occupied"
+        );
+        self.devices.insert(addr, device);
+    }
+
+    /// Addresses of all attached devices.
+    pub fn addresses(&self) -> impl Iterator<Item = u8> + '_ {
+        self.devices.keys().copied()
+    }
+
+    /// Reads one register byte from the device at `addr`.
+    pub fn read_byte(&mut self, addr: u8, reg: u8) -> Result<u8, I2cError> {
+        if self.nacking.contains(&addr) {
+            self.stats.errors += 1;
+            return Err(I2cError::Nack { addr });
+        }
+        let dev = match self.devices.get_mut(&addr) {
+            Some(d) => d,
+            None => {
+                self.stats.errors += 1;
+                return Err(I2cError::NoDevice { addr });
+            }
+        };
+        match dev.read_byte(reg) {
+            Ok(v) => {
+                self.stats.reads += 1;
+                Ok(v)
+            }
+            Err(e) => {
+                self.stats.errors += 1;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Writes one register byte to the device at `addr`.
+    pub fn write_byte(&mut self, addr: u8, reg: u8, value: u8) -> Result<(), I2cError> {
+        if self.nacking.contains(&addr) {
+            self.stats.errors += 1;
+            return Err(I2cError::Nack { addr });
+        }
+        let dev = match self.devices.get_mut(&addr) {
+            Some(d) => d,
+            None => {
+                self.stats.errors += 1;
+                return Err(I2cError::NoDevice { addr });
+            }
+        };
+        match dev.write_byte(reg, value) {
+            Ok(()) => {
+                self.stats.writes += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.errors += 1;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Typed immutable access to an attached device (simulator internal use).
+    pub fn device<T: 'static>(&self, addr: u8) -> Option<&T> {
+        self.devices.get(&addr).and_then(|d| d.as_any().downcast_ref())
+    }
+
+    /// Typed mutable access to an attached device (simulator internal use).
+    pub fn device_mut<T: 'static>(&mut self, addr: u8) -> Option<&mut T> {
+        self.devices.get_mut(&addr).and_then(|d| d.as_any_mut().downcast_mut())
+    }
+
+    /// Enables or disables NACK injection for an address.
+    pub fn inject_nack(&mut self, addr: u8, enabled: bool) {
+        if enabled {
+            if !self.nacking.contains(&addr) {
+                self.nacking.push(addr);
+            }
+        } else {
+            self.nacking.retain(|&a| a != addr);
+        }
+    }
+
+    /// Transaction counters.
+    pub fn stats(&self) -> BusStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Trivial 4-register RAM device for bus tests.
+    struct RamDevice {
+        regs: [u8; 4],
+    }
+
+    impl SmbusDevice for RamDevice {
+        fn read_byte(&mut self, reg: u8) -> Result<u8, DeviceError> {
+            self.regs
+                .get(reg as usize)
+                .copied()
+                .ok_or(DeviceError::InvalidRegister(reg))
+        }
+        fn write_byte(&mut self, reg: u8, value: u8) -> Result<(), DeviceError> {
+            if reg == 3 {
+                return Err(DeviceError::ReadOnlyRegister(reg));
+            }
+            *self
+                .regs
+                .get_mut(reg as usize)
+                .ok_or(DeviceError::InvalidRegister(reg))? = value;
+            Ok(())
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn bus_with_ram() -> I2cBus {
+        let mut bus = I2cBus::new();
+        bus.attach(0x2E, Box::new(RamDevice { regs: [0; 4] }));
+        bus
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut bus = bus_with_ram();
+        bus.write_byte(0x2E, 1, 0xAB).unwrap();
+        assert_eq!(bus.read_byte(0x2E, 1), Ok(0xAB));
+        assert_eq!(bus.stats(), BusStats { reads: 1, writes: 1, errors: 0 });
+    }
+
+    #[test]
+    fn missing_device_errors() {
+        let mut bus = bus_with_ram();
+        assert_eq!(bus.read_byte(0x10, 0), Err(I2cError::NoDevice { addr: 0x10 }));
+        assert_eq!(bus.stats().errors, 1);
+    }
+
+    #[test]
+    fn invalid_register_propagates() {
+        let mut bus = bus_with_ram();
+        assert_eq!(
+            bus.read_byte(0x2E, 99),
+            Err(I2cError::Device(DeviceError::InvalidRegister(99)))
+        );
+        assert_eq!(
+            bus.write_byte(0x2E, 3, 1),
+            Err(I2cError::Device(DeviceError::ReadOnlyRegister(3)))
+        );
+    }
+
+    #[test]
+    fn nack_injection_blocks_and_recovers() {
+        let mut bus = bus_with_ram();
+        bus.inject_nack(0x2E, true);
+        assert_eq!(bus.read_byte(0x2E, 0), Err(I2cError::Nack { addr: 0x2E }));
+        assert_eq!(bus.write_byte(0x2E, 0, 1), Err(I2cError::Nack { addr: 0x2E }));
+        bus.inject_nack(0x2E, false);
+        assert!(bus.read_byte(0x2E, 0).is_ok());
+    }
+
+    #[test]
+    fn typed_access_downcasts() {
+        let mut bus = bus_with_ram();
+        bus.write_byte(0x2E, 2, 7).unwrap();
+        let dev: &RamDevice = bus.device(0x2E).unwrap();
+        assert_eq!(dev.regs[2], 7);
+        let dev: &mut RamDevice = bus.device_mut(0x2E).unwrap();
+        dev.regs[2] = 9;
+        assert_eq!(bus.read_byte(0x2E, 2), Ok(9));
+        assert!(bus.device::<I2cBus>(0x2E).is_none(), "wrong type downcast fails");
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn double_attach_panics() {
+        let mut bus = bus_with_ram();
+        bus.attach(0x2E, Box::new(RamDevice { regs: [0; 4] }));
+    }
+
+    #[test]
+    #[should_panic(expected = "7-bit")]
+    fn eight_bit_address_panics() {
+        let mut bus = I2cBus::new();
+        bus.attach(0x80, Box::new(RamDevice { regs: [0; 4] }));
+    }
+
+    #[test]
+    fn addresses_lists_attached() {
+        let bus = bus_with_ram();
+        assert_eq!(bus.addresses().collect::<Vec<_>>(), vec![0x2E]);
+    }
+}

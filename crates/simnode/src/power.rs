@@ -1,0 +1,169 @@
+//! Wall-power meter model ("Watts up? Pro ES").
+//!
+//! The paper measures whole-system power at the wall outlet. The meter model
+//! aggregates the DC loads (CPU + fan + board), divides by PSU efficiency to
+//! obtain AC wall power, integrates energy continuously, and produces
+//! 1 Hz-style sampled readings like the real instrument.
+
+use unitherm_metrics::RunningStats;
+
+/// A sampling wall-power meter.
+#[derive(Debug, Clone)]
+pub struct PowerMeter {
+    psu_efficiency: f64,
+    sample_period_s: f64,
+    /// Time accumulated since the last emitted sample.
+    since_sample_s: f64,
+    /// Energy accumulated since the last emitted sample (J, wall side).
+    window_energy_j: f64,
+    /// Total wall energy in joules.
+    total_energy_j: f64,
+    /// Total observation time in seconds.
+    total_time_s: f64,
+    /// Statistics over emitted samples.
+    stats: RunningStats,
+    last_sample_w: Option<f64>,
+}
+
+impl PowerMeter {
+    /// Creates a meter with the given PSU efficiency and sampling period.
+    pub fn new(psu_efficiency: f64, sample_period_s: f64) -> Self {
+        assert!(
+            psu_efficiency > 0.0 && psu_efficiency <= 1.0,
+            "PSU efficiency must be in (0,1]"
+        );
+        assert!(sample_period_s > 0.0, "sample period must be positive");
+        Self {
+            psu_efficiency,
+            sample_period_s,
+            since_sample_s: 0.0,
+            window_energy_j: 0.0,
+            total_energy_j: 0.0,
+            total_time_s: 0.0,
+            stats: RunningStats::new(),
+            last_sample_w: None,
+        }
+    }
+
+    /// Accumulates `dt_s` seconds of the given DC load; returns a new sample
+    /// (average wall power over the sample window) each time a sampling
+    /// period completes.
+    pub fn observe(&mut self, dt_s: f64, dc_power_w: f64) -> Option<f64> {
+        assert!(dt_s > 0.0, "time step must be positive");
+        assert!(dc_power_w >= 0.0, "power cannot be negative");
+        let wall_w = dc_power_w / self.psu_efficiency;
+        self.total_energy_j += wall_w * dt_s;
+        self.total_time_s += dt_s;
+        self.window_energy_j += wall_w * dt_s;
+        self.since_sample_s += dt_s;
+        if self.since_sample_s + 1e-9 >= self.sample_period_s {
+            let sample = self.window_energy_j / self.since_sample_s;
+            self.window_energy_j = 0.0;
+            self.since_sample_s = 0.0;
+            self.stats.push(sample);
+            self.last_sample_w = Some(sample);
+            Some(sample)
+        } else {
+            None
+        }
+    }
+
+    /// Total wall energy observed, in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.total_energy_j
+    }
+
+    /// True average wall power over the whole observation, in watts.
+    pub fn average_power_w(&self) -> f64 {
+        if self.total_time_s > 0.0 {
+            self.total_energy_j / self.total_time_s
+        } else {
+            0.0
+        }
+    }
+
+    /// The most recent emitted sample.
+    pub fn last_sample_w(&self) -> Option<f64> {
+        self.last_sample_w
+    }
+
+    /// Statistics over emitted samples.
+    pub fn sample_stats(&self) -> RunningStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_energy_through_psu() {
+        let mut m = PowerMeter::new(0.8, 1.0);
+        for _ in 0..100 {
+            m.observe(0.1, 80.0); // 80 W DC = 100 W wall
+        }
+        assert!((m.energy_j() - 1000.0).abs() < 1e-6);
+        assert!((m.average_power_w() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn emits_samples_at_period() {
+        let mut m = PowerMeter::new(1.0, 1.0);
+        let mut samples = 0;
+        for _ in 0..25 {
+            if m.observe(0.25, 50.0).is_some() {
+                samples += 1;
+            }
+        }
+        assert_eq!(samples, 6, "25 × 0.25 s = 6.25 s ⇒ 6 one-second samples");
+        assert_eq!(m.last_sample_w(), Some(50.0));
+    }
+
+    #[test]
+    fn sample_averages_window() {
+        let mut m = PowerMeter::new(1.0, 1.0);
+        // Half the window at 100 W, half at 0 W ⇒ 50 W sample.
+        for _ in 0..5 {
+            m.observe(0.1, 100.0);
+        }
+        let mut out = None;
+        for _ in 0..5 {
+            out = m.observe(0.1, 0.0).or(out);
+        }
+        let sample = out.expect("window completed");
+        assert!((sample - 50.0).abs() < 1e-9, "sample {sample}");
+    }
+
+    #[test]
+    fn stats_track_samples() {
+        let mut m = PowerMeter::new(1.0, 0.5);
+        for i in 0..10 {
+            m.observe(0.5, f64::from(i * 10));
+        }
+        let s = m.sample_stats();
+        assert_eq!(s.count(), 10);
+        assert!((s.mean() - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_meter_reports_zero() {
+        let m = PowerMeter::new(0.9, 1.0);
+        assert_eq!(m.average_power_w(), 0.0);
+        assert_eq!(m.energy_j(), 0.0);
+        assert_eq!(m.last_sample_w(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "PSU efficiency")]
+    fn rejects_bad_efficiency() {
+        let _ = PowerMeter::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn rejects_negative_power() {
+        let mut m = PowerMeter::new(1.0, 1.0);
+        m.observe(0.1, -5.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Lumped-parameter RC thermal network: die + heatsink.
+//!
+//! The model is the standard two-lump compact package model (the paper's
+//! related work, Ferreira et al. \[20\], validates the RC approach for exactly
+//! this use):
+//!
+//! ```text
+//!   C_die · dT_die/dt  = P_cpu − G_ds · (T_die − T_sink)
+//!   C_sink · dT_sink/dt = G_ds · (T_die − T_sink) − G_sa(airflow) · (T_sink − T_amb)
+//! ```
+//!
+//! The sink-to-ambient conductance depends on fan airflow:
+//! `G_sa = G_nat + G_air · airflow^k` with `airflow ∈ [0, 1]` the fan speed
+//! fraction and `k ≈ 0.5` (sub-linear forced convection, fit to the paper's
+//! operating points — see the calibration tests below). This is the single
+//! physical coupling the paper's out-of-band technique exploits: more duty ⇒
+//! more airflow ⇒ lower thermal resistance ⇒ lower die temperature.
+//!
+//! Integration is explicit Euler with sub-stepping: the fastest time constant
+//! (die: `C_die / (G_ds + …) ≈ 2.4 s`) is far slower than the 50 ms tick, and
+//! sub-steps keep the integration stable even for unusually stiff test
+//! configurations.
+
+use crate::config::ThermalConfig;
+
+/// Two-lump die + heatsink thermal model.
+#[derive(Debug, Clone)]
+pub struct ThermalModel {
+    cfg: ThermalConfig,
+    die_c: f64,
+    sink_c: f64,
+}
+
+impl ThermalModel {
+    /// Creates the model with both lumps equilibrated to ambient.
+    pub fn new(cfg: ThermalConfig) -> Self {
+        let ambient = cfg.ambient_c;
+        Self { cfg, die_c: ambient, sink_c: ambient }
+    }
+
+    /// Creates the model pre-warmed to the steady state for the given heat
+    /// input and airflow, so experiments can start from a realistic idle
+    /// operating point instead of a cold machine.
+    pub fn new_at_steady_state(cfg: ThermalConfig, power_w: f64, airflow: f64) -> Self {
+        let mut m = Self::new(cfg);
+        let (die, sink) = m.steady_state(power_w, airflow);
+        m.die_c = die;
+        m.sink_c = sink;
+        m
+    }
+
+    /// Current die (junction) temperature in °C.
+    pub fn die_temp_c(&self) -> f64 {
+        self.die_c
+    }
+
+    /// Current heatsink temperature in °C.
+    pub fn sink_temp_c(&self) -> f64 {
+        self.sink_c
+    }
+
+    /// Ambient temperature in °C.
+    pub fn ambient_c(&self) -> f64 {
+        self.cfg.ambient_c
+    }
+
+    /// Changes the ambient (intake) temperature — used by fault plans to
+    /// model hot spots / HVAC events.
+    pub fn set_ambient_c(&mut self, ambient_c: f64) {
+        assert!(ambient_c.is_finite(), "ambient temperature must be finite");
+        self.cfg.ambient_c = ambient_c;
+    }
+
+    /// Sink-to-ambient conductance for a given airflow fraction in `[0, 1]`.
+    pub fn sink_conductance(&self, airflow: f64) -> f64 {
+        let a = airflow.clamp(0.0, 1.0);
+        self.cfg.natural_conductance_w_per_k
+            + self.cfg.airflow_conductance_w_per_k * a.powf(self.cfg.airflow_exponent)
+    }
+
+    /// Steady-state `(die, sink)` temperatures for constant power and airflow.
+    pub fn steady_state(&self, power_w: f64, airflow: f64) -> (f64, f64) {
+        let g_sa = self.sink_conductance(airflow);
+        let sink = self.cfg.ambient_c + power_w / g_sa;
+        let die = sink + power_w / self.cfg.die_sink_conductance_w_per_k;
+        (die, sink)
+    }
+
+    /// Advances the network by `dt_s` seconds with the given CPU power (W)
+    /// and fan airflow fraction.
+    pub fn step(&mut self, dt_s: f64, power_w: f64, airflow: f64) {
+        assert!(dt_s > 0.0, "time step must be positive");
+        assert!(power_w >= 0.0, "CPU power cannot be negative");
+
+        let g_ds = self.cfg.die_sink_conductance_w_per_k;
+        let g_sa = self.sink_conductance(airflow);
+
+        // Sub-step so that the explicit update stays well inside the
+        // stability region: dt_sub << C/G for the fastest lump.
+        let tau_die = self.cfg.die_capacity_j_per_k / g_ds;
+        let tau_sink = self.cfg.sink_capacity_j_per_k / (g_ds + g_sa);
+        let max_sub = (tau_die.min(tau_sink) * 0.25).max(1e-4);
+        let n = (dt_s / max_sub).ceil() as usize;
+        let h = dt_s / n as f64;
+
+        for _ in 0..n {
+            let flow_ds = g_ds * (self.die_c - self.sink_c);
+            let flow_sa = g_sa * (self.sink_c - self.cfg.ambient_c);
+            self.die_c += h * (power_w - flow_ds) / self.cfg.die_capacity_j_per_k;
+            self.sink_c += h * (flow_ds - flow_sa) / self.cfg.sink_capacity_j_per_k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ThermalModel {
+        ThermalModel::new(ThermalConfig::default())
+    }
+
+    /// Runs the model to convergence and returns the die temperature.
+    fn settle(m: &mut ThermalModel, power: f64, airflow: f64) -> f64 {
+        for _ in 0..40_000 {
+            m.step(0.1, power, airflow);
+        }
+        m.die_temp_c()
+    }
+
+    #[test]
+    fn starts_at_ambient() {
+        let m = model();
+        assert_eq!(m.die_temp_c(), 22.0);
+        assert_eq!(m.sink_temp_c(), 22.0);
+    }
+
+    #[test]
+    fn steady_state_matches_settled_simulation() {
+        let mut m = model();
+        let settled = settle(&mut m, 60.0, 0.5);
+        let (die, _) = m.steady_state(60.0, 0.5);
+        assert!((settled - die).abs() < 0.05, "settled {settled} vs analytic {die}");
+    }
+
+    #[test]
+    fn prewarmed_model_is_already_settled() {
+        let m = ThermalModel::new_at_steady_state(ThermalConfig::default(), 20.0, 0.10);
+        let (die, sink) = m.steady_state(20.0, 0.10);
+        assert!((m.die_temp_c() - die).abs() < 1e-9);
+        assert!((m.sink_temp_c() - sink).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_at_min_fan_sits_near_tmin() {
+        // Calibration check: ~20 W idle, 10 % duty ⇒ around the ADT7467
+        // Tmin of 38 °C (slightly above it, so the automatic curve idles
+        // with a small duty margin).
+        let (die, _) = model().steady_state(20.0, 0.10);
+        assert!((36.0..44.0).contains(&die), "idle steady state {die}");
+    }
+
+    #[test]
+    fn burn_at_full_fan_sits_in_low_50s() {
+        // cpu-burn draws ≈ 70 W (48 W dynamic + 22 W static).
+        let (die, _) = model().steady_state(70.0, 1.0);
+        assert!((48.0..58.0).contains(&die), "full-fan burn steady state {die}");
+    }
+
+    #[test]
+    fn bt_at_75_percent_cap_sits_just_above_dvfs_threshold() {
+        // Table 1 calibration: NPB BT draws ≈ 60 W; even at a 75 %-capped
+        // fan the steady state must land slightly above the 51 °C tDVFS
+        // threshold (the paper's tDVFS makes 2 transitions at this cap).
+        let (die, _) = model().steady_state(60.0, 0.75);
+        assert!((51.0..55.0).contains(&die), "BT at 75% cap: {die}");
+    }
+
+    #[test]
+    fn burn_with_stalled_fan_exceeds_emergency() {
+        // With no airflow at all (seized rotor), a burn runs away past the
+        // 70 °C hardware throttle point.
+        let (die, _) = model().steady_state(70.0, 0.0);
+        assert!(die > 70.0, "stalled-fan burn should run away, got {die}");
+    }
+
+    #[test]
+    fn capped_25_percent_fan_cannot_hold_loads_below_threshold() {
+        // Figure 9's setup: at a 25 % duty cap neither a full burn (70 W)
+        // nor NPB BT (~60 W) stays below the 51 °C tDVFS threshold — DVFS
+        // must act. BT additionally stays short of the 70 °C hardware
+        // throttle so the DVFS layer (not the emergency monitor) does the
+        // work.
+        let (burn, _) = model().steady_state(70.0, 0.25);
+        assert!(burn > 53.0, "25 %-duty burn steady state {burn}");
+        let (bt, _) = model().steady_state(60.0, 0.25);
+        assert!(bt > 53.0, "25 %-duty BT steady state {bt}");
+        assert!(bt < 70.0, "BT should not reach the hardware throttle: {bt}");
+    }
+
+    #[test]
+    fn more_airflow_means_cooler() {
+        let m = model();
+        let temps: Vec<f64> =
+            [0.0, 0.25, 0.5, 0.75, 1.0].iter().map(|&a| m.steady_state(60.0, a).0).collect();
+        assert!(temps.windows(2).all(|w| w[1] < w[0]), "monotone cooling: {temps:?}");
+    }
+
+    #[test]
+    fn airflow_has_diminishing_returns() {
+        // The paper's Figure 7 point: 50 % vs 75 % max duty differ little,
+        // 25 % vs 100 % differ a lot. Check convexity of the cooling curve.
+        let m = model();
+        let t25 = m.steady_state(60.0, 0.25).0;
+        let t50 = m.steady_state(60.0, 0.50).0;
+        let t75 = m.steady_state(60.0, 0.75).0;
+        let t100 = m.steady_state(60.0, 1.0).0;
+        assert!(t25 - t50 > t50 - t75, "diminishing returns 25→50 vs 50→75");
+        assert!(t50 - t75 > t75 - t100, "diminishing returns 50→75 vs 75→100");
+    }
+
+    #[test]
+    fn die_reacts_faster_than_sink() {
+        let mut m = model();
+        // Step load from idle; after 3 s the die has moved much more than the sink.
+        for _ in 0..30 {
+            m.step(0.1, 80.0, 0.3);
+        }
+        let die_rise = m.die_temp_c() - 22.0;
+        let sink_rise = m.sink_temp_c() - 22.0;
+        assert!(die_rise > 3.0 * sink_rise, "die {die_rise} vs sink {sink_rise}");
+    }
+
+    #[test]
+    fn zero_power_decays_to_ambient() {
+        let mut m = model();
+        settle(&mut m, 60.0, 0.5);
+        let settled = settle(&mut m, 0.0, 0.5);
+        assert!((settled - 22.0).abs() < 0.05, "decayed to {settled}");
+    }
+
+    #[test]
+    fn ambient_step_shifts_operating_point() {
+        let mut m = model();
+        let before = settle(&mut m, 40.0, 0.5);
+        m.set_ambient_c(32.0);
+        let after = settle(&mut m, 40.0, 0.5);
+        assert!((after - before - 10.0).abs() < 0.1, "10 °C ambient step ⇒ 10 °C die shift");
+    }
+
+    #[test]
+    fn energy_conservation_in_equilibrium() {
+        // At steady state, heat in equals heat out through the sink.
+        let m = model();
+        let (die, sink) = m.steady_state(55.0, 0.6);
+        let g_ds = 8.3;
+        let flow_ds = g_ds * (die - sink);
+        assert!((flow_ds - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stable_for_large_steps() {
+        // A 1 s macro step must not oscillate or blow up thanks to sub-stepping.
+        let mut m = model();
+        for _ in 0..5_000 {
+            m.step(1.0, 80.0, 0.2);
+            assert!(m.die_temp_c().is_finite());
+            assert!(m.die_temp_c() < 500.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_dt() {
+        model().step(0.0, 10.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn rejects_negative_power() {
+        model().step(0.1, -1.0, 0.5);
+    }
+}

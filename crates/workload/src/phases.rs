@@ -1,0 +1,469 @@
+//! Phase programs: the workload execution model.
+//!
+//! A workload is a sequence of [`Phase`]s executed by one rank:
+//!
+//! * **Compute** phases carry an amount of work expressed as seconds at the
+//!   highest CPU frequency. Progress scales with the CPU's speed factor,
+//!   attenuated by the phase's `freq_sensitivity` (a memory-bound phase with
+//!   sensitivity 0.3 slows only 30 % as much as the clock does);
+//! * **Communicate** phases are wall-clock bound (network/blocking-MPI) and
+//!   advance at real time regardless of frequency;
+//! * **Barrier** phases park the rank until the cluster releases it (all
+//!   ranks arrived) — the BSP coupling that spreads one slow rank's delay to
+//!   the whole job.
+
+use serde::{Deserialize, Serialize};
+
+/// What a rank reports for one simulation tick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepOutcome {
+    /// OS-visible CPU utilization in `[0, 1]` during the tick — what a
+    /// utilization governor (CPUSPEED) observes.
+    pub utilization: f64,
+    /// Switching-activity factor in `[0, 1]` — the multiplier on the CPU's
+    /// dynamic power. Stall-heavy code shows high utilization but moderate
+    /// activity; busy-polling communication shows low utilization but
+    /// non-trivial activity.
+    pub activity: f64,
+}
+
+impl StepOutcome {
+    /// An outcome where activity equals utilization (fully compute-bound).
+    pub fn uniform(u: f64) -> Self {
+        Self { utilization: u, activity: u }
+    }
+}
+
+/// Execution state of a rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkState {
+    /// Executing phases.
+    Running,
+    /// Parked at barrier number `id`, waiting for release.
+    AtBarrier(u64),
+    /// All phases completed.
+    Finished,
+}
+
+/// One phase of a rank's program.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Frequency-sensitive computation.
+    Compute {
+        /// Duration in seconds when running at the highest frequency.
+        nominal_s: f64,
+        /// OS-visible CPU utilization while computing.
+        utilization: f64,
+        /// Switching-activity factor (dynamic-power multiplier). Stall-heavy
+        /// kernels have high utilization but lower activity.
+        activity: f64,
+        /// Fraction of the work that slows with the clock (1.0 = fully
+        /// CPU-bound, 0.0 = fully memory/IO-bound).
+        freq_sensitivity: f64,
+    },
+    /// Wall-clock-bound communication / IO.
+    Communicate {
+        /// Duration in seconds (frequency-independent).
+        duration_s: f64,
+        /// OS-visible CPU utilization while communicating (blocking MPI is
+        /// low; busy-polling MPI would be high).
+        utilization: f64,
+        /// Switching-activity factor (memory/NIC traffic keeps part of the
+        /// chip switching even at low OS utilization).
+        activity: f64,
+    },
+    /// BSP synchronization point.
+    Barrier,
+}
+
+impl Phase {
+    /// A compute phase whose activity equals its utilization.
+    pub fn compute(nominal_s: f64, utilization: f64, freq_sensitivity: f64) -> Self {
+        Phase::Compute { nominal_s, utilization, activity: utilization, freq_sensitivity }
+    }
+
+    /// A compute phase with an explicit activity factor.
+    pub fn compute_with_activity(
+        nominal_s: f64,
+        utilization: f64,
+        activity: f64,
+        freq_sensitivity: f64,
+    ) -> Self {
+        Phase::Compute { nominal_s, utilization, activity, freq_sensitivity }
+    }
+
+    /// A communication phase whose activity equals its utilization.
+    pub fn comm(duration_s: f64, utilization: f64) -> Self {
+        Phase::Communicate { duration_s, utilization, activity: utilization }
+    }
+
+    /// A communication phase with an explicit activity factor.
+    pub fn comm_with_activity(duration_s: f64, utilization: f64, activity: f64) -> Self {
+        Phase::Communicate { duration_s, utilization, activity }
+    }
+}
+
+/// CPU utilization while parked at a barrier (blocking MPI wait).
+pub const BARRIER_WAIT_UTILIZATION: f64 = 0.05;
+
+/// A rank's workload.
+pub trait Workload: Send {
+    /// Advances the workload by `dt_s` seconds of wall time at the given CPU
+    /// speed factor (1.0 = highest frequency). Returns the utilization the
+    /// CPU saw during the tick.
+    fn advance(&mut self, dt_s: f64, speed_factor: f64) -> StepOutcome;
+
+    /// Current execution state.
+    fn state(&self) -> WorkState;
+
+    /// Releases the rank from its current barrier. No-op unless parked.
+    fn release_barrier(&mut self);
+
+    /// Completed fraction in `[0, 1]`; unbounded workloads report 0.
+    fn progress(&self) -> f64;
+
+    /// True once all phases completed.
+    fn is_finished(&self) -> bool {
+        self.state() == WorkState::Finished
+    }
+}
+
+/// A concrete phase-program workload.
+#[derive(Debug, Clone)]
+pub struct PhaseWorkload {
+    phases: Vec<Phase>,
+    current: usize,
+    /// Remaining seconds in the current phase (nominal for compute).
+    remaining_s: f64,
+    state: WorkState,
+    barriers_passed: u64,
+    total_nominal_s: f64,
+    done_nominal_s: f64,
+}
+
+impl PhaseWorkload {
+    /// Creates a workload from a phase list.
+    ///
+    /// # Panics
+    /// Panics on an empty phase list or non-positive phase durations.
+    pub fn new(phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "phase program must not be empty");
+        let mut total = 0.0;
+        for p in &phases {
+            match *p {
+                Phase::Compute { nominal_s, utilization, activity, freq_sensitivity } => {
+                    assert!(nominal_s > 0.0, "compute phase must have positive duration");
+                    assert!((0.0..=1.0).contains(&utilization), "utilization must be in [0,1]");
+                    assert!((0.0..=1.0).contains(&activity), "activity must be in [0,1]");
+                    assert!(
+                        (0.0..=1.0).contains(&freq_sensitivity),
+                        "freq sensitivity must be in [0,1]"
+                    );
+                    total += nominal_s;
+                }
+                Phase::Communicate { duration_s, utilization, activity } => {
+                    assert!(duration_s > 0.0, "communicate phase must have positive duration");
+                    assert!((0.0..=1.0).contains(&utilization), "utilization must be in [0,1]");
+                    assert!((0.0..=1.0).contains(&activity), "activity must be in [0,1]");
+                    total += duration_s;
+                }
+                Phase::Barrier => {}
+            }
+        }
+        let remaining = Self::phase_duration(&phases[0]);
+        let mut w = Self {
+            phases,
+            current: 0,
+            remaining_s: remaining,
+            state: WorkState::Running,
+            barriers_passed: 0,
+            total_nominal_s: total,
+            done_nominal_s: 0.0,
+        };
+        w.settle_entry();
+        w
+    }
+
+    fn phase_duration(p: &Phase) -> f64 {
+        match *p {
+            Phase::Compute { nominal_s, .. } => nominal_s,
+            Phase::Communicate { duration_s, .. } => duration_s,
+            Phase::Barrier => 0.0,
+        }
+    }
+
+    /// If the current phase is a barrier (or the program is exhausted),
+    /// transition the state accordingly.
+    fn settle_entry(&mut self) {
+        loop {
+            if self.current >= self.phases.len() {
+                self.state = WorkState::Finished;
+                return;
+            }
+            match self.phases[self.current] {
+                Phase::Barrier => {
+                    self.state = WorkState::AtBarrier(self.barriers_passed);
+                    return;
+                }
+                _ => {
+                    self.state = WorkState::Running;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn advance_to_next_phase(&mut self) {
+        self.current += 1;
+        if self.current < self.phases.len() {
+            self.remaining_s = Self::phase_duration(&self.phases[self.current]);
+        }
+        self.settle_entry();
+    }
+
+    /// Total nominal duration (at full speed, excluding barrier waits).
+    pub fn total_nominal_s(&self) -> f64 {
+        self.total_nominal_s
+    }
+
+    /// Barriers passed so far.
+    pub fn barriers_passed(&self) -> u64 {
+        self.barriers_passed
+    }
+}
+
+impl Workload for PhaseWorkload {
+    fn advance(&mut self, dt_s: f64, speed_factor: f64) -> StepOutcome {
+        assert!(dt_s > 0.0, "time step must be positive");
+        let speed = speed_factor.clamp(0.0, 1.0);
+        let mut left = dt_s;
+        let mut util_time = 0.0;
+        let mut act_time = 0.0;
+
+        while left > 1e-12 {
+            match self.state {
+                WorkState::Finished => {
+                    // Finished ranks idle.
+                    break;
+                }
+                WorkState::AtBarrier(_) => {
+                    util_time += BARRIER_WAIT_UTILIZATION * left;
+                    act_time += BARRIER_WAIT_UTILIZATION * left;
+                    left = 0.0;
+                }
+                WorkState::Running => {
+                    let phase = self.phases[self.current];
+                    match phase {
+                        Phase::Compute { utilization, activity, freq_sensitivity, .. } => {
+                            // Nominal-work progress rate per wall second.
+                            let rate = (1.0 - freq_sensitivity) + freq_sensitivity * speed;
+                            if rate <= 1e-9 {
+                                // Stalled CPU (shutdown): no progress, idle.
+                                break;
+                            }
+                            let wall_needed = self.remaining_s / rate;
+                            let wall_used = wall_needed.min(left);
+                            let nominal_done = wall_used * rate;
+                            self.remaining_s -= nominal_done;
+                            self.done_nominal_s += nominal_done;
+                            util_time += utilization * wall_used;
+                            act_time += activity * wall_used;
+                            left -= wall_used;
+                            if self.remaining_s <= 1e-9 {
+                                self.advance_to_next_phase();
+                            }
+                        }
+                        Phase::Communicate { utilization, activity, .. } => {
+                            let wall_used = self.remaining_s.min(left);
+                            self.remaining_s -= wall_used;
+                            self.done_nominal_s += wall_used;
+                            util_time += utilization * wall_used;
+                            act_time += activity * wall_used;
+                            left -= wall_used;
+                            if self.remaining_s <= 1e-9 {
+                                self.advance_to_next_phase();
+                            }
+                        }
+                        Phase::Barrier => unreachable!("barrier handled by state"),
+                    }
+                }
+            }
+        }
+        StepOutcome {
+            utilization: (util_time / dt_s).clamp(0.0, 1.0),
+            activity: (act_time / dt_s).clamp(0.0, 1.0),
+        }
+    }
+
+    fn state(&self) -> WorkState {
+        self.state
+    }
+
+    fn release_barrier(&mut self) {
+        if let WorkState::AtBarrier(_) = self.state {
+            self.barriers_passed += 1;
+            self.advance_to_next_phase();
+        }
+    }
+
+    fn progress(&self) -> f64 {
+        if self.state == WorkState::Finished {
+            return 1.0;
+        }
+        if self.total_nominal_s <= 0.0 {
+            return 0.0;
+        }
+        (self.done_nominal_s / self.total_nominal_s).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs a workload to completion at a fixed speed; returns wall time.
+    fn run_to_completion(w: &mut PhaseWorkload, speed: f64) -> f64 {
+        let dt = 0.05;
+        let mut t = 0.0;
+        for _ in 0..2_000_000 {
+            if w.is_finished() {
+                return t;
+            }
+            if let WorkState::AtBarrier(_) = w.state() {
+                w.release_barrier(); // single-rank: release immediately
+                continue;
+            }
+            let _ = w.advance(dt, speed);
+            t += dt;
+        }
+        panic!("workload did not finish");
+    }
+
+    #[test]
+    fn compute_phase_takes_nominal_time_at_full_speed() {
+        let mut w = PhaseWorkload::new(vec![Phase::compute(10.0, 1.0, 1.0)]);
+        let t = run_to_completion(&mut w, 1.0);
+        assert!((t - 10.0).abs() < 0.1, "took {t}");
+        assert_eq!(w.progress(), 1.0);
+    }
+
+    #[test]
+    fn cpu_bound_phase_scales_inversely_with_speed() {
+        let mut w = PhaseWorkload::new(vec![Phase::compute(10.0, 1.0, 1.0)]);
+        let t = run_to_completion(&mut w, 0.5);
+        assert!((t - 20.0).abs() < 0.1, "took {t}");
+    }
+
+    #[test]
+    fn memory_bound_phase_is_less_sensitive() {
+        // Sensitivity 0.4 at half speed: rate = 0.6 + 0.4·0.5 = 0.8 ⇒ 12.5 s.
+        let mut w = PhaseWorkload::new(vec![Phase::compute(10.0, 1.0, 0.4)]);
+        let t = run_to_completion(&mut w, 0.5);
+        assert!((t - 12.5).abs() < 0.1, "took {t}");
+    }
+
+    #[test]
+    fn communicate_phase_ignores_speed() {
+        let mut w = PhaseWorkload::new(vec![Phase::comm(5.0, 0.3)]);
+        let t = run_to_completion(&mut w, 0.1);
+        assert!((t - 5.0).abs() < 0.1, "took {t}");
+    }
+
+    #[test]
+    fn utilization_reported_per_phase() {
+        let mut w = PhaseWorkload::new(vec![Phase::compute(1.0, 0.97, 1.0), Phase::comm(1.0, 0.30)]);
+        let u1 = w.advance(0.5, 1.0);
+        assert!((u1.utilization - 0.97).abs() < 1e-9);
+        let _ = w.advance(0.5, 1.0); // finishes compute
+        let u2 = w.advance(0.5, 1.0);
+        assert!((u2.utilization - 0.30).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tick_spanning_phase_boundary_blends_utilization() {
+        let mut w = PhaseWorkload::new(vec![Phase::compute(0.5, 1.0, 1.0), Phase::comm(0.5, 0.0)]);
+        let u = w.advance(1.0, 1.0);
+        assert!((u.utilization - 0.5).abs() < 1e-9, "half busy, half idle: {}", u.utilization);
+        assert!(w.is_finished());
+    }
+
+    #[test]
+    fn barrier_parks_until_released() {
+        let mut w = PhaseWorkload::new(vec![
+            Phase::compute(0.1, 1.0, 1.0),
+            Phase::Barrier,
+            Phase::compute(0.1, 1.0, 1.0),
+        ]);
+        let _ = w.advance(0.1, 1.0);
+        assert_eq!(w.state(), WorkState::AtBarrier(0));
+        // Waiting burns (almost) no CPU.
+        let u = w.advance(1.0, 1.0);
+        assert!((u.utilization - BARRIER_WAIT_UTILIZATION).abs() < 1e-9);
+        assert_eq!(w.state(), WorkState::AtBarrier(0));
+        w.release_barrier();
+        assert_eq!(w.state(), WorkState::Running);
+        let _ = w.advance(0.1, 1.0);
+        assert!(w.is_finished());
+        assert_eq!(w.barriers_passed(), 1);
+    }
+
+    #[test]
+    fn consecutive_barriers_get_distinct_ids() {
+        let mut w = PhaseWorkload::new(vec![Phase::Barrier, Phase::Barrier]);
+        assert_eq!(w.state(), WorkState::AtBarrier(0));
+        w.release_barrier();
+        assert_eq!(w.state(), WorkState::AtBarrier(1));
+        w.release_barrier();
+        assert!(w.is_finished());
+    }
+
+    #[test]
+    fn zero_speed_makes_no_progress() {
+        let mut w = PhaseWorkload::new(vec![Phase::compute(1.0, 1.0, 1.0)]);
+        for _ in 0..100 {
+            let _ = w.advance(0.1, 0.0);
+        }
+        assert_eq!(w.progress(), 0.0);
+        assert!(!w.is_finished());
+    }
+
+    #[test]
+    fn finished_workload_idles_quietly() {
+        let mut w = PhaseWorkload::new(vec![Phase::compute(0.1, 1.0, 1.0)]);
+        let _ = w.advance(0.2, 1.0);
+        assert!(w.is_finished());
+        let u = w.advance(1.0, 1.0);
+        assert_eq!(u.utilization, 0.0);
+        assert_eq!(w.progress(), 1.0);
+        w.release_barrier(); // harmless no-op
+        assert!(w.is_finished());
+    }
+
+    #[test]
+    fn progress_is_monotone() {
+        let mut w = PhaseWorkload::new(vec![
+            Phase::compute(1.0, 1.0, 1.0),
+            Phase::comm(1.0, 0.3),
+            Phase::compute(1.0, 1.0, 0.5),
+        ]);
+        let mut last = 0.0;
+        while !w.is_finished() {
+            let _ = w.advance(0.05, 0.8);
+            assert!(w.progress() >= last);
+            last = w.progress();
+        }
+        assert_eq!(last, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_program_rejected() {
+        let _ = PhaseWorkload::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn zero_duration_phase_rejected() {
+        let _ = PhaseWorkload::new(vec![Phase::compute(0.0, 1.0, 1.0)]);
+    }
+}

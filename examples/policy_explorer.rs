@@ -1,0 +1,77 @@
+//! Policy explorer: sweep `P_p` across its whole range and chart the
+//! temperature / power / performance trade-off the knob exposes.
+//!
+//! §4 of the paper: "we want to evaluate how effectively our system reacts
+//! to the P_p in terms of power, thermal and performance". This example
+//! sweeps `P_p ∈ {10, 20, …, 100}` over the hybrid controller on NPB BT
+//! and prints the trade-off table plus a quick trend plot. Sweeps run in
+//! parallel (one thread per configuration).
+//!
+//! ```text
+//! cargo run --release --example policy_explorer
+//! ```
+
+use unitherm::cluster::{run_scenarios_parallel, DvfsScheme, FanScheme, Scenario, WorkloadSpec};
+use unitherm::core::control_array::Policy;
+use unitherm::metrics::{AsciiPlot, TextTable, TimeSeries};
+use unitherm::workload::{NpbBenchmark, NpbClass};
+
+fn main() {
+    let pps: Vec<u32> = (1..=10).map(|i| i * 10).collect();
+    let scenarios: Vec<Scenario> = pps
+        .iter()
+        .map(|&pp| {
+            let policy = Policy::new(pp).expect("in range");
+            Scenario::new(format!("pp{pp}"))
+                .with_nodes(4)
+                .with_seed(777)
+                .with_workload(WorkloadSpec::Npb { bench: NpbBenchmark::Bt, class: NpbClass::B })
+                .with_fan(FanScheme::dynamic(policy, 50))
+                .with_dvfs(DvfsScheme::tdvfs(policy))
+                .with_max_time(600.0)
+                .with_recording(false)
+        })
+        .collect();
+
+    println!("sweeping P_p over {pps:?} (hybrid control, BT.B.4, fan cap 50 %)…\n");
+    let reports = run_scenarios_parallel(scenarios, pps.len());
+
+    let mut table = TextTable::new(
+        "P_p trade-off: small = temperature-oriented, large = cost-oriented",
+        &["P_p", "avg temp (°C)", "avg duty (%)", "avg power (W)", "exec time (s)", "PDP (W·s)"],
+    );
+    let mut temp_trend = TimeSeries::new("avg temp", "°C");
+    let mut duty_trend = TimeSeries::new("avg duty", "%");
+    for (pp, r) in pps.iter().zip(&reports) {
+        table.row(&[
+            pp.to_string(),
+            format!("{:.2}", r.avg_temp_c()),
+            format!("{:.1}", r.avg_duty_pct()),
+            format!("{:.2}", r.avg_node_power_w()),
+            format!("{:.1}", r.exec_time_s),
+            format!("{:.0}", r.power_delay_product()),
+        ]);
+        temp_trend.push(f64::from(*pp), r.avg_temp_c());
+        duty_trend.push(f64::from(*pp), r.avg_duty_pct());
+    }
+    println!("{}", table.render());
+    println!(
+        "{}",
+        AsciiPlot::new("trend over P_p (x-axis is P_p, not seconds)")
+            .size(72, 12)
+            .add(&temp_trend)
+            .add(&duty_trend)
+            .render()
+    );
+
+    let coolest = pps
+        .iter()
+        .zip(&reports)
+        .min_by(|a, b| a.1.avg_temp_c().partial_cmp(&b.1.avg_temp_c()).expect("finite"))
+        .expect("non-empty");
+    println!(
+        "coolest run: P_p = {} at {:.2}°C average — the temperature-oriented end, as designed",
+        coolest.0,
+        coolest.1.avg_temp_c()
+    );
+}

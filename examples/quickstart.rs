@@ -1,0 +1,64 @@
+//! Quickstart: one node, cpu-burn, the paper's coordinated control.
+//!
+//! Builds a simulated server node, attaches the dynamic fan controller and
+//! the tDVFS daemon under a single `P_p = 50` policy, runs cpu-burn for two
+//! simulated minutes and prints what happened.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use unitherm::cluster::{DvfsScheme, FanScheme, Scenario, Simulation, WorkloadSpec};
+use unitherm::core::control_array::Policy;
+use unitherm::metrics::AsciiPlot;
+
+fn main() {
+    let scenario = Scenario::new("quickstart")
+        .with_nodes(1)
+        .with_workload(WorkloadSpec::CpuBurn)
+        // Coordinated control: the fan is deliberately capped at 30 % duty
+        // (a weak fan) so the in-band side has something to do.
+        .with_fan(FanScheme::dynamic(Policy::MODERATE, 30))
+        .with_dvfs(DvfsScheme::tdvfs(Policy::MODERATE))
+        .with_max_time(120.0);
+
+    println!("running: {} …\n", scenario.name);
+    let report = Simulation::new(scenario).run();
+    let node = &report.nodes[0];
+
+    println!(
+        "{}",
+        AsciiPlot::new("CPU temperature (°C) — 4 Hz sensor samples")
+            .size(72, 14)
+            .add(&node.temp)
+            .render()
+    );
+    // Plot duty (0–100 %) and frequency rescaled to the same axis
+    // (2400 MHz → 24.0) so both fit one canvas.
+    let mut freq_scaled = unitherm::metrics::TimeSeries::new("freq", "×100 MHz");
+    for s in node.freq.samples() {
+        freq_scaled.push(s.time_s, s.value / 100.0);
+    }
+    println!(
+        "{}",
+        AsciiPlot::new("fan duty (%) and CPU frequency (×100 MHz)")
+            .size(72, 10)
+            .add(&node.duty)
+            .add(&freq_scaled)
+            .render()
+    );
+
+    println!("summary: {}", report.summary_line());
+    println!("  temperature: avg {:.2}°C, max {:.2}°C", node.temp_summary.mean, node.temp_summary.max);
+    println!("  fan duty:    avg {:.1}%", node.duty_summary.mean);
+    println!("  wall power:  avg {:.2} W ({:.1} kJ total)", node.avg_wall_power_w, node.energy_j / 1000.0);
+    if node.freq_events.is_empty() {
+        println!("  tDVFS:       never needed to act");
+    } else {
+        println!("  tDVFS events:");
+        for (t, mhz) in &node.freq_events {
+            println!("    t={t:>6.1}s → {mhz} MHz");
+        }
+    }
+    println!("  thermal emergencies: {}", node.throttle_events);
+}

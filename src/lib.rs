@@ -1,0 +1,90 @@
+#![warn(missing_docs)]
+
+//! # unitherm — unified in-band and out-of-band dynamic thermal control
+//!
+//! A full reproduction of *Li, Ge, Cameron — "System-level, Unified In-band
+//! and Out-of-band Dynamic Thermal Control", ICPP 2010*, as a Rust library:
+//! the paper's thermal-control framework (two-level temperature window,
+//! `P_p`-policy thermal control arrays, the tDVFS daemon, hybrid fan + DVFS
+//! coordination) together with a complete simulated evaluation platform
+//! (RC thermal model, DVFS CPU, PWM fan behind an ADT7467 model on an
+//! emulated i2c bus, lm-sensors-style drivers, BSP cluster simulation, NPB-
+//! style workloads) replacing the paper's hardware testbed.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use unitherm::cluster::{FanScheme, DvfsScheme, Scenario, Simulation, WorkloadSpec};
+//! use unitherm::core::control_array::Policy;
+//!
+//! // A 4-node cluster running cpu-burn under coordinated control:
+//! // dynamic fan (P_p = 50, capped at 50 % duty) plus the tDVFS daemon.
+//! let scenario = Scenario::new("demo")
+//!     .with_workload(WorkloadSpec::CpuBurn)
+//!     .with_fan(FanScheme::dynamic(Policy::MODERATE, 50))
+//!     .with_dvfs(DvfsScheme::tdvfs(Policy::MODERATE))
+//!     .with_max_time(60.0);
+//! let report = Simulation::new(scenario).run();
+//! assert!(report.avg_temp_c() > 0.0);
+//! println!("{}", report.summary_line());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`core`] | the paper's contribution: windows, control arrays, controllers, daemons |
+//! | [`simnode`] | the simulated node hardware (thermal RC, CPU, fan, ADT7467, sensors) |
+//! | [`hwmon`] | lm-sensors / cpufreq / i2c-fan driver layer |
+//! | [`workload`] | cpu-burn, NPB-style BSP workloads, scripted traces |
+//! | [`cluster`] | multi-node simulation, scenarios, reports, parallel sweeps |
+//! | [`metrics`] | time series, statistics, CSV, ASCII plots |
+//! | [`experiments`] | one runner per paper table/figure, plus ablations |
+//!
+//! Run `cargo run --release -p unitherm-experiments --bin repro -- all` to
+//! regenerate every table and figure; see `EXPERIMENTS.md` for the recorded
+//! paper-vs-measured comparison.
+
+pub use unitherm_cluster as cluster;
+pub use unitherm_core as core;
+pub use unitherm_experiments as experiments;
+pub use unitherm_hwmon as hwmon;
+pub use unitherm_metrics as metrics;
+pub use unitherm_simnode as simnode;
+pub use unitherm_workload as workload;
+
+/// The paper's platform constants, collected for convenience.
+pub mod paper {
+    /// tDVFS trigger threshold (§4.3).
+    pub const TDVFS_THRESHOLD_C: f64 = 51.0;
+    /// Sensor sampling rate (§4.1): four samples per second.
+    pub const SAMPLE_RATE_HZ: f64 = 4.0;
+    /// Traditional fan curve: minimum duty (§4.1).
+    pub const PWM_MIN_PERCENT: u8 = 10;
+    /// Traditional fan curve: ramp start (§4.1).
+    pub const T_MIN_C: f64 = 38.0;
+    /// Traditional fan curve: full-speed temperature (§4.1).
+    pub const T_MAX_C: f64 = 82.0;
+    /// Full fan speed (§4): 4300 RPM.
+    pub const FAN_MAX_RPM: f64 = 4300.0;
+    /// The evaluation cluster size.
+    pub const CLUSTER_NODES: usize = 4;
+    /// The DVFS ladder in MHz (§4.1).
+    pub const FREQUENCIES_MHZ: [u32; 5] = [2400, 2200, 2000, 1800, 1000];
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn paper_constants_match_platform_defaults() {
+        let cfg = crate::simnode::NodeConfig::default();
+        assert_eq!(cfg.fan.max_rpm, crate::paper::FAN_MAX_RPM);
+        let freqs: Vec<u32> = cfg.cpu.pstates.iter().map(|p| p.freq_mhz).collect();
+        assert_eq!(freqs, crate::paper::FREQUENCIES_MHZ.to_vec());
+        let tdvfs = crate::core::tdvfs::TdvfsConfig::default();
+        assert_eq!(tdvfs.threshold_c, crate::paper::TDVFS_THRESHOLD_C);
+        let ctl = crate::core::controller::ControllerConfig::default();
+        assert_eq!(ctl.t_min_c, crate::paper::T_MIN_C);
+        assert_eq!(ctl.t_max_c, crate::paper::T_MAX_C);
+    }
+}

@@ -1,0 +1,75 @@
+//! Reproducibility guarantees: identical seeds produce bit-identical runs
+//! across the whole stack, different seeds genuinely differ, and parallel
+//! sweep execution cannot change results.
+
+use unitherm::cluster::{
+    run_scenarios_parallel, DvfsScheme, FanScheme, Scenario, Simulation, WorkloadSpec,
+};
+use unitherm::core::control_array::Policy;
+use unitherm::workload::{NpbBenchmark, NpbClass};
+
+fn scenario(seed: u64) -> Scenario {
+    Scenario::new("det")
+        .with_nodes(4)
+        .with_seed(seed)
+        .with_workload(WorkloadSpec::Npb { bench: NpbBenchmark::Bt, class: NpbClass::B })
+        .with_fan(FanScheme::dynamic(Policy::MODERATE, 50))
+        .with_dvfs(DvfsScheme::tdvfs(Policy::MODERATE))
+        .with_max_time(600.0)
+}
+
+#[test]
+fn identical_seeds_are_bit_identical() {
+    let a = Simulation::new(scenario(42)).run();
+    let b = Simulation::new(scenario(42)).run();
+    assert_eq!(a.exec_time_s, b.exec_time_s);
+    assert_eq!(a.avg_node_power_w(), b.avg_node_power_w());
+    assert_eq!(a.total_freq_transitions(), b.total_freq_transitions());
+    for (na, nb) in a.nodes.iter().zip(&b.nodes) {
+        assert_eq!(na.temp.samples(), nb.temp.samples());
+        assert_eq!(na.duty.samples(), nb.duty.samples());
+        assert_eq!(na.freq_events, nb.freq_events);
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = Simulation::new(scenario(1)).run();
+    let b = Simulation::new(scenario(2)).run();
+    // Sensor noise and rank wobble must actually differ.
+    assert_ne!(
+        a.nodes[0].temp.samples(),
+        b.nodes[0].temp.samples(),
+        "different seeds produced identical traces"
+    );
+}
+
+#[test]
+fn parallel_sweep_matches_serial_execution() {
+    let serial: Vec<_> = vec![scenario(7), scenario(8), scenario(9)]
+        .into_iter()
+        .map(|s| Simulation::new(s).run())
+        .collect();
+    let parallel = run_scenarios_parallel(vec![scenario(7), scenario(8), scenario(9)], 3);
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.exec_time_s, p.exec_time_s);
+        assert_eq!(s.avg_node_power_w(), p.avg_node_power_w());
+        assert_eq!(s.nodes[0].temp.samples(), p.nodes[0].temp.samples());
+    }
+}
+
+#[test]
+fn recording_off_preserves_summaries() {
+    // Disabling trace recording (benchmark mode) must not change any
+    // physics or summary statistic.
+    let with = Simulation::new(scenario(5)).run();
+    let mut sc = scenario(5);
+    sc.record_series = false;
+    let without = Simulation::new(sc).run();
+    assert_eq!(with.exec_time_s, without.exec_time_s);
+    assert_eq!(with.avg_node_power_w(), without.avg_node_power_w());
+    assert_eq!(with.avg_temp_c(), without.avg_temp_c());
+    assert_eq!(with.total_freq_transitions(), without.total_freq_transitions());
+    assert!(without.nodes[0].temp.is_empty(), "no traces in benchmark mode");
+    assert_eq!(without.nodes[0].temp_summary.count, with.nodes[0].temp_summary.count);
+}

@@ -1,0 +1,113 @@
+//! The reproduction contract, executable: every paper table and figure must
+//! reproduce its qualitative *shape* — who wins, orderings, crossovers —
+//! per `DESIGN.md` §4. (Absolute numbers are not expected to match the
+//! authors' 2010 testbed; `EXPERIMENTS.md` records both.)
+//!
+//! These run the same experiment code as the `repro` binary at `Fast`
+//! scale. Each test prints the rendered result on failure so violations are
+//! diagnosable from CI logs alone.
+
+use unitherm::experiments::{ablations, fig1, fig10, fig2, fig5, fig6, fig7, fig8, fig9, scaling, table1, Experiment, Scale};
+
+fn assert_shape(result: &dyn Experiment) {
+    let violations = result.shape_violations();
+    assert!(
+        violations.is_empty(),
+        "{} violated its shape criteria:\n{:#?}\n--- rendered result ---\n{}",
+        result.id(),
+        violations,
+        result.render()
+    );
+}
+
+#[test]
+fn fig1_static_fan_curve() {
+    assert_shape(&fig1::run(Scale::Fast));
+}
+
+#[test]
+fn fig2_thermal_behaviour_taxonomy() {
+    assert_shape(&fig2::run(Scale::Fast));
+}
+
+#[test]
+fn fig5_fan_policy_sweep() {
+    assert_shape(&fig5::run(Scale::Fast));
+}
+
+#[test]
+fn fig6_fan_scheme_comparison() {
+    assert_shape(&fig6::run(Scale::Fast));
+}
+
+#[test]
+fn fig7_max_pwm_sweep() {
+    assert_shape(&fig7::run(Scale::Fast));
+}
+
+#[test]
+fn fig8_tdvfs_with_static_fan() {
+    assert_shape(&fig8::run(Scale::Fast));
+}
+
+#[test]
+fn fig9_tdvfs_vs_cpuspeed() {
+    assert_shape(&fig9::run(Scale::Fast));
+}
+
+#[test]
+fn fig10_hybrid_policy_sweep() {
+    assert_shape(&fig10::run(Scale::Fast));
+}
+
+#[test]
+fn table1_governor_comparison() {
+    assert_shape(&table1::run(Scale::Fast));
+}
+
+#[test]
+fn ablation_window_levels() {
+    assert_shape(&ablations::window_levels(Scale::Fast));
+}
+
+#[test]
+fn ablation_l1_size() {
+    assert_shape(&ablations::l1_size(Scale::Fast));
+}
+
+#[test]
+fn ablation_fill_rule() {
+    assert_shape(&ablations::fill_rule(Scale::Fast));
+}
+
+#[test]
+fn ablation_hybrid_isolation() {
+    assert_shape(&ablations::hybrid_isolation(Scale::Fast));
+}
+
+#[test]
+fn ablation_tdvfs_hysteresis() {
+    assert_shape(&ablations::tdvfs_hysteresis(Scale::Fast));
+}
+
+#[test]
+fn scaling_study() {
+    assert_shape(&scaling::run(Scale::Fast));
+}
+
+#[test]
+fn csv_export_works_for_every_experiment() {
+    let dir = std::env::temp_dir().join("unitherm_shape_csv");
+    let results: Vec<Box<dyn Experiment>> = vec![
+        Box::new(fig1::run(Scale::Fast)),
+        Box::new(fig2::run(Scale::Fast)),
+        Box::new(ablations::fill_rule(Scale::Fast)),
+    ];
+    for r in &results {
+        r.write_csv(&dir).unwrap_or_else(|e| panic!("{} CSV export failed: {e}", r.id()));
+    }
+    assert!(dir.join("fig1.csv").exists());
+    assert!(dir.join("fig2.csv").exists());
+    assert!(dir.join("ablate_fill.csv").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,153 @@
+//! Fault-injection resilience: what happens to the control stack when the
+//! world misbehaves — sensors go dark, i2c buses wedge, fans die, machine
+//! rooms heat up — with and without the failsafe watchdog.
+
+use unitherm::cluster::{DvfsScheme, FanScheme, Scenario, Simulation, WorkloadSpec};
+use unitherm::core::control_array::Policy;
+use unitherm::core::failsafe::FailsafeConfig;
+use unitherm::simnode::faults::{FaultEvent, FaultPlan};
+
+/// A sustained-burn scenario where the sensor goes permanently dark at
+/// t = 3 s, before the fan controller has meaningfully ramped. The frozen
+/// controller holds a low duty against a full-power workload.
+fn blind_sensor_scenario(name: &str) -> Scenario {
+    let sustained = unitherm::workload::burn::BurnConfig {
+        burst_s: (250.0, 300.0),
+        gap_s: (4.0, 6.0),
+        ..Default::default()
+    };
+    Scenario::new(name)
+        .with_nodes(1)
+        .with_seed(0xB11D)
+        .with_workload(WorkloadSpec::CpuBurnTuned(sustained))
+        .with_fan(FanScheme::dynamic(Policy::MODERATE, 100))
+        .with_max_time(600.0)
+        .with_fault(0, FaultPlan::none().at(1.5, FaultEvent::SensorDropout))
+}
+
+#[test]
+fn blind_controller_without_failsafe_overheats() {
+    let report = Simulation::new(blind_sensor_scenario("blind-unprotected")).run();
+    let node = &report.nodes[0];
+    // The controller froze on the last (cool) reading while the burn kept
+    // heating; the recorded temperature trace is the *stale* reading, so
+    // the hardware monitor counters are the ground truth here.
+    assert!(
+        node.throttle_events > 0 || node.shut_down,
+        "a blind controller under sustained burn must end in a hardware \
+         emergency (frozen duty {:.0}%)",
+        node.duty.last().map(|s| s.value).unwrap_or(0.0)
+    );
+}
+
+#[test]
+fn failsafe_rescues_a_blind_controller() {
+    let report = Simulation::new(
+        blind_sensor_scenario("blind-protected").with_failsafe(FailsafeConfig::default()),
+    )
+    .run();
+    let node = &report.nodes[0];
+    assert!(node.failsafe_engagements > 0, "failsafe must engage on the blackout");
+    assert_eq!(node.throttle_events, 0, "no hardware emergency under failsafe");
+    assert!(!node.shut_down);
+    // Full fan under burn holds the node in the mid-50s.
+    let settled = node.duty.value_at(report.wall_time_s).unwrap_or(0.0);
+    assert!(settled >= 99.0, "failsafe holds the fan at full duty, got {settled}%");
+}
+
+#[test]
+fn failsafe_releases_after_sensor_recovery() {
+    let plan = FaultPlan::none()
+        .at(15.0, FaultEvent::SensorDropout)
+        .at(120.0, FaultEvent::SensorRestore);
+    let report = Simulation::new(
+        Scenario::new("blackout-recovery")
+            .with_nodes(1)
+            .with_seed(0xB11E)
+            .with_workload(WorkloadSpec::Idle) // idle: cools quickly once fan maxes
+            .with_fan(FanScheme::dynamic(Policy::MODERATE, 100))
+            .with_failsafe(FailsafeConfig::default())
+            .with_max_time(400.0)
+            .with_fault(0, plan),
+    )
+    .run();
+    let node = &report.nodes[0];
+    assert_eq!(node.failsafe_engagements, 1);
+    // After recovery + cooling the failsafe released: the fan is no longer
+    // pinned at 100 % by the end of the run (idle needs almost none).
+    let final_duty = node.duty.last().expect("recorded").value;
+    assert!(final_duty < 100.0, "failsafe released, duty {final_duty}%");
+}
+
+#[test]
+fn failsafe_panic_line_preempts_hardware_throttle() {
+    // A weak constant fan under burn marches toward the 70 °C hardware
+    // throttle; the failsafe's 65 °C panic line must fire first and force
+    // DVFS down, keeping the hardware monitor out of it.
+    let report = Simulation::new(
+        Scenario::new("panic-line")
+            .with_nodes(1)
+            .with_seed(0xB11F)
+            .with_workload(WorkloadSpec::CpuBurn)
+            .with_fan(FanScheme::Constant { duty: 15 })
+            .with_failsafe(FailsafeConfig::default())
+            .with_max_time(600.0),
+    )
+    .run();
+    let node = &report.nodes[0];
+    assert!(node.failsafe_engagements > 0, "panic line must fire");
+    assert_eq!(node.throttle_events, 0, "graceful path beats the hardware monitor");
+    assert!(node.temp_summary.max < 70.0, "max {:.1}°C", node.temp_summary.max);
+}
+
+#[test]
+fn ambient_excursion_is_absorbed_by_the_controllers() {
+    // A machine-room hot spot (ambient +10 °C) mid-run: the coordinated
+    // controllers absorb it without a hardware emergency.
+    let report = Simulation::new(
+        Scenario::new("hot-spot")
+            .with_nodes(1)
+            .with_seed(0xB120)
+            .with_workload(WorkloadSpec::CpuBurn)
+            .with_fan(FanScheme::dynamic(Policy::MODERATE, 100))
+            .with_dvfs(DvfsScheme::tdvfs(Policy::MODERATE))
+            .with_max_time(500.0)
+            .with_fault(0, FaultPlan::none().at(100.0, FaultEvent::AmbientStep(32.0))),
+    )
+    .run();
+    let node = &report.nodes[0];
+    assert_eq!(node.throttle_events, 0, "max {:.1}°C", node.temp_summary.max);
+    // The excursion shows in the trace…
+    assert!(node.temp_summary.max > 50.0);
+    // …and the fan responded by running harder after the step.
+    let before = node.duty.summary_between(0.0, 100.0).mean;
+    let after = node.duty.summary_between(150.0, 500.0).mean;
+    assert!(after > before, "duty before {before:.1}% vs after {after:.1}%");
+}
+
+#[test]
+fn i2c_wedge_leaves_last_duty_but_daemons_survive() {
+    // The fan-controller bus NACKs everything from t = 30 s: duty writes
+    // fail silently (the daemon keeps running), the fan holds its last
+    // commanded duty, and the simulation completes without panicking.
+    let report = Simulation::new(
+        Scenario::new("i2c-wedge")
+            .with_nodes(1)
+            .with_seed(0xB121)
+            .with_workload(WorkloadSpec::CpuBurn)
+            .with_fan(FanScheme::dynamic(Policy::MODERATE, 100))
+            .with_dvfs(DvfsScheme::tdvfs(Policy::MODERATE))
+            .with_max_time(400.0)
+            .with_fault(0, FaultPlan::none().at(30.0, FaultEvent::I2cFailure)),
+    )
+    .run();
+    let node = &report.nodes[0];
+    // The in-band side is unaffected by the fan bus: tDVFS still protects
+    // the node once the stuck fan lets temperatures climb.
+    assert!(
+        node.freq_transitions > 0,
+        "tDVFS must compensate for the wedged fan bus (max {:.1}°C)",
+        node.temp_summary.max
+    );
+    assert!(!node.shut_down);
+}

@@ -1,0 +1,106 @@
+//! End-to-end scenario fuzzing: for *any* scenario configuration the
+//! simulation must complete without panicking and produce an internally
+//! consistent report.
+
+use proptest::prelude::*;
+
+use unitherm::cluster::{DvfsScheme, FanScheme, Scenario, Simulation, WorkloadSpec};
+use unitherm::core::control_array::Policy;
+use unitherm::core::failsafe::FailsafeConfig;
+use unitherm::workload::{NpbBenchmark, NpbClass};
+
+/// Strategy over fan schemes.
+fn fan_scheme() -> impl Strategy<Value = FanScheme> {
+    prop_oneof![
+        (1u8..=100).prop_map(|d| FanScheme::ChipAutomatic { max_duty: d }),
+        (1u8..=100).prop_map(|d| FanScheme::Constant { duty: d }),
+        (1u32..=100, 1u8..=100)
+            .prop_map(|(pp, d)| FanScheme::dynamic(Policy::new(pp).unwrap(), d)),
+        (1u32..=100, 1u8..=100)
+            .prop_map(|(pp, d)| FanScheme::dynamic_feedforward(Policy::new(pp).unwrap(), d)),
+    ]
+}
+
+/// Strategy over DVFS schemes.
+fn dvfs_scheme() -> impl Strategy<Value = DvfsScheme> {
+    prop_oneof![
+        Just(DvfsScheme::None),
+        (1u32..=100).prop_map(|pp| DvfsScheme::tdvfs(Policy::new(pp).unwrap())),
+        Just(DvfsScheme::cpuspeed()),
+    ]
+}
+
+/// Strategy over workloads (short ones: the fuzz runs many cases).
+fn workload() -> impl Strategy<Value = WorkloadSpec> {
+    prop_oneof![
+        Just(WorkloadSpec::CpuBurn),
+        Just(WorkloadSpec::Idle),
+        Just(WorkloadSpec::Npb { bench: NpbBenchmark::Cg, class: NpbClass::A }),
+        Just(WorkloadSpec::Npb { bench: NpbBenchmark::Ep, class: NpbClass::A }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_scenario_produces_a_consistent_report(
+        nodes in 1usize..=6,
+        seed in any::<u64>(),
+        fan in fan_scheme(),
+        dvfs in dvfs_scheme(),
+        wl in workload(),
+        with_failsafe in any::<bool>(),
+        with_rack in any::<bool>(),
+        max_time in 10.0f64..40.0,
+    ) {
+        let mut scenario = Scenario::new("fuzz")
+            .with_nodes(nodes)
+            .with_seed(seed)
+            .with_fan(fan)
+            .with_dvfs(dvfs)
+            .with_workload(wl)
+            .with_max_time(max_time);
+        if with_failsafe {
+            scenario = scenario.with_failsafe(FailsafeConfig::default());
+        }
+        if with_rack {
+            scenario = scenario.with_rack(unitherm::cluster::rack::RackConfig::default());
+        }
+
+        let report = Simulation::new(scenario).run();
+
+        // Structural invariants.
+        prop_assert_eq!(report.nodes.len(), nodes);
+        prop_assert!(report.exec_time_s <= report.wall_time_s + 1e-9);
+        prop_assert!(report.wall_time_s <= max_time + 1.0);
+        prop_assert_eq!(report.rack_air.is_some(), with_rack);
+
+        // Physical invariants per node.
+        for (i, n) in report.nodes.iter().enumerate() {
+            prop_assert!(n.avg_wall_power_w >= 0.0, "node {i} power");
+            prop_assert!(n.energy_j >= 0.0);
+            if n.temp_summary.count > 0 {
+                prop_assert!(n.temp_summary.min > -50.0 && n.temp_summary.max < 300.0,
+                    "node {i} temps out of physical range: {:?}", n.temp_summary);
+            }
+            prop_assert!(n.duty_summary.min >= 0.0 && n.duty_summary.max <= 100.0,
+                "node {i} duty range");
+            // Recorded frequency events must be ladder values.
+            for &(t, f) in &n.freq_events {
+                prop_assert!(t >= 0.0 && t <= report.wall_time_s + 1e-9);
+                prop_assert!([2400, 2200, 2000, 1800, 1000].contains(&f), "off-ladder {f}");
+            }
+            // Without a failsafe the engagement count must be zero.
+            if !with_failsafe {
+                prop_assert_eq!(n.failsafe_engagements, 0);
+            }
+        }
+
+        // Aggregates agree with per-node data.
+        let sum_tr: u64 = report.nodes.iter().map(|n| n.freq_transitions).sum();
+        prop_assert_eq!(report.total_freq_transitions(), sum_tr);
+        let pdp = report.power_delay_product();
+        prop_assert!((pdp - report.avg_node_power_w() * report.exec_time_s).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,39 @@
+//! The shipped example scenario files must stay loadable and runnable —
+//! they are the first thing a downstream user will try.
+
+use unitherm::experiments::scenario_file;
+
+fn repo_path(rel: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+#[test]
+fn hot_rack_scenario_loads_and_validates() {
+    let s = scenario_file::load(repo_path("examples/scenarios/hot_rack_bt.json")).unwrap();
+    assert_eq!(s.name, "hot-rack-bt");
+    assert_eq!(s.nodes, 4);
+    assert!(s.rack.is_some(), "the hot-rack file couples the rack air");
+}
+
+#[test]
+fn protected_burn_scenario_runs() {
+    let mut s = scenario_file::load(repo_path("examples/scenarios/protected_burn.json")).unwrap();
+    assert!(s.failsafe.is_some());
+    // Shorten for the test; the file itself carries the full duration.
+    s.max_time_s = 20.0;
+    let (report, text) = scenario_file::run_and_render(s);
+    assert_eq!(report.nodes.len(), 2);
+    assert!(!report.any_shutdown());
+    assert!(text.contains("node0:"));
+}
+
+#[test]
+fn scenario_files_round_trip_through_to_json() {
+    for file in ["examples/scenarios/hot_rack_bt.json", "examples/scenarios/protected_burn.json"] {
+        let s = scenario_file::load(repo_path(file)).unwrap();
+        let json = scenario_file::to_json(&s);
+        let reparsed: unitherm::cluster::Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(reparsed.name, s.name, "{file}");
+        assert_eq!(reparsed.fan, s.fan, "{file}");
+    }
+}
