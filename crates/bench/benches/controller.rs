@@ -63,10 +63,7 @@ fn bench_array_build(c: &mut Criterion) {
     let duties = fan_mode_set(100);
     c.bench_function("control_array/build_n100", |b| {
         b.iter(|| {
-            black_box(ThermalControlArray::with_default_len(
-                black_box(&duties),
-                Policy::MODERATE,
-            ))
+            black_box(ThermalControlArray::with_default_len(black_box(&duties), Policy::MODERATE))
         });
     });
     c.bench_function("control_array/build_dvfs", |b| {

@@ -3,7 +3,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use unitherm_cluster::{run_scenarios_parallel, DvfsScheme, FanScheme, Scenario, Simulation, WorkloadSpec};
+use unitherm_cluster::{
+    run_scenarios_parallel, DvfsScheme, FanScheme, Scenario, Simulation, WorkloadSpec,
+};
 use unitherm_core::control_array::Policy;
 use unitherm_simnode::{Node, NodeConfig};
 
@@ -26,25 +28,21 @@ fn bench_cluster_second(c: &mut Criterion) {
     // full coordinated control.
     let mut g = c.benchmark_group("cluster");
     for nodes in [1usize, 4, 16] {
-        g.bench_with_input(
-            BenchmarkId::new("simulated_minute", nodes),
-            &nodes,
-            |b, &nodes| {
-                b.iter(|| {
-                    let report = Simulation::new(
-                        Scenario::new("bench")
-                            .with_nodes(nodes)
-                            .with_workload(WorkloadSpec::CpuBurn)
-                            .with_fan(FanScheme::dynamic(Policy::MODERATE, 50))
-                            .with_dvfs(DvfsScheme::tdvfs(Policy::MODERATE))
-                            .with_max_time(60.0)
-                            .with_recording(false),
-                    )
-                    .run();
-                    black_box(report.avg_temp_c())
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("simulated_minute", nodes), &nodes, |b, &nodes| {
+            b.iter(|| {
+                let report = Simulation::new(
+                    Scenario::new("bench")
+                        .with_nodes(nodes)
+                        .with_workload(WorkloadSpec::CpuBurn)
+                        .with_fan(FanScheme::dynamic(Policy::MODERATE, 50))
+                        .with_dvfs(DvfsScheme::tdvfs(Policy::MODERATE))
+                        .with_max_time(60.0)
+                        .with_recording(false),
+                )
+                .run();
+                black_box(report.avg_temp_c())
+            });
+        });
     }
     g.finish();
 }

@@ -17,16 +17,17 @@
 //!
 //! Modules:
 //!
-//! * [`scheme`] — the control-scheme configuration (which fan policy, which
-//!   DVFS policy);
+//! * [`scheme`] — the control-scheme vocabulary, re-exported from
+//!   `unitherm_core::control_plane` (the shared `SchemeSpec::build()`
+//!   factory is the only place a scheme becomes a daemon pipeline);
 //! * [`scenario`] — a complete experiment description (workload, nodes,
 //!   schemes, faults, duration, seed);
-//! * [`node_sim`] — one node's simulation state: hardware + drivers +
-//!   daemons + recorders;
+//! * [`node_sim`] — one node's simulation state: hardware + platform
+//!   binding + control plane + recorders;
 //! * [`sim`] — the cluster tick loop with barrier release;
 //! * [`report`] — structured run results (traces + the summary numbers the
 //!   paper's tables report);
-//! * [`sweep`] — parallel execution of independent scenarios (crossbeam
+//! * [`sweep`] — parallel execution of independent scenarios (std
 //!   scoped threads, one per configuration).
 
 pub mod node_sim;
@@ -39,7 +40,7 @@ pub mod sweep;
 
 pub use rack::{RackConfig, RackModel};
 pub use report::{NodeReport, RunReport};
-pub use scenario::{Scenario, WorkloadSpec};
-pub use scheme::{DvfsScheme, FanScheme};
+pub use scenario::{Scenario, ScenarioError, WorkloadSpec};
+pub use scheme::{DvfsScheme, FanScheme, SchemeSpec};
 pub use sim::Simulation;
 pub use sweep::run_scenarios_parallel;

@@ -1,73 +1,22 @@
-//! Per-node simulation state: hardware, drivers, daemons, recorders.
+//! Per-node simulation state: hardware, platform binding, control plane,
+//! recorders.
+//!
+//! The daemon wiring that used to live here as ad-hoc enums is gone: a
+//! node's control scheme is described by a
+//! [`SchemeSpec`](unitherm_core::control_plane::SchemeSpec), turned into a
+//! daemon pipeline by its single `build()` factory, and run by the core
+//! [`ControlPlane`] against the node's probed [`PlatformBinding`] — the
+//! same path the hwmon `ControlStack` uses.
 
 use unitherm_core::actuator::FreqMhz;
-use unitherm_core::failsafe::{Failsafe, FailsafeAction};
-use unitherm_core::fan_control::DynamicFanController;
-use unitherm_core::feedforward::FeedforwardFanController;
-use unitherm_core::governor::CpuSpeedGovernor;
-use unitherm_core::tdvfs::Tdvfs;
-use unitherm_hwmon::{CpufreqDriver, FanDriver, LmSensors};
+use unitherm_core::control_plane::{BuildContext, ControlPlane, SensorSample};
+use unitherm_hwmon::{LmSensors, PlatformActuators, PlatformBinding};
 use unitherm_metrics::{RunningStats, TimeSeries};
 use unitherm_simnode::faults::FaultPlan;
 use unitherm_simnode::Node;
 use unitherm_workload::{WorkState, Workload};
 
 use crate::scenario::Scenario;
-use crate::scheme::{DvfsScheme, FanScheme};
-
-/// The fan-side daemon attached to a node.
-pub enum FanDaemon {
-    /// Chip automatic mode: no software in the loop.
-    ChipAuto,
-    /// Software static-curve daemon through the manual-mode driver.
-    Static {
-        /// The curve to evaluate each sample.
-        curve: unitherm_core::baseline::StaticFanCurve,
-        /// The manual-mode driver.
-        driver: FanDriver,
-    },
-    /// Constant duty (applied once at attach time).
-    Constant {
-        /// The pinned duty.
-        duty: u8,
-        /// Driver retained to keep the chip in manual mode.
-        driver: FanDriver,
-    },
-    /// The paper's dynamic history-based controller.
-    Dynamic {
-        /// The controller.
-        controller: DynamicFanController,
-        /// The manual-mode driver.
-        driver: FanDriver,
-    },
-    /// The feedforward-augmented dynamic controller (§5 future work).
-    DynamicFeedforward {
-        /// The controller (consumes temperature and utilization).
-        controller: FeedforwardFanController,
-        /// The manual-mode driver.
-        driver: FanDriver,
-    },
-}
-
-/// The DVFS-side daemon attached to a node.
-pub enum DvfsDaemon {
-    /// No frequency management.
-    None,
-    /// The temperature-aware tDVFS daemon.
-    Tdvfs {
-        /// The daemon.
-        daemon: Tdvfs,
-        /// The cpufreq driver.
-        driver: CpufreqDriver,
-    },
-    /// The CPUSPEED utilization governor.
-    CpuSpeed {
-        /// The governor.
-        governor: CpuSpeedGovernor,
-        /// The cpufreq driver.
-        driver: CpufreqDriver,
-    },
-}
 
 /// Recorded traces and counters for one node.
 pub struct NodeRecorder {
@@ -117,20 +66,19 @@ pub struct NodeSim {
     pub workload: Box<dyn Workload>,
     /// lm-sensors access.
     pub lm: LmSensors,
-    /// Fan-side daemon.
-    pub fan_daemon: FanDaemon,
-    /// DVFS-side daemon.
-    pub dvfs_daemon: DvfsDaemon,
+    /// The daemon pipeline (built by `SchemeSpec::build`) plus failsafe.
+    pub plane: ControlPlane,
+    /// The probed hardware seams the plane actuates through.
+    pub binding: PlatformBinding,
     /// Trace recorder.
     pub rec: NodeRecorder,
-    /// Optional failsafe watchdog.
-    pub failsafe: Option<Failsafe>,
     /// Wall-clock second at which this rank's workload finished.
     pub finish_time_s: Option<f64>,
 }
 
 impl NodeSim {
-    /// Builds one node per the scenario.
+    /// Builds one node per the scenario: probe the binding the scheme
+    /// needs, build the daemon pipeline through the scheme factory, attach.
     pub fn build(scenario: &Scenario, node_idx: usize) -> Self {
         let seed = scenario.node_seed(node_idx);
         let faults = scenario
@@ -139,163 +87,35 @@ impl NodeSim {
             .find(|(n, _)| *n == node_idx)
             .map(|(_, p)| p.clone())
             .unwrap_or_else(FaultPlan::none);
-        let mut node =
-            Node::with_faults(scenario.node_config_for(node_idx).clone(), seed, faults);
+        let mut node = Node::with_faults(scenario.node_config_for(node_idx).clone(), seed, faults);
         let workload = scenario.workload.instantiate(node_idx, scenario.seed);
 
-        let fan_daemon = match scenario.fan_for(node_idx) {
-            FanScheme::ChipAutomatic { max_duty } => {
-                // Cap the automatic curve in hardware, stay in auto mode.
-                node.smbus_write(
-                    unitherm_simnode::node::ADT7467_ADDR,
-                    unitherm_simnode::adt7467::regs::PWM_MAX,
-                    unitherm_simnode::units::DutyCycle::new(*max_duty).to_register(),
-                )
-                .expect("chip reachable at build time");
-                FanDaemon::ChipAuto
-            }
-            FanScheme::SoftwareStatic { curve } => {
-                let mut driver = FanDriver::probe_at(
-                    &mut node,
-                    unitherm_simnode::node::ADT7467_ADDR,
-                    curve.pwm_max,
-                )
-                .expect("chip reachable at build time");
-                let duty = curve.duty_for(node.die_temp_c());
-                driver.set_duty(&mut node, duty).expect("initial duty");
-                FanDaemon::Static { curve: *curve, driver }
-            }
-            FanScheme::Constant { duty } => {
-                let mut driver =
-                    FanDriver::probe(&mut node).expect("chip reachable at build time");
-                driver.set_duty(&mut node, *duty).expect("constant duty");
-                FanDaemon::Constant { duty: *duty, driver }
-            }
-            FanScheme::Dynamic { policy, max_duty, config } => {
-                let mut driver = FanDriver::probe_at(
-                    &mut node,
-                    unitherm_simnode::node::ADT7467_ADDR,
-                    *max_duty,
-                )
-                .expect("chip reachable at build time");
-                let controller = DynamicFanController::new(*policy, *max_duty, *config);
-                driver
-                    .set_duty(&mut node, controller.current_duty())
-                    .expect("initial duty");
-                FanDaemon::Dynamic { controller, driver }
-            }
-            FanScheme::DynamicFeedforward { policy, max_duty, config, feedforward } => {
-                let mut driver = FanDriver::probe_at(
-                    &mut node,
-                    unitherm_simnode::node::ADT7467_ADDR,
-                    *max_duty,
-                )
-                .expect("chip reachable at build time");
-                let controller =
-                    FeedforwardFanController::new(*policy, *max_duty, *config, *feedforward);
-                driver
-                    .set_duty(&mut node, controller.current_duty())
-                    .expect("initial duty");
-                FanDaemon::DynamicFeedforward { controller, driver }
-            }
+        let spec = scenario.effective_scheme(node_idx);
+        let mut binding =
+            PlatformBinding::probe(&mut node, &spec).expect("chip reachable at build time");
+        let ctx = BuildContext { available_mhz: PlatformBinding::available_mhz(&node) };
+        let mut plane = ControlPlane::new(spec.build(&ctx), scenario.failsafe);
+        let attach_sample = SensorSample {
+            now_s: 0.0,
+            fresh_temp_c: None,
+            temp_c: None,
+            utilization: node.utilization(),
+            die_temp_c: node.die_temp_c(),
         };
-
-        let dvfs_daemon = match &scenario.dvfs {
-            DvfsScheme::None => DvfsDaemon::None,
-            DvfsScheme::Tdvfs { policy, config } => {
-                let driver = CpufreqDriver::probe(&node);
-                let freqs = driver.available_mhz().to_vec();
-                DvfsDaemon::Tdvfs { daemon: Tdvfs::new(&freqs, *policy, *config), driver }
-            }
-            DvfsScheme::CpuSpeed { config } => {
-                let driver = CpufreqDriver::probe(&node);
-                let freqs = driver.available_mhz().to_vec();
-                DvfsDaemon::CpuSpeed {
-                    governor: CpuSpeedGovernor::new(&freqs, *config),
-                    driver,
-                }
-            }
-        };
+        plane.attach(
+            &attach_sample,
+            &mut PlatformActuators { node: &mut node, binding: &mut binding },
+        );
 
         Self {
             node,
             workload,
             lm: LmSensors::new(),
-            fan_daemon,
-            dvfs_daemon,
+            plane,
+            binding,
             rec: NodeRecorder::new(node_idx, scenario.record_series),
-            failsafe: scenario.failsafe.map(Failsafe::new),
             finish_time_s: None,
         }
-    }
-
-    /// Forces maximum cooling: full allowed fan duty and the lowest
-    /// frequency, regardless of which daemons are attached.
-    fn force_max_cooling(&mut self) {
-        match &mut self.fan_daemon {
-            FanDaemon::ChipAuto => {
-                // Take the chip into manual mode at full duty; the release
-                // path returns it to automatic.
-                let _ = self.node.smbus_write(
-                    unitherm_simnode::node::ADT7467_ADDR,
-                    unitherm_simnode::adt7467::regs::PWM_CONFIG,
-                    1,
-                );
-                let _ = self.node.smbus_write(
-                    unitherm_simnode::node::ADT7467_ADDR,
-                    unitherm_simnode::adt7467::regs::PWM_CURRENT,
-                    0xFF,
-                );
-            }
-            FanDaemon::Static { driver, .. }
-            | FanDaemon::Constant { driver, .. }
-            | FanDaemon::Dynamic { driver, .. }
-            | FanDaemon::DynamicFeedforward { driver, .. } => {
-                let _ = driver.set_duty(&mut self.node, 100);
-            }
-        }
-        let lowest = *self
-            .node
-            .available_frequencies_khz()
-            .last()
-            .expect("P-state ladder is non-empty");
-        let _ = self.node.set_frequency_khz(lowest);
-    }
-
-    /// Returns control to the normal daemons after a failsafe release:
-    /// reapply whatever each daemon currently wants.
-    fn restore_daemon_control(&mut self) {
-        match &mut self.fan_daemon {
-            FanDaemon::ChipAuto => {
-                let _ = self.node.smbus_write(
-                    unitherm_simnode::node::ADT7467_ADDR,
-                    unitherm_simnode::adt7467::regs::PWM_CONFIG,
-                    0,
-                );
-            }
-            FanDaemon::Static { curve, driver } => {
-                let duty = curve.duty_for(self.node.die_temp_c());
-                let _ = driver.set_duty(&mut self.node, duty);
-            }
-            FanDaemon::Constant { duty, driver } => {
-                let duty = *duty;
-                let _ = driver.set_duty(&mut self.node, duty);
-            }
-            FanDaemon::Dynamic { controller, driver } => {
-                let _ = driver.set_duty(&mut self.node, controller.current_duty());
-            }
-            FanDaemon::DynamicFeedforward { controller, driver } => {
-                let _ = driver.set_duty(&mut self.node, controller.current_duty());
-            }
-        }
-        let mhz = match &self.dvfs_daemon {
-            DvfsDaemon::None => {
-                self.node.available_frequencies_khz()[0] / 1000
-            }
-            DvfsDaemon::Tdvfs { daemon, .. } => daemon.current_frequency_mhz(),
-            DvfsDaemon::CpuSpeed { governor, .. } => governor.current_frequency_mhz(),
-        };
-        let _ = self.node.set_frequency_khz(mhz * 1000);
     }
 
     /// Advances the workload by one tick and applies its utilization to the
@@ -310,80 +130,46 @@ impl NodeSim {
     /// Advances the physics and per-tick daemons (CPUSPEED observes
     /// utilization every tick).
     pub fn tick_hardware(&mut self, dt_s: f64, now_s: f64) {
-        let failsafe_engaged = self.failsafe.as_ref().is_some_and(Failsafe::is_engaged);
-        if let DvfsDaemon::CpuSpeed { governor, driver } = &mut self.dvfs_daemon {
-            let util = self.node.utilization();
-            if let Some(mhz) = governor.observe(dt_s, util) {
-                if !failsafe_engaged
-                    && driver.set_mhz(&mut self.node, mhz).unwrap_or(false)
-                    && self.rec.enabled
-                {
-                    self.rec.freq_events.push((now_s, mhz));
-                }
+        let util = self.node.utilization();
+        let applied = self.plane.on_tick(
+            dt_s,
+            util,
+            &mut PlatformActuators { node: &mut self.node, binding: &mut self.binding },
+        );
+        if let Some(mhz) = applied {
+            if self.rec.enabled {
+                self.rec.freq_events.push((now_s, mhz));
             }
         }
         self.node.tick(dt_s);
     }
 
-    /// Runs the 4 Hz sampling path: read the sensor, run the failsafe
-    /// watchdog, feed the controllers, apply decisions through the drivers
-    /// (unless the failsafe owns the actuators), record traces.
+    /// Runs the 4 Hz sampling path: read the sensor, hand the sample to the
+    /// control plane (failsafe supervision + daemon pipeline), record
+    /// traces.
     pub fn on_sample(&mut self, now_s: f64) {
         // Hottest-sensor read. `fresh` distinguishes a live reading from
         // the stale fallback the controllers tolerate — the failsafe cares
         // about the difference.
         let fresh = self.lm.read_hottest_celsius(&mut self.node).ok();
-        let temp = fresh.or_else(|| {
-            self.lm.last_good().map(unitherm_simnode::units::MilliCelsius::to_celsius)
-        });
-
-        if let Some(fs) = &mut self.failsafe {
-            match fs.observe(fresh) {
-                Some(FailsafeAction::Engage(_)) => self.force_max_cooling(),
-                Some(FailsafeAction::Release) => self.restore_daemon_control(),
-                None => {}
-            }
-        }
-        let failsafe_engaged = self.failsafe.as_ref().is_some_and(Failsafe::is_engaged);
-
-        if let Some(t) = temp {
-            // Daemons keep observing (their state must stay current), but
-            // while the failsafe owns the actuators their decisions are
-            // not applied.
-            match &mut self.fan_daemon {
-                FanDaemon::ChipAuto | FanDaemon::Constant { .. } => {}
-                FanDaemon::Static { curve, driver } => {
-                    let duty = curve.duty_for(t);
-                    if !failsafe_engaged && duty != driver.last_commanded() {
-                        let _ = driver.set_duty(&mut self.node, duty);
-                    }
-                }
-                FanDaemon::Dynamic { controller, driver } => {
-                    if let Some(decision) = controller.observe(t) {
-                        if !failsafe_engaged {
-                            let _ = driver.set_duty(&mut self.node, decision.mode);
-                        }
-                    }
-                }
-                FanDaemon::DynamicFeedforward { controller, driver } => {
-                    let util = self.node.utilization();
-                    if let Some(decision) = controller.observe(t, util) {
-                        if !failsafe_engaged {
-                            let _ = driver.set_duty(&mut self.node, decision.mode);
-                        }
-                    }
-                }
-            }
-            if let DvfsDaemon::Tdvfs { daemon, driver } = &mut self.dvfs_daemon {
-                if let Some(event) = daemon.observe(t) {
-                    let mhz = event.frequency_mhz();
-                    if !failsafe_engaged
-                        && driver.set_mhz(&mut self.node, mhz).unwrap_or(false)
-                        && self.rec.enabled
-                    {
-                        self.rec.freq_events.push((now_s, mhz));
-                    }
-                }
+        let temp = fresh
+            .or_else(|| self.lm.last_good().map(unitherm_simnode::units::MilliCelsius::to_celsius));
+        let sample = SensorSample {
+            now_s,
+            fresh_temp_c: fresh,
+            temp_c: temp,
+            utilization: self.node.utilization(),
+            die_temp_c: self.node.die_temp_c(),
+        };
+        let out = self.plane.on_sample(
+            &sample,
+            &mut PlatformActuators { node: &mut self.node, binding: &mut self.binding },
+        );
+        // Daemon-confirmed frequency changes are trace events; frequencies
+        // forced by a failsafe engagement are not (they bypass the driver).
+        if let Some(mhz) = out.freq_mhz {
+            if self.rec.enabled {
+                self.rec.freq_events.push((now_s, mhz));
             }
         }
 
@@ -405,13 +191,9 @@ impl NodeSim {
 
     /// The duty the fan daemon currently commands (for diagnostics).
     pub fn commanded_duty(&self) -> u8 {
-        match &self.fan_daemon {
-            FanDaemon::ChipAuto => self.node.state().fan_duty.percent(),
-            FanDaemon::Static { driver, .. }
-            | FanDaemon::Constant { driver, .. }
-            | FanDaemon::Dynamic { driver, .. }
-            | FanDaemon::DynamicFeedforward { driver, .. } => driver.last_commanded(),
-        }
+        self.binding
+            .fan_driver()
+            .map_or_else(|| self.node.state().fan_duty.percent(), |d| d.last_commanded())
     }
 }
 
@@ -419,6 +201,7 @@ impl NodeSim {
 mod tests {
     use super::*;
     use crate::scenario::WorkloadSpec;
+    use crate::scheme::{DvfsScheme, FanScheme, SchemeSpec};
     use unitherm_core::control_array::Policy;
 
     fn scenario_with(fan: FanScheme, dvfs: DvfsScheme) -> Scenario {
@@ -498,10 +281,7 @@ mod tests {
 
     #[test]
     fn cpuspeed_daemon_changes_frequencies() {
-        let sc = scenario_with(
-            FanScheme::ChipAutomatic { max_duty: 100 },
-            DvfsScheme::cpuspeed(),
-        );
+        let sc = scenario_with(FanScheme::ChipAutomatic { max_duty: 100 }, DvfsScheme::cpuspeed());
         let mut ns = NodeSim::build(&sc, 0);
         run(&mut ns, 250.0);
         // Burn alternates bursts and gaps; the governor must have reacted.
@@ -523,14 +303,51 @@ mod tests {
         // A 20 %-capped fan cannot hold burn below 51 °C, so tDVFS must have
         // scaled down at least once (it may legitimately have restored the
         // original frequency during a burn gap by the end of the run).
-        assert!(
-            ns.node.cpu().freq_transition_count() > 0,
-            "tDVFS never engaged"
-        );
+        assert!(ns.node.cpu().freq_transition_count() > 0, "tDVFS never engaged");
         assert!(
             ns.rec.freq_events.iter().any(|&(_, f)| f < 2400),
             "no scale-down recorded: {:?}",
             ns.rec.freq_events
+        );
+    }
+
+    #[test]
+    fn hybrid_scheme_runs_from_a_scenario() {
+        let sc = scenario_with(FanScheme::ChipAutomatic { max_duty: 100 }, DvfsScheme::None)
+            .with_scheme(SchemeSpec::hybrid(Policy::MODERATE, 20));
+        let mut ns = NodeSim::build(&sc, 0);
+        assert_eq!(ns.plane.labels(), vec!["dynamic-fan", "tdvfs"]);
+        run(&mut ns, 280.0);
+        // The capped hybrid fan saturates; coordination hands off to tDVFS.
+        assert!(ns.commanded_duty() >= 15, "fan arm engaged: {}", ns.commanded_duty());
+        assert!(
+            ns.rec.freq_events.iter().any(|&(_, f)| f < 2400),
+            "hybrid tDVFS arm never scaled down: {:?}",
+            ns.rec.freq_events
+        );
+    }
+
+    #[test]
+    fn acpi_sleep_scheme_gates_the_cpu() {
+        let sc = scenario_with(FanScheme::ChipAutomatic { max_duty: 100 }, DvfsScheme::None)
+            .with_scheme(SchemeSpec::acpi_sleep(
+                Policy::AGGRESSIVE,
+                FanScheme::Constant { duty: 10 },
+            ));
+        let mut ns = NodeSim::build(&sc, 0);
+        assert_eq!(ns.plane.labels(), vec!["constant-fan", "acpi-sleep"]);
+        run(&mut ns, 280.0);
+        // A 10 % fan cannot hold burn temperatures; the sleep controller
+        // must have stepped out of C0 at some point.
+        let daemon = ns
+            .plane
+            .daemon::<unitherm_core::control_plane::AcpiSleepDaemon>()
+            .expect("sleep daemon attached");
+        assert!(daemon.controller().stats().rounds > 0, "controller observed samples");
+        assert!(
+            ns.node.cpu().sleep_gate() < 1.0
+                || daemon.current_state() != unitherm_core::acpi::SleepState::C0,
+            "sleep controller never left C0 under a starved fan"
         );
     }
 

@@ -172,7 +172,13 @@ mod tests {
             shut_down: false,
             avg_wall_power_w: power,
             energy_j: power * 100.0,
-            temp_summary: Summary { count: 10, mean: temp_mean, min: temp_mean - 5.0, max: temp_mean + 5.0, std_dev: 1.0 },
+            temp_summary: Summary {
+                count: 10,
+                mean: temp_mean,
+                min: temp_mean - 5.0,
+                max: temp_mean + 5.0,
+                std_dev: 1.0,
+            },
             duty_summary: Summary { count: 10, mean: 50.0, min: 10.0, max: 90.0, std_dev: 5.0 },
             finish_time_s: Some(100.0),
         }

@@ -12,7 +12,48 @@ use unitherm_workload::{
     CpuBurn, NpbBenchmark, NpbClass, PhaseWorkload, ScriptWorkload, Segment, Workload,
 };
 
-use crate::scheme::{DvfsScheme, FanScheme};
+use unitherm_core::config::ConfigError;
+
+use crate::scheme::{DvfsScheme, FanScheme, SchemeSpec};
+
+/// A scenario that cannot be run as described.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    message: String,
+}
+
+impl ScenarioError {
+    fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+
+    /// The human-readable description of what is wrong.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Debug for ScenarioError {
+    // Unwrapping a validation error should print the message itself, not a
+    // struct dump.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ScenarioError: {}", self.message)
+    }
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<ConfigError> for ScenarioError {
+    fn from(e: ConfigError) -> Self {
+        Self::new(e.message())
+    }
+}
 
 /// Which workload every rank runs.
 #[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -62,9 +103,12 @@ impl WorkloadSpec {
                 let trace = unitherm_workload::TraceWorkload::from_points_with_activity(points);
                 Box::new(if *looped { trace.looped() } else { trace })
             }
-            WorkloadSpec::Idle => Box::new(PhaseWorkload::new(vec![
-                unitherm_workload::Phase::comm(f64::MAX / 4.0, 0.02),
-            ])),
+            WorkloadSpec::Idle => {
+                Box::new(PhaseWorkload::new(vec![unitherm_workload::Phase::comm(
+                    f64::MAX / 4.0,
+                    0.02,
+                )]))
+            }
         }
     }
 
@@ -144,6 +188,11 @@ pub struct Scenario {
     /// DVFS-side control scheme (same on every node).
     #[serde(default)]
     pub dvfs: DvfsScheme,
+    /// Full control-plane scheme (same on every node). When set, this takes
+    /// precedence over the split `fan`/`dvfs` pair — it is how coordinated
+    /// arms like `Hybrid` (§4.4) and `AcpiSleep` (§3.2.2) are selected.
+    #[serde(default)]
+    pub scheme: Option<SchemeSpec>,
     /// Workload specification.
     #[serde(default)]
     pub workload: WorkloadSpec,
@@ -192,6 +241,7 @@ impl Scenario {
             sample_period_s: 0.25,
             fan: FanScheme::ChipAutomatic { max_duty: 100 },
             dvfs: DvfsScheme::None,
+            scheme: None,
             workload: WorkloadSpec::CpuBurn,
             faults: Vec::new(),
             node_config: NodeConfig::default(),
@@ -231,6 +281,13 @@ impl Scenario {
     /// Builder: DVFS scheme.
     pub fn with_dvfs(mut self, dvfs: DvfsScheme) -> Self {
         self.dvfs = dvfs;
+        self
+    }
+
+    /// Builder: full control-plane scheme (overrides the `fan`/`dvfs`
+    /// split; selects coordinated arms like hybrid or ACPI sleep).
+    pub fn with_scheme(mut self, scheme: SchemeSpec) -> Self {
+        self.scheme = Some(scheme);
         self
     }
 
@@ -285,11 +342,7 @@ impl Scenario {
 
     /// The effective fan scheme for a node (override or cluster default).
     pub fn fan_for(&self, node: usize) -> &FanScheme {
-        self.fan_overrides
-            .iter()
-            .find(|(n, _)| *n == node)
-            .map(|(_, f)| f)
-            .unwrap_or(&self.fan)
+        self.fan_overrides.iter().find(|(n, _)| *n == node).map(|(_, f)| f).unwrap_or(&self.fan)
     }
 
     /// The effective hardware config for a node.
@@ -301,32 +354,72 @@ impl Scenario {
             .unwrap_or(&self.node_config)
     }
 
-    /// Validates the scenario.
+    /// The effective control scheme for a node: the full `scheme` when
+    /// set, else the split `fan`/`dvfs` pair (honouring per-node fan
+    /// overrides). This is what [`crate::node_sim::NodeSim::build`] hands
+    /// to `SchemeSpec::build()`.
+    pub fn effective_scheme(&self, node: usize) -> SchemeSpec {
+        self.scheme.clone().unwrap_or_else(|| SchemeSpec::Split {
+            fan: self.fan_for(node).clone(),
+            dvfs: self.dvfs.clone(),
+        })
+    }
+
+    /// Fan-side label for reports (cluster default, ignoring overrides).
+    pub fn fan_label(&self) -> String {
+        match &self.scheme {
+            Some(spec) => spec.fan_label(),
+            None => self.fan.label(),
+        }
+    }
+
+    /// DVFS-side label for reports.
+    pub fn dvfs_label(&self) -> String {
+        match &self.scheme {
+            Some(spec) => spec.dvfs_label(),
+            None => self.dvfs.label(),
+        }
+    }
+
+    /// Validates the scenario, returning a description of the first
+    /// problem found: zero nodes, non-positive times, a sampling period not
+    /// a whole number of ticks, references to out-of-range nodes, or a
+    /// control scheme whose controller tuning is unusable.
     ///
     /// # Panics
-    /// Panics on zero nodes, non-positive times, a sampling period not a
-    /// multiple of the tick, or fault plans for out-of-range nodes.
-    pub fn validate(&self) {
-        assert!(self.nodes >= 1, "need at least one node");
-        assert!(self.max_time_s > 0.0, "time limit must be positive");
-        assert!(self.dt_s > 0.0, "tick must be positive");
-        assert!(self.sample_period_s >= self.dt_s, "sampling cannot outpace the tick");
+    /// Hardware configs ([`NodeConfig`]) still assert internally.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        fn check(ok: bool, message: impl Into<String>) -> Result<(), ScenarioError> {
+            if ok {
+                Ok(())
+            } else {
+                Err(ScenarioError::new(message))
+            }
+        }
+        check(self.nodes >= 1, "need at least one node")?;
+        check(self.max_time_s > 0.0, "time limit must be positive")?;
+        check(self.dt_s > 0.0, "tick must be positive")?;
+        check(self.sample_period_s >= self.dt_s, "sampling cannot outpace the tick")?;
         let ratio = self.sample_period_s / self.dt_s;
-        assert!(
+        check(
             (ratio - ratio.round()).abs() < 1e-9,
-            "sample period must be a whole number of ticks"
-        );
+            "sample period must be a whole number of ticks",
+        )?;
         for (node, _) in &self.faults {
-            assert!(*node < self.nodes, "fault plan for nonexistent node {node}");
+            check(*node < self.nodes, format!("fault plan for nonexistent node {node}"))?;
         }
         for (node, _) in &self.fan_overrides {
-            assert!(*node < self.nodes, "fan override for nonexistent node {node}");
+            check(*node < self.nodes, format!("fan override for nonexistent node {node}"))?;
         }
         for (node, cfg) in &self.node_config_overrides {
-            assert!(*node < self.nodes, "config override for nonexistent node {node}");
+            check(*node < self.nodes, format!("config override for nonexistent node {node}"))?;
             cfg.validate();
         }
         self.node_config.validate();
+        for node in 0..self.nodes {
+            self.effective_scheme(node).validate()?;
+        }
+        Ok(())
     }
 
     /// Per-node deterministic seed.
@@ -343,7 +436,7 @@ mod tests {
     #[test]
     fn default_scenario_is_valid_and_paper_shaped() {
         let s = Scenario::new("test");
-        s.validate();
+        s.validate().unwrap();
         assert_eq!(s.nodes, 4);
         assert_eq!(s.sample_period_s, 0.25);
     }
@@ -358,7 +451,7 @@ mod tests {
             .with_dvfs(DvfsScheme::cpuspeed())
             .with_workload(WorkloadSpec::Idle)
             .with_recording(false);
-        s.validate();
+        s.validate().unwrap();
         assert_eq!(s.nodes, 2);
         assert_eq!(s.seed, 9);
         assert!(!s.record_series);
@@ -447,7 +540,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "nonexistent node")]
     fn fault_for_missing_node_rejected() {
-        Scenario::new("x").with_nodes(2).with_fault(5, FaultPlan::none()).validate();
+        Scenario::new("x").with_nodes(2).with_fault(5, FaultPlan::none()).validate().unwrap();
     }
 
     #[test]
@@ -455,6 +548,6 @@ mod tests {
     fn misaligned_sampling_rejected() {
         let mut s = Scenario::new("x");
         s.sample_period_s = 0.13;
-        s.validate();
+        s.validate().unwrap();
     }
 }

@@ -1,158 +1,11 @@
-//! Control-scheme configuration: which fan policy and which DVFS policy a
-//! node runs.
+//! Control-scheme configuration, re-exported from the core control plane.
 //!
-//! These enums name exactly the arms the paper's experiments compare:
-//! traditional (chip-automatic) fan control, constant-speed fan, the dynamic
-//! history-based fan controller, tDVFS, and CPUSPEED.
+//! The scheme vocabulary ([`FanScheme`], [`DvfsScheme`], [`SchemeSpec`])
+//! now lives in `unitherm_core::control_plane` so that the hwmon stack and
+//! the cluster simulator share one `SchemeSpec::build()` factory — the
+//! single place a scheme description becomes a daemon pipeline. This module
+//! remains as a compatibility path for cluster users.
 
-use unitherm_core::actuator::FanDuty;
-use unitherm_core::baseline::StaticFanCurve;
-use unitherm_core::control_array::Policy;
-use unitherm_core::controller::ControllerConfig;
-use unitherm_core::governor::CpuSpeedConfig;
-use unitherm_core::tdvfs::TdvfsConfig;
-
-/// Fan-side control scheme.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
-pub enum FanScheme {
-    /// Leave the ADT7467 in automatic mode — the paper's "traditional
-    /// static method" — optionally capping the duty in hardware.
-    ChipAutomatic {
-        /// Maximum allowed duty, percent.
-        max_duty: FanDuty,
-    },
-    /// The same static curve, but run as a software daemon through the
-    /// manual-mode driver (useful for ablations; behaves like
-    /// `ChipAutomatic` up to sensor noise).
-    SoftwareStatic {
-        /// The curve to apply.
-        curve: StaticFanCurve,
-    },
-    /// Constant-speed control (Figure 6's third arm).
-    Constant {
-        /// The pinned duty, percent.
-        duty: FanDuty,
-    },
-    /// The paper's dynamic, history-based fan controller.
-    Dynamic {
-        /// Aggressiveness policy `P_p`.
-        policy: Policy,
-        /// Maximum allowed duty, percent (Figure 7's knob).
-        max_duty: FanDuty,
-        /// Controller tuning.
-        config: ControllerConfig,
-    },
-    /// The dynamic controller augmented with utilization feedforward —
-    /// the paper's §5 future work (hardware-counter-assisted prediction).
-    DynamicFeedforward {
-        /// Aggressiveness policy `P_p`.
-        policy: Policy,
-        /// Maximum allowed duty, percent.
-        max_duty: FanDuty,
-        /// Reactive-controller tuning.
-        config: ControllerConfig,
-        /// Feedforward-predictor tuning.
-        feedforward: unitherm_core::feedforward::FeedforwardConfig,
-    },
-}
-
-impl FanScheme {
-    /// The paper's default dynamic scheme: `P_p = 50`, uncapped.
-    pub fn dynamic(policy: Policy, max_duty: FanDuty) -> Self {
-        FanScheme::Dynamic { policy, max_duty, config: ControllerConfig::default() }
-    }
-
-    /// The feedforward-augmented dynamic scheme with default tuning.
-    pub fn dynamic_feedforward(policy: Policy, max_duty: FanDuty) -> Self {
-        FanScheme::DynamicFeedforward {
-            policy,
-            max_duty,
-            config: ControllerConfig::default(),
-            feedforward: unitherm_core::feedforward::FeedforwardConfig::default(),
-        }
-    }
-
-    /// Short label for reports.
-    pub fn label(&self) -> String {
-        match self {
-            FanScheme::ChipAutomatic { max_duty } => format!("traditional(max={max_duty}%)"),
-            FanScheme::SoftwareStatic { curve } => {
-                format!("static-sw(max={}%)", curve.pwm_max)
-            }
-            FanScheme::Constant { duty } => format!("constant({duty}%)"),
-            FanScheme::Dynamic { policy, max_duty, .. } => {
-                format!("dynamic(P_p={}, max={max_duty}%)", policy.value())
-            }
-            FanScheme::DynamicFeedforward { policy, max_duty, .. } => {
-                format!("dynamic+ff(P_p={}, max={max_duty}%)", policy.value())
-            }
-        }
-    }
-}
-
-/// DVFS-side control scheme.
-#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
-pub enum DvfsScheme {
-    /// No frequency scaling: always the highest P-state.
-    #[default]
-    None,
-    /// The paper's temperature-aware tDVFS daemon.
-    Tdvfs {
-        /// Aggressiveness policy `P_p`.
-        policy: Policy,
-        /// Daemon tuning (threshold, confirmation rounds).
-        config: TdvfsConfig,
-    },
-    /// The CPUSPEED utilization governor (baseline).
-    CpuSpeed {
-        /// Governor tuning.
-        config: CpuSpeedConfig,
-    },
-}
-
-impl DvfsScheme {
-    /// tDVFS with default tuning (51 °C threshold).
-    pub fn tdvfs(policy: Policy) -> Self {
-        DvfsScheme::Tdvfs { policy, config: TdvfsConfig::default() }
-    }
-
-    /// CPUSPEED with default tuning.
-    pub fn cpuspeed() -> Self {
-        DvfsScheme::CpuSpeed { config: CpuSpeedConfig::default() }
-    }
-
-    /// Short label for reports.
-    pub fn label(&self) -> String {
-        match self {
-            DvfsScheme::None => "no-dvfs".to_string(),
-            DvfsScheme::Tdvfs { policy, config } => {
-                format!("tDVFS(P_p={}, T={}°C)", policy.value(), config.threshold_c)
-            }
-            DvfsScheme::CpuSpeed { .. } => "CPUSPEED".to_string(),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn labels_are_descriptive() {
-        assert_eq!(FanScheme::ChipAutomatic { max_duty: 75 }.label(), "traditional(max=75%)");
-        assert_eq!(FanScheme::Constant { duty: 75 }.label(), "constant(75%)");
-        assert_eq!(
-            FanScheme::dynamic(Policy::MODERATE, 25).label(),
-            "dynamic(P_p=50, max=25%)"
-        );
-        assert_eq!(DvfsScheme::None.label(), "no-dvfs");
-        assert!(DvfsScheme::tdvfs(Policy::MODERATE).label().contains("51"));
-        assert_eq!(DvfsScheme::cpuspeed().label(), "CPUSPEED");
-    }
-
-    #[test]
-    fn software_static_label() {
-        let s = FanScheme::SoftwareStatic { curve: StaticFanCurve::with_max(75) };
-        assert_eq!(s.label(), "static-sw(max=75%)");
-    }
-}
+pub use unitherm_core::control_plane::{
+    BuildContext, DvfsScheme, FanBinding, FanScheme, SchemeSpec,
+};

@@ -33,7 +33,7 @@ pub struct Simulation {
 impl Simulation {
     /// Builds the cluster from a scenario.
     pub fn new(scenario: Scenario) -> Self {
-        scenario.validate();
+        scenario.validate().unwrap_or_else(|e| panic!("{e}"));
         let mut nodes: Vec<NodeSim> =
             (0..scenario.nodes).map(|i| NodeSim::build(&scenario, i)).collect();
         let ticks_per_sample = (scenario.sample_period_s / scenario.dt_s).round() as u64;
@@ -80,9 +80,8 @@ impl Simulation {
         }
 
         // 2. BSP barrier: release when every unfinished rank is parked.
-        let unfinished_parked = states
-            .iter()
-            .all(|s| matches!(s, WorkState::AtBarrier(_) | WorkState::Finished));
+        let unfinished_parked =
+            states.iter().all(|s| matches!(s, WorkState::AtBarrier(_) | WorkState::Finished));
         let any_parked = states.iter().any(|s| matches!(s, WorkState::AtBarrier(_)));
         if unfinished_parked && any_parked {
             for ns in &mut self.nodes {
@@ -107,7 +106,7 @@ impl Simulation {
         }
 
         // 4. Sampling path at 4 Hz.
-        if self.ticks % self.ticks_per_sample == 0 {
+        if self.ticks.is_multiple_of(self.ticks_per_sample) {
             for ns in &mut self.nodes {
                 ns.on_sample(self.time_s);
             }
@@ -155,10 +154,7 @@ impl Simulation {
     pub fn into_report(self) -> RunReport {
         let completed = self.nodes.iter().all(|ns| ns.finish_time_s.is_some());
         let exec_time_s = if completed {
-            self.nodes
-                .iter()
-                .filter_map(|ns| ns.finish_time_s)
-                .fold(0.0f64, f64::max)
+            self.nodes.iter().filter_map(|ns| ns.finish_time_s).fold(0.0f64, f64::max)
         } else {
             self.time_s
         };
@@ -175,10 +171,7 @@ impl Simulation {
                 freq_events: ns.rec.freq_events,
                 freq_transitions: ns.node.cpu().freq_transition_count(),
                 throttle_events: ns.node.cpu().throttle_event_count(),
-                failsafe_engagements: ns
-                    .failsafe
-                    .as_ref()
-                    .map_or(0, unitherm_core::failsafe::Failsafe::engagement_count),
+                failsafe_engagements: ns.plane.failsafe_engagement_count(),
                 shut_down: ns.node.cpu().is_shut_down(),
                 avg_wall_power_w: ns.node.meter().average_power_w(),
                 energy_j: ns.node.meter().energy_j(),
@@ -190,8 +183,8 @@ impl Simulation {
 
         RunReport {
             name: self.scenario.name.clone(),
-            fan_label: self.scenario.fan.label(),
-            dvfs_label: self.scenario.dvfs.label(),
+            fan_label: self.scenario.fan_label(),
+            dvfs_label: self.scenario.dvfs_label(),
             workload_label: self.scenario.workload.label(),
             nodes,
             wall_time_s: self.time_s,

@@ -2,12 +2,12 @@
 //!
 //! Parameter sweeps (Figures 5, 7, 10; Table 1; the ablations) run many
 //! independent simulations. Each simulation is single-threaded and
-//! deterministic; the sweep fans them out across crossbeam scoped threads —
-//! the shared-nothing data-parallel idiom — and reassembles results in input
-//! order.
+//! deterministic; the sweep fans them out across std scoped threads pulling
+//! from a shared work queue — the shared-nothing data-parallel idiom — and
+//! reassembles results in input order.
 
-use crossbeam::channel;
-use crossbeam::thread;
+use std::sync::mpsc;
+use std::sync::Mutex;
 
 use crate::report::RunReport;
 use crate::scenario::Scenario;
@@ -28,36 +28,33 @@ pub fn run_scenarios_parallel(scenarios: Vec<Scenario>, max_threads: usize) -> V
         return scenarios.into_iter().map(|s| Simulation::new(s).run()).collect();
     }
 
-    let (task_tx, task_rx) = channel::unbounded::<(usize, Scenario)>();
-    let (result_tx, result_rx) = channel::unbounded::<(usize, RunReport)>();
-    for pair in scenarios.into_iter().enumerate() {
-        task_tx.send(pair).expect("queue open");
-    }
-    drop(task_tx);
+    let queue: Mutex<std::vec::IntoIter<(usize, Scenario)>> =
+        Mutex::new(scenarios.into_iter().enumerate().collect::<Vec<_>>().into_iter());
+    let (result_tx, result_rx) = mpsc::channel::<(usize, RunReport)>();
 
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            let task_rx = task_rx.clone();
+            let queue = &queue;
             let result_tx = result_tx.clone();
-            scope.spawn(move |_| {
-                while let Ok((idx, scenario)) = task_rx.recv() {
-                    let report = Simulation::new(scenario).run();
-                    result_tx.send((idx, report)).expect("result channel open");
+            scope.spawn(move || loop {
+                let task = queue.lock().expect("queue lock poisoned").next();
+                match task {
+                    Some((idx, scenario)) => {
+                        let report = Simulation::new(scenario).run();
+                        result_tx.send((idx, report)).expect("result channel open");
+                    }
+                    None => break,
                 }
             });
         }
         drop(result_tx);
-    })
-    .expect("sweep worker panicked");
+    });
 
     let mut results: Vec<Option<RunReport>> = (0..n).map(|_| None).collect();
     while let Ok((idx, report)) = result_rx.recv() {
         results[idx] = Some(report);
     }
-    results
-        .into_iter()
-        .map(|r| r.expect("every scenario produced a report"))
-        .collect()
+    results.into_iter().map(|r| r.expect("every scenario produced a report")).collect()
 }
 
 /// Runs every scenario with one worker per available CPU (capped at the
@@ -108,8 +105,7 @@ mod tests {
 
     #[test]
     fn more_scenarios_than_threads() {
-        let scenarios: Vec<Scenario> =
-            (0..6).map(|i| quick(&format!("s{i}"), 50)).collect();
+        let scenarios: Vec<Scenario> = (0..6).map(|i| quick(&format!("s{i}"), 50)).collect();
         let reports = run_scenarios_parallel(scenarios, 2);
         assert_eq!(reports.len(), 6);
         for (i, r) in reports.iter().enumerate() {

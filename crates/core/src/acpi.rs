@@ -27,7 +27,8 @@ pub enum SleepState {
 
 impl SleepState {
     /// All states in ascending cooling effectiveness (C0 least, C3 most).
-    pub const ALL: [SleepState; 4] = [SleepState::C0, SleepState::C1, SleepState::C2, SleepState::C3];
+    pub const ALL: [SleepState; 4] =
+        [SleepState::C0, SleepState::C1, SleepState::C2, SleepState::C3];
 
     /// Nominal residency power fraction relative to C0 at full tilt.
     pub fn power_fraction(self) -> f64 {
@@ -111,9 +112,7 @@ mod tests {
     fn aggressive_policy_prefers_deeper_states() {
         let agg = ThermalControlArray::with_default_len(&SleepState::ALL, Policy::AGGRESSIVE);
         let weak = ThermalControlArray::with_default_len(&SleepState::ALL, Policy::WEAK);
-        let deeper = (1..=100)
-            .filter(|&i| agg.mode_at(i) > weak.mode_at(i))
-            .count();
+        let deeper = (1..=100).filter(|&i| agg.mode_at(i) > weak.mode_at(i)).count();
         assert!(deeper > 25, "aggressive array deeper in {deeper} cells");
     }
 

@@ -89,7 +89,7 @@ impl Default for BehaviorClassifier {
 impl BehaviorClassifier {
     /// Creates a classifier.
     pub fn new(cfg: ClassifierConfig) -> Self {
-        cfg.window.validate();
+        cfg.window.validate().unwrap_or_else(|e| panic!("{e}"));
         assert!(cfg.sudden_threshold_c > 0.0, "sudden threshold must be positive");
         assert!(cfg.gradual_threshold_c > 0.0, "gradual threshold must be positive");
         assert!(cfg.jitter_amplitude_c >= 0.0, "jitter amplitude must be non-negative");
@@ -152,7 +152,7 @@ mod tests {
 
     #[test]
     fn flat_trace_is_steady() {
-        let labels = BehaviorClassifier::classify_trace(std::iter::repeat(45.0).take(40));
+        let labels = BehaviorClassifier::classify_trace(std::iter::repeat_n(45.0, 40));
         assert_eq!(labels.len(), 10);
         assert!(labels.iter().all(|&l| l == ThermalBehavior::Steady), "{labels:?}");
     }
@@ -180,16 +180,14 @@ mod tests {
     #[test]
     fn oscillation_is_jitter() {
         // ±0.5 °C alternation: spread 1.0 ≥ 0.6, no direction.
-        let trace: Vec<f64> =
-            (0..40).map(|i| 45.0 + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let trace: Vec<f64> = (0..40).map(|i| 45.0 + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
         let labels = BehaviorClassifier::classify_trace(trace);
         assert!(labels.iter().all(|&l| l == ThermalBehavior::Jitter), "{labels:?}");
     }
 
     #[test]
     fn tiny_noise_is_steady_not_jitter() {
-        let trace: Vec<f64> =
-            (0..40).map(|i| 45.0 + if i % 2 == 0 { 0.1 } else { -0.1 }).collect();
+        let trace: Vec<f64> = (0..40).map(|i| 45.0 + if i % 2 == 0 { 0.1 } else { -0.1 }).collect();
         let labels = BehaviorClassifier::classify_trace(trace);
         assert!(labels.iter().all(|&l| l == ThermalBehavior::Steady), "{labels:?}");
     }

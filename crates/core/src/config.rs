@@ -1,0 +1,47 @@
+//! Configuration validation errors.
+//!
+//! Controller and window configurations validate with
+//! `Result<(), ConfigError>` so embedding layers (scenario files, scheme
+//! specs) can surface bad tuning as data errors instead of panics.
+//! Constructors that take an already-validated config by value still panic
+//! on invalid input — a bad config reaching a constructor is a programming
+//! error — but they do so by unwrapping the same `Result`, keeping a single
+//! source of truth for each rule.
+
+/// A configuration-validation failure, carrying a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_message() {
+        let e = ConfigError::new("array length must be at least 1");
+        assert_eq!(e.to_string(), "array length must be at least 1");
+        assert_eq!(e.message(), "array length must be at least 1");
+    }
+}

@@ -33,13 +33,7 @@ pub struct PolicyError {
 
 impl std::fmt::Display for PolicyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "policy P_p = {} outside [{}, {}]",
-            self.value,
-            Policy::P_MIN,
-            Policy::P_MAX
-        )
+        write!(f, "policy P_p = {} outside [{}, {}]", self.value, Policy::P_MIN, Policy::P_MAX)
     }
 }
 
@@ -76,6 +70,16 @@ impl Policy {
     /// The raw `P_p` value.
     pub fn value(self) -> u32 {
         self.0
+    }
+
+    /// Re-checks the range invariant. Deserialization fills the inner value
+    /// directly, so values arriving from scenario files must be validated
+    /// before use — `n_p` underflows on `P_p < P_MIN`.
+    ///
+    /// # Errors
+    /// Returns the out-of-range value.
+    pub fn validate(self) -> Result<(), PolicyError> {
+        Self::new(self.0).map(|_| ())
     }
 
     /// Eq. (1): the special index `n_p` (1-based) for an array of length `n`.

@@ -1,0 +1,520 @@
+//! The unified control plane: an ordered pipeline of control daemons.
+//!
+//! The paper's system runs several cooperating daemons against one node —
+//! feedforward-augmented fan control, plain dynamic fan control, tDVFS, the
+//! CPUSPEED governor, ACPI sleep management — supervised by a failsafe
+//! watchdog. This module gives them a single shape:
+//!
+//! * [`ControlDaemon`] — one control loop: observes a [`SensorSample`] at
+//!   4 Hz (and, for utilization governors, every physics tick) and actuates
+//!   through the hardware-agnostic [`Actuators`] trait;
+//! * [`ControlPlane`] — the ordered daemon pipeline plus the failsafe
+//!   supervisor. §4.4's hybrid coordination is expressed as pipeline
+//!   ordering: fan daemons run before DVFS daemons before sleep daemons, so
+//!   out-of-band cooling absorbs what it can before in-band techniques
+//!   sacrifice performance;
+//! * [`SchemeSpec`] — the serializable description of a control scheme,
+//!   whose [`SchemeSpec::build`] factory is the *only* place in the
+//!   workspace where a scheme becomes daemons.
+//!
+//! Platform bindings (`unitherm-hwmon`) implement [`Actuators`] over real
+//! driver seams (i2c fan driver, cpufreq, direct node access); the plane and
+//! the daemons never touch hardware types.
+//!
+//! # Failsafe ordering
+//!
+//! The failsafe runs *first* each sample, as a supervisor, not last as a
+//! pipeline stage: it must act on the freshness of the sensor reading
+//! before any daemon consumes the (possibly stale) temperature, and while
+//! engaged it gates every daemon write without stopping the daemons from
+//! observing. This matches the reference wiring bit-for-bit (see
+//! `tests/control_plane_parity.rs`).
+
+mod daemons;
+mod scheme;
+
+pub use daemons::{
+    AcpiSleepDaemon, ChipAutoFan, ConstantFanDaemon, CpuSpeedDaemon, DynamicFan, FeedforwardFan,
+    StaticCurveFan, TdvfsDaemon,
+};
+pub use scheme::{BuildContext, DvfsScheme, FanBinding, FanScheme, SchemeSpec};
+
+use crate::acpi::SleepState;
+use crate::actuator::{FanDuty, FreqMhz};
+use crate::failsafe::{Failsafe, FailsafeAction, FailsafeConfig};
+
+/// One 4 Hz sensor sample, as the plane presents it to daemons.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorSample {
+    /// Simulated wall-clock time of the sample, seconds.
+    pub now_s: f64,
+    /// A live sensor reading this sample, if the sensor path responded.
+    /// The failsafe watchdog keys its stale-sensor detection off this.
+    pub fresh_temp_c: Option<f64>,
+    /// The temperature controllers act on: the fresh reading, or the last
+    /// good cached reading when the sensor path is dark.
+    pub temp_c: Option<f64>,
+    /// CPU utilization in `[0, 1]` (feedforward and governors consume it).
+    pub utilization: f64,
+    /// Ground-truth die temperature, °C. Only attach-time initialization
+    /// (e.g. seeding a static curve before the first sensor read) may use
+    /// it; control decisions must use `temp_c`.
+    pub die_temp_c: f64,
+}
+
+/// Hardware-agnostic actuation surface the daemons drive.
+///
+/// Implementations live in the platform-binding layer (`unitherm-hwmon`);
+/// each method returns `true` when the actuation was applied (semantics per
+/// method: a fan write accepted by the driver, a frequency request that
+/// changed — or was accepted by — the CPU, …).
+pub trait Actuators {
+    /// Commands a fan duty through the manual-mode driver. Returns `true`
+    /// when the driver accepted the write.
+    fn set_fan_duty(&mut self, duty: FanDuty) -> bool;
+
+    /// The duty most recently commanded through the driver (falls back to
+    /// the chip's current duty when no manual-mode driver is bound).
+    fn last_commanded_duty(&self) -> FanDuty;
+
+    /// Returns the fan controller chip to its automatic curve (release path
+    /// for chip-auto schemes). Returns `true` on a successful write.
+    fn restore_fan_auto(&mut self) -> bool;
+
+    /// Requests a CPU frequency through the binding's DVFS path. Returns
+    /// `true` per the binding's semantics ("changed" through a cpufreq
+    /// driver, "accepted" on a direct node request).
+    fn set_frequency_mhz(&mut self, mhz: FreqMhz) -> bool;
+
+    /// Re-applies a frequency on the failsafe release path, bypassing any
+    /// cpufreq transition accounting.
+    fn restore_frequency_mhz(&mut self, mhz: FreqMhz) -> bool;
+
+    /// Restores the highest available frequency (release path when no
+    /// daemon owns the frequency).
+    fn restore_max_frequency(&mut self) -> bool;
+
+    /// Forces maximum cooling — full fan duty and the lowest frequency —
+    /// regardless of which daemons are attached. Returns the `(duty, MHz)`
+    /// actually forced.
+    fn force_max_cooling(&mut self) -> (FanDuty, FreqMhz);
+
+    /// Requests an ACPI processor sleep state. Returns `true` when applied.
+    fn set_sleep_state(&mut self, state: SleepState) -> bool;
+}
+
+/// An actuation event a daemon reports back to the plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DaemonEvent {
+    /// No actuation this sample.
+    None,
+    /// A fan duty was commanded.
+    FanDuty(FanDuty),
+    /// A frequency change was applied.
+    Frequency(FreqMhz),
+    /// A sleep state was commanded.
+    Sleep(SleepState),
+}
+
+/// One control loop in the plane's pipeline.
+pub trait ControlDaemon {
+    /// Short human-readable label (diagnostics).
+    fn label(&self) -> String;
+
+    /// Resets the daemon to its just-built state (controllers rebuilt,
+    /// history cleared).
+    fn reset(&mut self);
+
+    /// One-time initialization after the platform binding is probed:
+    /// applies the daemon's initial actuation (e.g. the starting duty).
+    fn attach(&mut self, _sample: &SensorSample, _act: &mut dyn Actuators) {}
+
+    /// The 4 Hz sampling path. Called only when `sample.temp_c` is present;
+    /// writes are gated (dropped) while the failsafe is engaged.
+    fn on_sample(&mut self, sample: &SensorSample, act: &mut dyn Actuators) -> DaemonEvent;
+
+    /// The per-physics-tick path (utilization governors). Writes are gated
+    /// while the failsafe is engaged.
+    fn on_tick(&mut self, _dt_s: f64, _utilization: f64, _act: &mut dyn Actuators) -> DaemonEvent {
+        DaemonEvent::None
+    }
+
+    /// Re-applies whatever the daemon currently wants (failsafe release
+    /// path).
+    fn reapply(&mut self, _sample: &SensorSample, _act: &mut dyn Actuators) {}
+
+    /// True when this daemon owns the CPU frequency (so the release path
+    /// must not force the maximum frequency over its head).
+    fn controls_frequency(&self) -> bool {
+        false
+    }
+
+    /// Downcast support for platform accessors.
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// Actuator wrapper that drops daemon writes while the failsafe owns the
+/// hardware, without calling through to the platform (so driver write and
+/// transition counters see nothing — exactly as if the daemon had checked
+/// the engagement flag before touching the driver). Reads pass through.
+struct GatedActuators<'a> {
+    inner: &'a mut dyn Actuators,
+    engaged: bool,
+}
+
+impl Actuators for GatedActuators<'_> {
+    fn set_fan_duty(&mut self, duty: FanDuty) -> bool {
+        if self.engaged {
+            return false;
+        }
+        self.inner.set_fan_duty(duty)
+    }
+
+    fn last_commanded_duty(&self) -> FanDuty {
+        self.inner.last_commanded_duty()
+    }
+
+    fn restore_fan_auto(&mut self) -> bool {
+        if self.engaged {
+            return false;
+        }
+        self.inner.restore_fan_auto()
+    }
+
+    fn set_frequency_mhz(&mut self, mhz: FreqMhz) -> bool {
+        if self.engaged {
+            return false;
+        }
+        self.inner.set_frequency_mhz(mhz)
+    }
+
+    fn restore_frequency_mhz(&mut self, mhz: FreqMhz) -> bool {
+        if self.engaged {
+            return false;
+        }
+        self.inner.restore_frequency_mhz(mhz)
+    }
+
+    fn restore_max_frequency(&mut self) -> bool {
+        if self.engaged {
+            return false;
+        }
+        self.inner.restore_max_frequency()
+    }
+
+    fn force_max_cooling(&mut self) -> (FanDuty, FreqMhz) {
+        self.inner.force_max_cooling()
+    }
+
+    fn set_sleep_state(&mut self, state: SleepState) -> bool {
+        if self.engaged {
+            return false;
+        }
+        self.inner.set_sleep_state(state)
+    }
+}
+
+/// What one plane sample did (the platform layers map this onto their own
+/// outcome/recorder types).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlaneOutcome {
+    /// The temperature the daemons acted on, if any.
+    pub temp_c: Option<f64>,
+    /// True while the failsafe owns the actuators (after this sample's
+    /// observation).
+    pub failsafe_engaged: bool,
+    /// Fan duty forced by a failsafe engagement this sample.
+    pub forced_fan_duty: Option<FanDuty>,
+    /// Frequency forced by a failsafe engagement this sample, MHz.
+    pub forced_freq_mhz: Option<FreqMhz>,
+    /// Fan duty a daemon successfully commanded this sample.
+    pub fan_duty: Option<FanDuty>,
+    /// Frequency a daemon successfully applied this sample, MHz.
+    pub freq_mhz: Option<FreqMhz>,
+    /// Sleep state a daemon successfully commanded this sample.
+    pub sleep_state: Option<SleepState>,
+}
+
+/// The ordered daemon pipeline plus the failsafe supervisor.
+pub struct ControlPlane {
+    daemons: Vec<Box<dyn ControlDaemon>>,
+    failsafe: Option<Failsafe>,
+}
+
+impl std::fmt::Debug for ControlPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlPlane")
+            .field("daemons", &self.daemons.iter().map(|d| d.label()).collect::<Vec<_>>())
+            .field("failsafe", &self.failsafe)
+            .finish()
+    }
+}
+
+impl ControlPlane {
+    /// Assembles a plane from an ordered daemon pipeline and an optional
+    /// failsafe watchdog.
+    pub fn new(daemons: Vec<Box<dyn ControlDaemon>>, failsafe: Option<FailsafeConfig>) -> Self {
+        Self { daemons, failsafe: failsafe.map(Failsafe::new) }
+    }
+
+    /// One-time initialization: lets every daemon apply its initial
+    /// actuation (called once after the platform binding is probed).
+    pub fn attach(&mut self, sample: &SensorSample, act: &mut dyn Actuators) {
+        for d in &mut self.daemons {
+            d.attach(sample, act);
+        }
+    }
+
+    /// Runs the 4 Hz sampling path: failsafe supervision first, then the
+    /// daemon pipeline (observing always, writing only while not engaged).
+    pub fn on_sample(&mut self, sample: &SensorSample, act: &mut dyn Actuators) -> PlaneOutcome {
+        let mut out = PlaneOutcome { temp_c: sample.temp_c, ..PlaneOutcome::default() };
+
+        if let Some(fs) = &mut self.failsafe {
+            match fs.observe(sample.fresh_temp_c) {
+                Some(FailsafeAction::Engage(_)) => {
+                    let (duty, mhz) = act.force_max_cooling();
+                    out.forced_fan_duty = Some(duty);
+                    out.forced_freq_mhz = Some(mhz);
+                }
+                Some(FailsafeAction::Release) => {
+                    for d in &mut self.daemons {
+                        d.reapply(sample, act);
+                    }
+                    if !self.daemons.iter().any(|d| d.controls_frequency()) {
+                        let _ = act.restore_max_frequency();
+                    }
+                }
+                None => {}
+            }
+        }
+        let engaged = self.is_failsafe_engaged();
+        out.failsafe_engaged = engaged;
+
+        if sample.temp_c.is_some() {
+            let mut gate = GatedActuators { inner: act, engaged };
+            for d in &mut self.daemons {
+                match d.on_sample(sample, &mut gate) {
+                    DaemonEvent::FanDuty(duty) => out.fan_duty = Some(duty),
+                    DaemonEvent::Frequency(mhz) => out.freq_mhz = Some(mhz),
+                    DaemonEvent::Sleep(state) => out.sleep_state = Some(state),
+                    DaemonEvent::None => {}
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs the per-physics-tick path (utilization governors observe every
+    /// tick). Returns the frequency applied this tick, if any.
+    pub fn on_tick(
+        &mut self,
+        dt_s: f64,
+        utilization: f64,
+        act: &mut dyn Actuators,
+    ) -> Option<FreqMhz> {
+        let engaged = self.is_failsafe_engaged();
+        let mut gate = GatedActuators { inner: act, engaged };
+        let mut applied = None;
+        for d in &mut self.daemons {
+            if let DaemonEvent::Frequency(mhz) = d.on_tick(dt_s, utilization, &mut gate) {
+                applied = Some(mhz);
+            }
+        }
+        applied
+    }
+
+    /// True while the failsafe owns the actuators.
+    pub fn is_failsafe_engaged(&self) -> bool {
+        self.failsafe.as_ref().is_some_and(Failsafe::is_engaged)
+    }
+
+    /// The failsafe watchdog, if attached.
+    pub fn failsafe(&self) -> Option<&Failsafe> {
+        self.failsafe.as_ref()
+    }
+
+    /// Total failsafe engagements (0 when no failsafe is attached).
+    pub fn failsafe_engagement_count(&self) -> u64 {
+        self.failsafe.as_ref().map_or(0, Failsafe::engagement_count)
+    }
+
+    /// The first daemon of concrete type `T` in the pipeline, if any
+    /// (platform accessors downcast through this).
+    pub fn daemon<T: 'static>(&self) -> Option<&T> {
+        self.daemons.iter().find_map(|d| d.as_any().downcast_ref::<T>())
+    }
+
+    /// True when some daemon in the pipeline owns the CPU frequency.
+    pub fn controls_frequency(&self) -> bool {
+        self.daemons.iter().any(|d| d.controls_frequency())
+    }
+
+    /// The pipeline's daemon labels, in order.
+    pub fn labels(&self) -> Vec<String> {
+        self.daemons.iter().map(|d| d.label()).collect()
+    }
+
+    /// Resets every daemon to its just-built state.
+    pub fn reset(&mut self) {
+        for d in &mut self.daemons {
+            d.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control_array::Policy;
+
+    /// A recording in-memory actuator for plane-level unit tests.
+    #[derive(Debug, Default)]
+    struct TestActuators {
+        duty: FanDuty,
+        freq: FreqMhz,
+        sleep: Option<SleepState>,
+        fan_writes: u32,
+        freq_writes: u32,
+        forced: u32,
+    }
+
+    impl Actuators for TestActuators {
+        fn set_fan_duty(&mut self, duty: FanDuty) -> bool {
+            self.duty = duty;
+            self.fan_writes += 1;
+            true
+        }
+        fn last_commanded_duty(&self) -> FanDuty {
+            self.duty
+        }
+        fn restore_fan_auto(&mut self) -> bool {
+            true
+        }
+        fn set_frequency_mhz(&mut self, mhz: FreqMhz) -> bool {
+            let changed = self.freq != mhz;
+            self.freq = mhz;
+            self.freq_writes += 1;
+            changed
+        }
+        fn restore_frequency_mhz(&mut self, mhz: FreqMhz) -> bool {
+            self.freq = mhz;
+            true
+        }
+        fn restore_max_frequency(&mut self) -> bool {
+            self.freq = 2400;
+            true
+        }
+        fn force_max_cooling(&mut self) -> (FanDuty, FreqMhz) {
+            self.duty = 100;
+            self.freq = 1000;
+            self.forced += 1;
+            (100, 1000)
+        }
+        fn set_sleep_state(&mut self, state: SleepState) -> bool {
+            self.sleep = Some(state);
+            true
+        }
+    }
+
+    fn sample(t: Option<f64>) -> SensorSample {
+        SensorSample {
+            now_s: 0.0,
+            fresh_temp_c: t,
+            temp_c: t,
+            utilization: 1.0,
+            die_temp_c: t.unwrap_or(40.0),
+        }
+    }
+
+    fn dynamic_plane(failsafe: Option<FailsafeConfig>) -> ControlPlane {
+        let spec = SchemeSpec::split(FanScheme::dynamic(Policy::MODERATE, 100), DvfsScheme::None);
+        let ctx = BuildContext { available_mhz: vec![2400, 2200, 2000, 1800, 1000] };
+        ControlPlane::new(spec.build(&ctx), failsafe)
+    }
+
+    #[test]
+    fn pipeline_runs_daemons_in_order() {
+        let plane = ControlPlane::new(
+            SchemeSpec::hybrid(Policy::MODERATE, 100)
+                .build(&BuildContext { available_mhz: vec![2400, 2200, 2000, 1800, 1000] }),
+            None,
+        );
+        let labels = plane.labels();
+        assert_eq!(labels.len(), 2);
+        assert!(labels[0].contains("fan"), "fan first: {labels:?}");
+        assert!(labels[1].contains("tdvfs"), "dvfs second: {labels:?}");
+        assert!(plane.controls_frequency());
+    }
+
+    #[test]
+    fn sudden_step_commands_a_duty() {
+        let mut plane = dynamic_plane(None);
+        let mut act = TestActuators::default();
+        let mut commanded = None;
+        for t in [45.0, 45.0, 51.0, 51.0] {
+            let out = plane.on_sample(&sample(Some(t)), &mut act);
+            commanded = out.fan_duty.or(commanded);
+        }
+        let duty = commanded.expect("sudden step must command a duty");
+        assert!(duty > 40, "{duty}");
+        assert_eq!(act.duty, duty);
+    }
+
+    #[test]
+    fn failsafe_engages_and_gates_daemon_writes() {
+        let mut plane = dynamic_plane(Some(FailsafeConfig::default()));
+        let mut act = TestActuators::default();
+        // Warm up with live readings, then go dark past the stale budget.
+        for _ in 0..4 {
+            let _ = plane.on_sample(&sample(Some(45.0)), &mut act);
+        }
+        let mut engaged_out = None;
+        for _ in 0..25 {
+            let out = plane.on_sample(&sample(None), &mut act);
+            if out.forced_fan_duty.is_some() {
+                engaged_out = Some(out);
+            }
+        }
+        let out = engaged_out.expect("stale sensor must engage the failsafe");
+        assert_eq!(out.forced_fan_duty, Some(100));
+        assert_eq!(out.forced_freq_mhz, Some(1000));
+        assert!(plane.is_failsafe_engaged());
+        assert_eq!(plane.failsafe_engagement_count(), 1);
+        // While engaged, a hot stale reading must not reach the actuators.
+        let writes_before = act.fan_writes;
+        let hot = SensorSample {
+            now_s: 0.0,
+            fresh_temp_c: None,
+            temp_c: Some(60.0),
+            utilization: 1.0,
+            die_temp_c: 60.0,
+        };
+        for _ in 0..8 {
+            let out = plane.on_sample(&hot, &mut act);
+            assert_eq!(out.fan_duty, None, "daemon writes are gated");
+        }
+        assert_eq!(act.fan_writes, writes_before, "no writes while engaged");
+    }
+
+    #[test]
+    fn downcast_accessor_finds_daemons() {
+        let plane = dynamic_plane(None);
+        assert!(plane.daemon::<DynamicFan>().is_some());
+        assert!(plane.daemon::<TdvfsDaemon>().is_none());
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut plane = dynamic_plane(None);
+        let mut act = TestActuators::default();
+        for t in [45.0, 45.0, 51.0, 51.0] {
+            let _ = plane.on_sample(&sample(Some(t)), &mut act);
+        }
+        let fan = plane.daemon::<DynamicFan>().unwrap();
+        assert!(fan.controller().current_duty() > 1);
+        plane.reset();
+        let fan = plane.daemon::<DynamicFan>().unwrap();
+        assert_eq!(fan.controller().current_duty(), 1);
+    }
+}

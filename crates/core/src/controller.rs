@@ -62,19 +62,23 @@ impl ControllerConfig {
 
     /// Validates the configuration.
     ///
-    /// # Panics
-    /// Panics on a non-positive temperature range, zero array length, or an
-    /// invalid window geometry.
-    pub fn validate(&self) {
-        assert!(self.array_len >= 1, "array length must be at least 1");
-        assert!(
-            self.t_max_c > self.t_min_c,
-            "temperature range must be positive ({} .. {})",
-            self.t_min_c,
-            self.t_max_c
-        );
-        assert!(self.l1_deadband_c >= 0.0, "deadband must be non-negative");
-        self.window.validate();
+    /// # Errors
+    /// Returns an error on a non-positive temperature range, zero array
+    /// length, or an invalid window geometry.
+    pub fn validate(&self) -> Result<(), crate::config::ConfigError> {
+        if self.array_len < 1 {
+            return Err(crate::config::ConfigError::new("array length must be at least 1"));
+        }
+        if self.t_max_c <= self.t_min_c {
+            return Err(crate::config::ConfigError::new(format!(
+                "temperature range must be positive ({} .. {})",
+                self.t_min_c, self.t_max_c
+            )));
+        }
+        if self.l1_deadband_c < 0.0 {
+            return Err(crate::config::ConfigError::new("deadband must be non-negative"));
+        }
+        self.window.validate()
     }
 }
 
@@ -133,7 +137,7 @@ impl<M: Copy + PartialEq + std::fmt::Debug> UnifiedController<M> {
     /// effectiveness) with the array filled per `policy`. The controller
     /// starts at index 1 (least effective mode).
     pub fn new(modes: &[M], policy: Policy, cfg: ControllerConfig) -> Self {
-        cfg.validate();
+        cfg.validate().unwrap_or_else(|e| panic!("{e}"));
         let array = ThermalControlArray::build(modes, policy, cfg.array_len);
         Self {
             cfg,

@@ -35,7 +35,11 @@ impl DynamicFanController {
     /// duty (100 for an uncapped fan).
     pub fn new(policy: Policy, max_duty: FanDuty, cfg: ControllerConfig) -> Self {
         let modes = fan_mode_set(max_duty);
-        Self { inner: UnifiedController::new(&modes, policy, cfg), max_duty: *modes.last().expect("non-empty"), policy }
+        Self {
+            inner: UnifiedController::new(&modes, policy, cfg),
+            max_duty: *modes.last().expect("non-empty"),
+            policy,
+        }
     }
 
     /// Creates a controller with the default configuration (N = 100,

@@ -74,7 +74,12 @@ impl UtilizationFeedforward {
     /// Creates the predictor.
     pub fn new(cfg: FeedforwardConfig) -> Self {
         cfg.validate();
-        Self { cfg, buf: Vec::with_capacity(cfg.samples_per_round), last_round_avg: None, predictions: 0 }
+        Self {
+            cfg,
+            buf: Vec::with_capacity(cfg.samples_per_round),
+            last_round_avg: None,
+            predictions: 0,
+        }
     }
 
     /// Feeds one utilization sample; at each completed round, returns the
@@ -286,12 +291,8 @@ mod tests {
     #[test]
     fn zero_gain_disables_feedforward() {
         let cfg = FeedforwardConfig { gain_c_per_util: 0.0, ..Default::default() };
-        let mut ctl = FeedforwardFanController::new(
-            Policy::MODERATE,
-            100,
-            ControllerConfig::default(),
-            cfg,
-        );
+        let mut ctl =
+            FeedforwardFanController::new(Policy::MODERATE, 100, ControllerConfig::default(), cfg);
         for _ in 0..4 {
             let _ = ctl.observe(45.0, 0.1);
         }

@@ -43,8 +43,7 @@ impl CpuSpeedConfig {
     pub fn validate(&self) {
         assert!(self.interval_s > 0.0, "interval must be positive");
         assert!(
-            (0.0..=1.0).contains(&self.up_threshold)
-                && (0.0..=1.0).contains(&self.down_threshold),
+            (0.0..=1.0).contains(&self.up_threshold) && (0.0..=1.0).contains(&self.down_threshold),
             "thresholds must be within [0, 1]"
         );
         assert!(

@@ -31,7 +31,12 @@
 //!   counter (utilization) feedforward that pre-positions the fan before a
 //!   load step reaches the temperature sensor;
 //! * [`failsafe`] — a production watchdog that forces maximum cooling when
-//!   the sensor path goes dark or a reading crosses the panic line.
+//!   the sensor path goes dark or a reading crosses the panic line;
+//! * [`control_plane`] — the unified daemon pipeline: every technique above
+//!   wrapped as a [`control_plane::ControlDaemon`], ordered per §4.4's
+//!   coordination and supervised by the failsafe, built from a serializable
+//!   [`control_plane::SchemeSpec`] by its single `build()` factory;
+//! * [`config`] — the shared configuration-validation error type.
 //!
 //! The crate is hardware-agnostic: controllers consume temperature samples
 //! and emit mode decisions through the [`actuator`] traits. Bindings to the
@@ -42,7 +47,9 @@ pub mod acpi;
 pub mod actuator;
 pub mod baseline;
 pub mod classify;
+pub mod config;
 pub mod control_array;
+pub mod control_plane;
 pub mod controller;
 pub mod failsafe;
 pub mod fan_control;
@@ -54,7 +61,12 @@ pub mod window;
 
 pub use actuator::{Actuator, FanDuty, FreqMhz};
 pub use classify::{BehaviorClassifier, ThermalBehavior};
+pub use config::ConfigError;
 pub use control_array::{Policy, PolicyError, ThermalControlArray};
+pub use control_plane::{
+    Actuators, BuildContext, ControlDaemon, ControlPlane, DaemonEvent, DvfsScheme, FanBinding,
+    FanScheme, PlaneOutcome, SchemeSpec, SensorSample,
+};
 pub use controller::{ControllerConfig, Decision, DecisionLevel, UnifiedController};
 pub use failsafe::{Failsafe, FailsafeAction, FailsafeConfig, FailsafeReason};
 pub use fan_control::DynamicFanController;

@@ -87,7 +87,7 @@ impl TdvfsConfig {
         assert!(self.consecutive_rounds >= 1, "need at least one confirmation round");
         assert!(self.hysteresis_c >= 0.0, "hysteresis must be non-negative");
         assert!(self.escalation_margin_c >= 0.0, "escalation margin must be non-negative");
-        self.controller.validate();
+        self.controller.validate().unwrap_or_else(|e| panic!("{e}"));
     }
 }
 
@@ -484,7 +484,10 @@ mod tests {
             events.extend(feed(&mut d, temp, 1));
         }
         let total = d.scale_down_count() + d.restore_count();
-        assert!((2..=6).contains(&total), "expected a handful of transitions, got {total}: {events:?}");
+        assert!(
+            (2..=6).contains(&total),
+            "expected a handful of transitions, got {total}: {events:?}"
+        );
         assert_eq!(d.current_frequency_mhz(), 2400, "restored by the end");
     }
 

@@ -39,13 +39,24 @@ impl Default for WindowConfig {
 impl WindowConfig {
     /// Validates the geometry.
     ///
-    /// # Panics
-    /// Panics on an odd or too-small level-one length, or a too-small
-    /// level-two length.
-    pub fn validate(self) {
-        assert!(self.l1_len >= 2, "level-one window needs at least 2 entries");
-        assert!(self.l1_len.is_multiple_of(2), "level-one window length must be even");
-        assert!(self.l2_len >= 2, "level-two window needs at least 2 entries");
+    /// # Errors
+    /// Returns an error on an odd or too-small level-one length, or a
+    /// too-small level-two length.
+    pub fn validate(self) -> Result<(), crate::config::ConfigError> {
+        if self.l1_len < 2 {
+            return Err(crate::config::ConfigError::new(
+                "level-one window needs at least 2 entries",
+            ));
+        }
+        if !self.l1_len.is_multiple_of(2) {
+            return Err(crate::config::ConfigError::new("level-one window length must be even"));
+        }
+        if self.l2_len < 2 {
+            return Err(crate::config::ConfigError::new(
+                "level-two window needs at least 2 entries",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -96,8 +107,13 @@ impl Default for TwoLevelWindow {
 impl TwoLevelWindow {
     /// Creates an empty window.
     pub fn new(cfg: WindowConfig) -> Self {
-        cfg.validate();
-        Self { cfg, l1: Vec::with_capacity(cfg.l1_len), l2: VecDeque::with_capacity(cfg.l2_len), rounds: 0 }
+        cfg.validate().unwrap_or_else(|e| panic!("{e}"));
+        Self {
+            cfg,
+            l1: Vec::with_capacity(cfg.l1_len),
+            l2: VecDeque::with_capacity(cfg.l2_len),
+            rounds: 0,
+        }
     }
 
     /// Geometry of this window.

@@ -80,10 +80,7 @@ pub fn window_levels(_scale: Scale) -> WindowAblation {
     let trace = synthetic_trace();
     let mk = || UnifiedController::new(&duties(), Policy::MODERATE, ControllerConfig::default());
     let rows = vec![
-        ("two-level", {
-            let c = mk();
-            c
-        }),
+        ("two-level", mk()),
         ("level1-only", mk().with_level2_disabled()),
         ("level2-only", mk().with_level1_disabled()),
     ]
@@ -119,9 +116,8 @@ impl Experiment for WindowAblation {
 
     fn shape_violations(&self) -> Vec<String> {
         let mut v = Vec::new();
-        let get = |name: &str| {
-            self.rows.iter().find(|(n, ..)| *n == name).expect("variant present")
-        };
+        let get =
+            |name: &str| self.rows.iter().find(|(n, ..)| *n == name).expect("variant present");
         let (_, _, two_duty, two_resp) = *get("two-level");
         let (_, _, l1_duty, l1_resp) = *get("level1-only");
         let (_, _, l2_duty, _) = *get("level2-only");
@@ -433,9 +429,7 @@ impl Experiment for HybridAblation {
 
     fn shape_violations(&self) -> Vec<String> {
         let mut v = Vec::new();
-        let get = |name: &str| {
-            *self.rows.iter().find(|(n, ..)| *n == name).expect("arm present")
-        };
+        let get = |name: &str| *self.rows.iter().find(|(n, ..)| *n == name).expect("arm present");
         let (_, hybrid_temp, _, hybrid_exec, _) = get("hybrid");
         let (_, fan_temp, _, _, _) = get("fan-only");
         let (_, _, _, dvfs_exec, _) = get("dvfs-only");
@@ -443,16 +437,12 @@ impl Experiment for HybridAblation {
         // once the fan saturates); measured over the final quarter where
         // fan-only keeps drifting toward its hotter asymptote.
         if hybrid_temp >= fan_temp - 0.5 {
-            v.push(format!(
-                "hybrid settled {hybrid_temp:.2}°C not below fan-only {fan_temp:.2}°C"
-            ));
+            v.push(format!("hybrid settled {hybrid_temp:.2}°C not below fan-only {fan_temp:.2}°C"));
         }
         // Hybrid finishes no slower than DVFS-only (the fan absorbs load
         // that would otherwise cost frequency).
         if hybrid_exec > dvfs_exec + 0.5 {
-            v.push(format!(
-                "hybrid exec {hybrid_exec:.1}s slower than dvfs-only {dvfs_exec:.1}s"
-            ));
+            v.push(format!("hybrid exec {hybrid_exec:.1}s slower than dvfs-only {dvfs_exec:.1}s"));
         }
         v
     }

@@ -9,7 +9,9 @@
 
 use std::path::Path;
 
-use unitherm_cluster::{run_scenarios_parallel, DvfsScheme, FanScheme, RunReport, Scenario, WorkloadSpec};
+use unitherm_cluster::{
+    run_scenarios_parallel, DvfsScheme, FanScheme, RunReport, Scenario, WorkloadSpec,
+};
 use unitherm_core::control_array::Policy;
 use unitherm_metrics::{AsciiPlot, CsvWriter};
 use unitherm_workload::NpbBenchmark;
@@ -41,7 +43,7 @@ pub fn run(scale: Scale) -> Fig10Result {
             let policy = Policy::new(pp).expect("valid");
             Scenario::new(format!("fig10-p{pp}"))
                 .with_nodes(4)
-                .with_seed(0xF16_10)
+                .with_seed(0x000F_1610)
                 .with_workload(WorkloadSpec::Npb {
                     bench: NpbBenchmark::Bt,
                     class: scale.npb_class(),
@@ -162,7 +164,7 @@ impl Experiment for Fig10Result {
     fn shape_violations(&self) -> Vec<String> {
         let mut v = Vec::new();
         let temps = self.avg_temps(); // [25, 50, 75]
-        // Smaller P_p controls temperature more effectively.
+                                      // Smaller P_p controls temperature more effectively.
         if !(temps[0] < temps[1] && temps[1] < temps[2]) {
             v.push(format!(
                 "avg temps not ordered P25 < P50 < P75: {:.2}/{:.2}/{:.2}",
@@ -177,9 +179,7 @@ impl Experiment for Fig10Result {
         match (crossings[0], crossings[2]) {
             (Some(c25), Some(c75)) => {
                 if c25 <= c75 {
-                    v.push(format!(
-                        "P25 crossing {c25:.1}s not later than P75 crossing {c75:.1}s"
-                    ));
+                    v.push(format!("P25 crossing {c25:.1}s not later than P75 crossing {c75:.1}s"));
                 }
             }
             (None, Some(_)) => {} // P25 held below threshold entirely: stronger form of "later"
@@ -207,8 +207,8 @@ impl Experiment for Fig10Result {
             }
         }
         let e = self.exec_times();
-        let spread =
-            e.iter().cloned().fold(f64::NEG_INFINITY, f64::max) / e.iter().cloned().fold(f64::INFINITY, f64::min);
+        let spread = e.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            / e.iter().cloned().fold(f64::INFINITY, f64::min);
         if spread > 1.10 {
             v.push(format!("exec-time spread {:.2}% exceeds 10%", (spread - 1.0) * 100.0));
         }

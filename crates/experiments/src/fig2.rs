@@ -85,9 +85,8 @@ impl Experiment for Fig2Result {
     }
 
     fn render(&self) -> String {
-        let mut out = String::from(
-            "Figure 2: CPU thermal profile with constant fan speed (4 samples/s)\n",
-        );
+        let mut out =
+            String::from("Figure 2: CPU thermal profile with constant fan speed (4 samples/s)\n");
         out.push_str(&AsciiPlot::new("").size(72, 16).add(&self.temp).render());
         out.push_str("  behaviour rounds: ");
         for (k, v) in &self.histogram {

@@ -41,7 +41,7 @@ pub fn run(scale: Scale) -> Fig5Result {
         .map(|&pp| {
             Scenario::new(format!("fig5-p{pp}"))
                 .with_nodes(1)
-                .with_seed(0xF16_5) // identical burn pattern across arms
+                .with_seed(0xF165) // identical burn pattern across arms
                 .with_workload(WorkloadSpec::CpuBurn)
                 .with_fan(FanScheme::dynamic(Policy::new(pp).expect("valid"), 100))
                 .with_max_time(scale.burn_duration_s())
@@ -77,14 +77,14 @@ impl Experiment for Fig5Result {
             let n = &arm.report.nodes[0];
             out.push_str(&format!(
                 "\n-- P_p = {} --   avg duty {:.1}%   avg temp {:.2}°C\n",
-                arm.pp,
-                n.duty_summary.mean,
-                n.temp_summary.mean
+                arm.pp, n.duty_summary.mean, n.temp_summary.mean
             ));
-            out.push_str(&AsciiPlot::new("temperature (top) / fan duty (bottom)")
-                .size(72, 10)
-                .add(&n.temp)
-                .render());
+            out.push_str(
+                &AsciiPlot::new("temperature (top) / fan duty (bottom)")
+                    .size(72, 10)
+                    .add(&n.temp)
+                    .render(),
+            );
             out.push_str(&AsciiPlot::new("").size(72, 8).y_range(0.0, 100.0).add(&n.duty).render());
         }
         out.push_str(&format!(
@@ -115,10 +115,7 @@ impl Experiment for Fig5Result {
         for arm in &self.arms {
             let span = arm.report.nodes[0].duty_summary;
             if span.max - span.min < 20.0 {
-                v.push(format!(
-                    "P{} duty range only {:.0}–{:.0}%",
-                    arm.pp, span.min, span.max
-                ));
+                v.push(format!("P{} duty range only {:.0}–{:.0}%", arm.pp, span.min, span.max));
             }
         }
         v

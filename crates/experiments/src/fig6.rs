@@ -60,7 +60,7 @@ pub fn run(scale: Scale) -> Fig6Result {
             };
             Scenario::new(format!("fig6-{}", arm.label()))
                 .with_nodes(4)
-                .with_seed(0xF16_6)
+                .with_seed(0xF166)
                 .with_workload(WorkloadSpec::Npb {
                     bench: NpbBenchmark::Bt,
                     class: scale.npb_class(),

@@ -30,7 +30,7 @@ pub fn run(scale: Scale) -> Fig7Result {
         .map(|&cap| {
             Scenario::new(format!("fig7-max{cap}"))
                 .with_nodes(4)
-                .with_seed(0xF16_7)
+                .with_seed(0xF167)
                 .with_workload(WorkloadSpec::Npb {
                     bench: NpbBenchmark::Bt,
                     class: scale.npb_class(),
@@ -48,9 +48,7 @@ impl Fig7Result {
     pub fn settled_temps(&self) -> Vec<f64> {
         self.sweeps
             .iter()
-            .map(|(_, r)| {
-                r.nodes[0].temp.summary_between(r.exec_time_s / 2.0, f64::INFINITY).mean
-            })
+            .map(|(_, r)| r.nodes[0].temp.summary_between(r.exec_time_s / 2.0, f64::INFINITY).mean)
             .collect()
     }
 }
@@ -91,7 +89,7 @@ impl Experiment for Fig7Result {
     fn shape_violations(&self) -> Vec<String> {
         let mut v = Vec::new();
         let temps = self.settled_temps(); // [25, 50, 75, 100]
-        // Larger cap ⇒ lower (or equal) settled temperature.
+                                          // Larger cap ⇒ lower (or equal) settled temperature.
         if !temps.windows(2).all(|w| w[1] <= w[0] + 0.3) {
             v.push(format!("settled temps not monotone in cap: {temps:?}"));
         }

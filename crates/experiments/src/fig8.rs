@@ -31,7 +31,7 @@ pub fn run(scale: Scale) -> Fig8Result {
     let report = Simulation::new(
         Scenario::new("fig8")
             .with_nodes(4)
-            .with_seed(0xF16_8)
+            .with_seed(0xF168)
             .with_workload(WorkloadSpec::Npb { bench: NpbBenchmark::Lu, class: scale.npb_class() })
             .with_fan(FanScheme::SoftwareStatic { curve: StaticFanCurve::with_max(25) })
             .with_dvfs(DvfsScheme::tdvfs(Policy::MODERATE))
@@ -78,10 +78,7 @@ impl Experiment for Fig8Result {
             &AsciiPlot::new("  node-0 temperature (°C)").size(72, 14).add(&n.temp).render(),
         );
         out.push_str(
-            &AsciiPlot::new("  node-0 requested frequency (MHz)")
-                .size(72, 8)
-                .add(&n.freq)
-                .render(),
+            &AsciiPlot::new("  node-0 requested frequency (MHz)").size(72, 8).add(&n.freq).render(),
         );
         out.push_str("  frequency events (node, time, MHz):\n");
         for (i, node) in self.report.nodes.iter().enumerate() {

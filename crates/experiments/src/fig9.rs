@@ -8,7 +8,9 @@
 
 use std::path::Path;
 
-use unitherm_cluster::{run_scenarios_parallel, DvfsScheme, FanScheme, RunReport, Scenario, WorkloadSpec};
+use unitherm_cluster::{
+    run_scenarios_parallel, DvfsScheme, FanScheme, RunReport, Scenario, WorkloadSpec,
+};
 use unitherm_core::control_array::Policy;
 use unitherm_metrics::{AsciiPlot, CsvWriter};
 use unitherm_workload::NpbBenchmark;
@@ -31,7 +33,7 @@ pub fn run(scale: Scale) -> Fig9Result {
     let base = |name: &str| {
         Scenario::new(name)
             .with_nodes(4)
-            .with_seed(0xF16_9)
+            .with_seed(0xF169)
             .with_workload(WorkloadSpec::Npb { bench: NpbBenchmark::Bt, class: scale.npb_class() })
             .with_fan(FanScheme::dynamic(Policy::MODERATE, 25))
             .with_max_time(scale.npb_time_limit_s())
@@ -77,14 +79,15 @@ impl Experiment for Fig9Result {
     }
 
     fn render(&self) -> String {
-        let mut out = String::from(
-            "Figure 9: tDVFS vs CPUSPEED under a 25 %-capped dynamic fan (BT ×4)\n",
-        );
+        let mut out =
+            String::from("Figure 9: tDVFS vs CPUSPEED under a 25 %-capped dynamic fan (BT ×4)\n");
         let mut cs = self.cpuspeed.nodes[0].temp.clone();
         cs.name = "CPUSPEED".into();
         let mut td = self.tdvfs.nodes[0].temp.clone();
         td.name = "tDVFS".into();
-        out.push_str(&AsciiPlot::new("  node-0 temperature (°C)").size(72, 16).add(&cs).add(&td).render());
+        out.push_str(
+            &AsciiPlot::new("  node-0 temperature (°C)").size(72, 16).add(&cs).add(&td).render(),
+        );
         let (c, t) = self.final_temps();
         out.push_str(&format!(
             "  final-quarter temp: CPUSPEED {c:.2}°C (late rise {:+.2}°C), tDVFS {t:.2}°C (late rise {:+.2}°C)\n",
@@ -112,9 +115,7 @@ impl Experiment for Fig9Result {
         }
         // ...while CPUSPEED overshoots it.
         if cs_final < self.threshold_c + 2.0 {
-            v.push(format!(
-                "CPUSPEED final {cs_final:.2}°C did not overshoot the threshold"
-            ));
+            v.push(format!("CPUSPEED final {cs_final:.2}°C did not overshoot the threshold"));
         }
         // CPUSPEED still warming late in the run; tDVFS flat or cooling.
         if self.tdvfs_late_rise() > 1.0 {

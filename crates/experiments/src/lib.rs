@@ -32,9 +32,9 @@ pub mod fig8;
 pub mod fig9;
 pub mod rack;
 pub mod scale;
+pub mod scaling;
 pub mod scenario_file;
 pub mod straggler;
-pub mod scaling;
 pub mod table1;
 
 pub use scale::Scale;

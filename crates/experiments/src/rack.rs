@@ -12,7 +12,9 @@
 use std::path::Path;
 
 use unitherm_cluster::rack::RackConfig;
-use unitherm_cluster::{run_scenarios_parallel, DvfsScheme, FanScheme, RunReport, Scenario, WorkloadSpec};
+use unitherm_cluster::{
+    run_scenarios_parallel, DvfsScheme, FanScheme, RunReport, Scenario, WorkloadSpec,
+};
 use unitherm_core::baseline::StaticFanCurve;
 use unitherm_core::control_array::Policy;
 use unitherm_metrics::{AsciiPlot, CsvWriter};
@@ -80,8 +82,7 @@ impl Experiment for RackStudy {
         coord_air.name = "coordinated".into();
         air_plot = air_plot.add(&trad_air).add(&coord_air);
         out.push_str(&air_plot.render());
-        for (name, r) in [("traditional", &self.traditional), ("coordinated", &self.coordinated)]
-        {
+        for (name, r) in [("traditional", &self.traditional), ("coordinated", &self.coordinated)] {
             out.push_str(&format!(
                 "  {:<12} exec={:.1}s  maxT={:.2}°C  avgT={:.2}°C  air rise={:.2}°C  emergencies={}\n",
                 name,
@@ -97,8 +98,7 @@ impl Experiment for RackStudy {
 
     fn shape_violations(&self) -> Vec<String> {
         let mut v = Vec::new();
-        for (name, r) in [("traditional", &self.traditional), ("coordinated", &self.coordinated)]
-        {
+        for (name, r) in [("traditional", &self.traditional), ("coordinated", &self.coordinated)] {
             if !r.completed {
                 v.push(format!("{name} run did not complete"));
             }

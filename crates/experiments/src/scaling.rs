@@ -8,7 +8,9 @@
 
 use std::path::Path;
 
-use unitherm_cluster::{run_scenarios_parallel, DvfsScheme, FanScheme, RunReport, Scenario, WorkloadSpec};
+use unitherm_cluster::{
+    run_scenarios_parallel, DvfsScheme, FanScheme, RunReport, Scenario, WorkloadSpec,
+};
 use unitherm_core::control_array::Policy;
 use unitherm_metrics::{CsvWriter, TextTable, TimeSeries};
 use unitherm_workload::NpbBenchmark;

@@ -8,7 +8,7 @@
 
 use std::path::Path;
 
-use unitherm_cluster::{RunReport, Scenario, Simulation};
+use unitherm_cluster::{RunReport, Scenario, ScenarioError, Simulation};
 use unitherm_metrics::AsciiPlot;
 
 /// Errors loading or validating a scenario file.
@@ -18,6 +18,8 @@ pub enum ScenarioFileError {
     Io(std::io::Error),
     /// The JSON did not parse into a [`Scenario`].
     Parse(serde_json::Error),
+    /// The scenario parsed but cannot be run as described.
+    Invalid(ScenarioError),
 }
 
 impl std::fmt::Display for ScenarioFileError {
@@ -25,20 +27,18 @@ impl std::fmt::Display for ScenarioFileError {
         match self {
             ScenarioFileError::Io(e) => write!(f, "cannot read scenario file: {e}"),
             ScenarioFileError::Parse(e) => write!(f, "invalid scenario JSON: {e}"),
+            ScenarioFileError::Invalid(e) => write!(f, "unusable scenario: {e}"),
         }
     }
 }
 
 impl std::error::Error for ScenarioFileError {}
 
-/// Loads a scenario from a JSON file.
-///
-/// The scenario is validated (panicking validation, as everywhere in the
-/// workspace: a bad scenario is a configuration bug the caller must fix).
+/// Loads a scenario from a JSON file and validates it.
 pub fn load(path: impl AsRef<Path>) -> Result<Scenario, ScenarioFileError> {
     let text = std::fs::read_to_string(path).map_err(ScenarioFileError::Io)?;
     let scenario: Scenario = serde_json::from_str(&text).map_err(ScenarioFileError::Parse)?;
-    scenario.validate();
+    scenario.validate().map_err(ScenarioFileError::Invalid)?;
     Ok(scenario)
 }
 

@@ -22,7 +22,9 @@
 
 use std::path::Path;
 
-use unitherm_cluster::{run_scenarios_parallel, DvfsScheme, FanScheme, RunReport, Scenario, WorkloadSpec};
+use unitherm_cluster::{
+    run_scenarios_parallel, DvfsScheme, FanScheme, RunReport, Scenario, WorkloadSpec,
+};
 use unitherm_core::control_array::Policy;
 use unitherm_metrics::{CsvWriter, TextTable, TimeSeries};
 use unitherm_workload::NpbBenchmark;
@@ -92,10 +94,7 @@ impl Experiment for StragglerStudy {
                 format!("{:.1}", r.exec_time_s),
                 format!("{:.1}", s.temp_summary.max),
                 s.throttle_events.to_string(),
-                s.freq
-                    .last()
-                    .map(|x| format!("{:.0} MHz", x.value))
-                    .unwrap_or_else(|| "?".into()),
+                s.freq.last().map(|x| format!("{:.0} MHz", x.value)).unwrap_or_else(|| "?".into()),
                 r.completed.to_string(),
             ]);
         }
@@ -119,10 +118,7 @@ impl Experiment for StragglerStudy {
         // Coordination prevents emergencies on the same node.
         let co = &self.coordinated.nodes[STRAGGLER];
         if co.throttle_events > 0 || co.shut_down {
-            v.push(format!(
-                "coordinated straggler still hit {} emergencies",
-                co.throttle_events
-            ));
+            v.push(format!("coordinated straggler still hit {} emergencies", co.throttle_events));
         }
         // Coordination runs the straggler materially cooler.
         if co.temp_summary.max > un.temp_summary.max - 3.0 {

@@ -16,7 +16,9 @@
 
 use std::path::Path;
 
-use unitherm_cluster::{run_scenarios_parallel, DvfsScheme, FanScheme, RunReport, Scenario, WorkloadSpec};
+use unitherm_cluster::{
+    run_scenarios_parallel, DvfsScheme, FanScheme, RunReport, Scenario, WorkloadSpec,
+};
 use unitherm_core::control_array::Policy;
 use unitherm_metrics::{CsvWriter, TextTable, TimeSeries};
 use unitherm_workload::NpbBenchmark;
@@ -63,7 +65,7 @@ pub fn run(scale: Scale) -> Table1Result {
             scenarios.push(
                 Scenario::new(format!("table1-{governor}-max{cap}"))
                     .with_nodes(4)
-                    .with_seed(0x7AB1_E1)
+                    .with_seed(0x007A_B1E1)
                     .with_workload(WorkloadSpec::Npb {
                         bench: NpbBenchmark::Bt,
                         class: scale.npb_class(),
@@ -109,7 +111,14 @@ impl Experiment for Table1Result {
     fn render(&self) -> String {
         let mut t = TextTable::new(
             "Table 1: BT under CPUSPEED vs tDVFS (dynamic fan, P_p = 50)",
-            &["max PWM", "governor", "# freq changes", "exec time (s)", "avg power (W)", "PDP (W·s)"],
+            &[
+                "max PWM",
+                "governor",
+                "# freq changes",
+                "exec time (s)",
+                "avg power (W)",
+                "PDP (W·s)",
+            ],
         );
         for c in &self.cells {
             t.row(&[

@@ -18,11 +18,8 @@ pub struct CpufreqDriver {
 impl CpufreqDriver {
     /// Probes the available frequency ladder.
     pub fn probe(node: &Node) -> Self {
-        let available_mhz = node
-            .available_frequencies_khz()
-            .into_iter()
-            .map(|khz| khz / 1000)
-            .collect();
+        let available_mhz =
+            node.available_frequencies_khz().into_iter().map(|khz| khz / 1000).collect();
         Self { available_mhz, transitions_requested: 0 }
     }
 
@@ -49,7 +46,11 @@ impl CpufreqDriver {
     /// Snaps an arbitrary frequency to the nearest available one and
     /// requests it (governors produced by the control array always emit
     /// exact ladder values, but tooling may not).
-    pub fn set_nearest_mhz(&mut self, node: &mut Node, mhz: FreqMhz) -> Result<FreqMhz, HwmonError> {
+    pub fn set_nearest_mhz(
+        &mut self,
+        node: &mut Node,
+        mhz: FreqMhz,
+    ) -> Result<FreqMhz, HwmonError> {
         let nearest = *self
             .available_mhz
             .iter()

@@ -40,7 +40,9 @@ impl FanDriver {
         let id = node.smbus_read(addr, regs::DEVICE_ID)?;
         if id != DEVICE_ID {
             return Err(HwmonError::ProbeFailed {
-                reason: format!("device at 0x{addr:02x} reports id 0x{id:02x}, expected 0x{DEVICE_ID:02x}"),
+                reason: format!(
+                    "device at 0x{addr:02x} reports id 0x{id:02x}, expected 0x{DEVICE_ID:02x}"
+                ),
             });
         }
         let max_duty = max_duty.clamp(1, 100);
@@ -172,7 +174,11 @@ mod tests {
         for _ in 0..20_000 {
             n.tick(0.05);
         }
-        assert!(n.state().fan_duty.percent() > 30, "auto curve past the old cap: {}", n.state().fan_duty);
+        assert!(
+            n.state().fan_duty.percent() > 30,
+            "auto curve past the old cap: {}",
+            n.state().fan_duty
+        );
     }
 
     #[test]

@@ -21,14 +21,19 @@
 //! * [`sysfs`] — a string-attribute façade (`hwmon0/temp1_input`,
 //!   `hwmon0/pwm1`, `cpufreq/scaling_setspeed`, …) with Linux unit
 //!   conventions (millidegrees, 0–255 PWM, kHz), for tooling and tests;
+//! * [`binding`] — the platform binding: probes the hardware seams a
+//!   `SchemeSpec` needs and adapts them to the control plane's
+//!   hardware-agnostic `Actuators` trait;
 //! * [`stack`] — the assembled per-node control stack (sensor poller +
-//!   fan driver + controllers + failsafe) behind one `sample()` call;
+//!   platform binding + control-plane daemon pipeline) behind one
+//!   `sample()` call;
 //! * [`error`] — the unified driver error type.
 //!
 //! Controllers never touch simulator internals: everything flows through
 //! the same register transactions and unit conversions a real driver would
 //! perform.
 
+pub mod binding;
 pub mod cpufreq;
 pub mod error;
 pub mod fan_driver;
@@ -36,6 +41,7 @@ pub mod lm_sensors;
 pub mod stack;
 pub mod sysfs;
 
+pub use binding::{PlatformActuators, PlatformBinding};
 pub use cpufreq::CpufreqDriver;
 pub use error::HwmonError;
 pub use fan_driver::FanDriver;

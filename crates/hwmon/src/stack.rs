@@ -1,11 +1,12 @@
 //! The assembled userspace control stack for one node.
 //!
-//! [`ControlStack`] packages what the paper's machines actually ran — the
-//! lm-sensors poller, the manual-mode fan driver, the dynamic fan
-//! controller (optionally feedforward-augmented), the tDVFS daemon and the
-//! failsafe watchdog — behind one `sample()` call per 4 Hz tick. It is the
-//! single-node counterpart of the cluster simulator's daemon wiring, meant
-//! for library users driving a [`Node`] directly.
+//! [`ControlStack`] is now a thin platform binding over the core control
+//! plane: it polls lm-sensors, feeds each 4 Hz sample to a
+//! [`ControlPlane`] daemon pipeline built by [`SchemeSpec::build`] — the
+//! same factory the cluster simulator uses — and actuates through the
+//! probed [`PlatformBinding`]. The builder API mirrors what the paper's
+//! machines actually ran: the dynamic fan controller (optionally
+//! feedforward-augmented), the tDVFS daemon and the failsafe watchdog.
 //!
 //! ```
 //! use unitherm_core::control_array::Policy;
@@ -32,14 +33,18 @@
 //! ```
 
 use unitherm_core::control_array::Policy;
+use unitherm_core::control_plane::{
+    BuildContext, ControlPlane, DvfsScheme, FanScheme, FeedforwardFan, SchemeSpec, SensorSample,
+    TdvfsDaemon,
+};
 use unitherm_core::controller::ControllerConfig;
-use unitherm_core::failsafe::{Failsafe, FailsafeAction, FailsafeConfig};
+use unitherm_core::failsafe::{Failsafe, FailsafeConfig};
 use unitherm_core::feedforward::{FeedforwardConfig, FeedforwardFanController};
 use unitherm_core::tdvfs::{Tdvfs, TdvfsConfig};
-use unitherm_simnode::node::{Node, ADT7467_ADDR};
+use unitherm_simnode::node::Node;
 
+use crate::binding::{PlatformActuators, PlatformBinding};
 use crate::error::HwmonError;
-use crate::fan_driver::FanDriver;
 use crate::lm_sensors::LmSensors;
 
 /// Builder for a [`ControlStack`].
@@ -91,38 +96,44 @@ impl ControlStackBuilder {
         self
     }
 
+    /// The [`SchemeSpec`] this builder describes: the feedforward fan
+    /// daemon (zero-gain feedforward reduces to the plain reactive
+    /// controller) plus the optional tDVFS arm.
+    pub fn scheme(&self) -> SchemeSpec {
+        SchemeSpec::Split {
+            fan: FanScheme::DynamicFeedforward {
+                policy: self.policy,
+                max_duty: self.max_duty,
+                config: self.controller_cfg,
+                feedforward: self
+                    .feedforward
+                    .unwrap_or(FeedforwardConfig { gain_c_per_util: 0.0, ..Default::default() }),
+            },
+            dvfs: match self.tdvfs {
+                Some(config) => DvfsScheme::Tdvfs { policy: self.policy, config },
+                None => DvfsScheme::None,
+            },
+        }
+    }
+
     /// Probes the node's hardware (ADT7467 over i2c, cpufreq ladder) and
-    /// assembles the stack.
+    /// assembles the stack through the scheme factory.
     pub fn probe(self, node: &mut Node) -> Result<ControlStack, HwmonError> {
-        let fan_driver = FanDriver::probe_at(node, ADT7467_ADDR, self.max_duty)?;
-        let fan = FeedforwardFanController::new(
-            self.policy,
-            self.max_duty,
-            self.controller_cfg,
-            // Zero-gain feedforward reduces to the plain reactive controller.
-            self.feedforward.unwrap_or(FeedforwardConfig {
-                gain_c_per_util: 0.0,
-                ..Default::default()
-            }),
-        );
-        let tdvfs = match self.tdvfs {
-            Some(cfg) => {
-                let freqs: Vec<u32> = node
-                    .available_frequencies_khz()
-                    .iter()
-                    .map(|khz| khz / 1000)
-                    .collect();
-                Some(Tdvfs::new(&freqs, self.policy, cfg))
-            }
-            None => None,
+        let spec = self.scheme();
+        // Direct-node frequency semantics: a request is "accepted" even
+        // when it is a no-op, with no cpufreq transition accounting.
+        let mut binding = PlatformBinding::probe_direct_freq(node, &spec)?;
+        let ctx = BuildContext { available_mhz: PlatformBinding::available_mhz(node) };
+        let mut plane = ControlPlane::new(spec.build(&ctx), self.failsafe);
+        let attach_sample = SensorSample {
+            now_s: 0.0,
+            fresh_temp_c: None,
+            temp_c: None,
+            utilization: node.utilization(),
+            die_temp_c: node.die_temp_c(),
         };
-        Ok(ControlStack {
-            lm: LmSensors::new(),
-            fan_driver,
-            fan,
-            tdvfs,
-            failsafe: self.failsafe.map(Failsafe::new),
-        })
+        plane.attach(&attach_sample, &mut PlatformActuators { node, binding: &mut binding });
+        Ok(ControlStack { lm: LmSensors::new(), binding, plane, samples: 0 })
     }
 }
 
@@ -130,10 +141,9 @@ impl ControlStackBuilder {
 #[derive(Debug)]
 pub struct ControlStack {
     lm: LmSensors,
-    fan_driver: FanDriver,
-    fan: FeedforwardFanController,
-    tdvfs: Option<Tdvfs>,
-    failsafe: Option<Failsafe>,
+    binding: PlatformBinding,
+    plane: ControlPlane,
+    samples: u64,
 }
 
 /// What happened during one control sample.
@@ -165,74 +175,58 @@ impl ControlStack {
 
     /// Runs one 4 Hz control sample against the node.
     pub fn sample(&mut self, node: &mut Node) -> SampleOutcome {
-        let mut outcome = SampleOutcome::default();
-
         let fresh = self.lm.read_hottest_celsius(node).ok();
         let temp = fresh.or_else(|| self.lm.last_good().map(|m| m.to_celsius()));
-        outcome.temp_c = temp;
-
-        if let Some(fs) = &mut self.failsafe {
-            match fs.observe(fresh) {
-                Some(FailsafeAction::Engage(_)) => {
-                    let _ = self.fan_driver.set_duty(node, 100);
-                    let lowest =
-                        *node.available_frequencies_khz().last().expect("non-empty ladder");
-                    let _ = node.set_frequency_khz(lowest);
-                    outcome.fan_duty = Some(self.fan_driver.last_commanded());
-                    outcome.freq_mhz = Some(lowest / 1000);
-                }
-                Some(FailsafeAction::Release) => {
-                    let _ = self.fan_driver.set_duty(node, self.fan.current_duty());
-                    let mhz = self
-                        .tdvfs
-                        .as_ref()
-                        .map(Tdvfs::current_frequency_mhz)
-                        .unwrap_or_else(|| node.available_frequencies_khz()[0] / 1000);
-                    let _ = node.set_frequency_khz(mhz * 1000);
-                }
-                None => {}
-            }
+        let sample = SensorSample {
+            now_s: self.samples as f64 / 4.0,
+            fresh_temp_c: fresh,
+            temp_c: temp,
+            utilization: node.utilization(),
+            die_temp_c: node.die_temp_c(),
+        };
+        self.samples += 1;
+        let out = self
+            .plane
+            .on_sample(&sample, &mut PlatformActuators { node, binding: &mut self.binding });
+        SampleOutcome {
+            temp_c: out.temp_c,
+            fan_duty: out.forced_fan_duty.or(out.fan_duty),
+            freq_mhz: out.forced_freq_mhz.or(out.freq_mhz),
+            failsafe_engaged: out.failsafe_engaged,
         }
-        let engaged = self.failsafe.as_ref().is_some_and(Failsafe::is_engaged);
-        outcome.failsafe_engaged = engaged;
-
-        if let Some(t) = temp {
-            let util = node.utilization();
-            if let Some(decision) = self.fan.observe(t, util) {
-                if !engaged && self.fan_driver.set_duty(node, decision.mode).is_ok() {
-                    outcome.fan_duty = Some(decision.mode);
-                }
-            }
-            if let Some(d) = &mut self.tdvfs {
-                if let Some(event) = d.observe(t) {
-                    let mhz = event.frequency_mhz();
-                    if !engaged && node.set_frequency_khz(mhz * 1000).is_ok() {
-                        outcome.freq_mhz = Some(mhz);
-                    }
-                }
-            }
-        }
-        outcome
     }
 
     /// The fan controller (for inspection).
     pub fn fan(&self) -> &FeedforwardFanController {
-        &self.fan
+        self.plane
+            .daemon::<FeedforwardFan>()
+            .expect("stack always runs the feedforward fan daemon")
+            .controller()
     }
 
     /// The tDVFS daemon, if attached.
     pub fn tdvfs(&self) -> Option<&Tdvfs> {
-        self.tdvfs.as_ref()
+        self.plane.daemon::<TdvfsDaemon>().map(TdvfsDaemon::inner)
     }
 
     /// The failsafe watchdog, if attached.
     pub fn failsafe(&self) -> Option<&Failsafe> {
-        self.failsafe.as_ref()
+        self.plane.failsafe()
     }
 
     /// The sensor poller statistics.
     pub fn sensors(&self) -> &LmSensors {
         &self.lm
+    }
+
+    /// The daemon pipeline behind this stack.
+    pub fn plane(&self) -> &ControlPlane {
+        &self.plane
+    }
+
+    /// The probed platform binding.
+    pub fn binding(&self) -> &PlatformBinding {
+        &self.binding
     }
 }
 
@@ -257,10 +251,8 @@ mod tests {
     #[test]
     fn stack_controls_a_burning_node() {
         let mut node = Node::new(NodeConfig::default(), 41);
-        let mut stack = ControlStack::builder(Policy::MODERATE)
-            .with_tdvfs()
-            .probe(&mut node)
-            .unwrap();
+        let mut stack =
+            ControlStack::builder(Policy::MODERATE).with_tdvfs().probe(&mut node).unwrap();
         drive(&mut node, &mut stack, 300.0, 1.0);
         assert!(node.state().fan_duty.percent() > 20, "fan engaged");
         assert_eq!(node.cpu().throttle_event_count(), 0, "no emergencies");
@@ -275,20 +267,15 @@ mod tests {
             .probe(&mut node)
             .unwrap();
         drive(&mut node, &mut stack, 300.0, 1.0);
-        assert!(
-            stack.tdvfs().unwrap().scale_down_count() > 0,
-            "weak fan forces in-band action"
-        );
+        assert!(stack.tdvfs().unwrap().scale_down_count() > 0, "weak fan forces in-band action");
     }
 
     #[test]
     fn failsafe_covers_sensor_blackout() {
         let faults = FaultPlan::none().at(5.0, FaultEvent::SensorDropout);
         let mut node = Node::with_faults(NodeConfig::default(), 43, faults);
-        let mut stack = ControlStack::builder(Policy::MODERATE)
-            .with_failsafe()
-            .probe(&mut node)
-            .unwrap();
+        let mut stack =
+            ControlStack::builder(Policy::MODERATE).with_failsafe().probe(&mut node).unwrap();
         drive(&mut node, &mut stack, 60.0, 1.0);
         assert!(stack.failsafe().unwrap().is_engaged());
         assert_eq!(node.state().fan_duty.percent(), 100, "failsafe forced full fan");
@@ -297,10 +284,8 @@ mod tests {
     #[test]
     fn feedforward_option_wires_through() {
         let mut node = Node::new(NodeConfig::default(), 44);
-        let mut stack = ControlStack::builder(Policy::MODERATE)
-            .with_feedforward()
-            .probe(&mut node)
-            .unwrap();
+        let mut stack =
+            ControlStack::builder(Policy::MODERATE).with_feedforward().probe(&mut node).unwrap();
         // Idle for a while, then a hard load step: the feedforward fires.
         drive(&mut node, &mut stack, 20.0, 0.05);
         drive(&mut node, &mut stack, 5.0, 1.0);
@@ -316,5 +301,14 @@ mod tests {
         let t = out.temp_c.expect("sensor readable");
         assert!((t - node.die_temp_c()).abs() < 3.0);
         assert!(!out.failsafe_engaged);
+    }
+
+    #[test]
+    fn stack_pipeline_comes_from_the_scheme_factory() {
+        let mut node = Node::new(NodeConfig::default(), 46);
+        let stack = ControlStack::builder(Policy::MODERATE).with_tdvfs().probe(&mut node).unwrap();
+        assert_eq!(stack.plane().labels(), vec!["feedforward-fan", "tdvfs"]);
+        assert!(stack.plane().controls_frequency());
+        assert!(stack.binding().fan_driver().is_some());
     }
 }

@@ -55,9 +55,9 @@ impl SysfsTree {
         if let Some(rest) = path.strip_prefix("hwmon0/temp") {
             if let Some(idx_str) = rest.strip_suffix("_input") {
                 if idx_str != "1" {
-                    let n: usize = idx_str.parse().map_err(|_| HwmonError::NoSuchAttribute {
-                        path: path.to_string(),
-                    })?;
+                    let n: usize = idx_str
+                        .parse()
+                        .map_err(|_| HwmonError::NoSuchAttribute { path: path.to_string() })?;
                     if n == 0 || n > node.sensor_count() {
                         return Err(HwmonError::NoSuchAttribute { path: path.to_string() });
                     }
@@ -84,9 +84,9 @@ impl SysfsTree {
                 .map(u32::to_string)
                 .collect::<Vec<_>>()
                 .join(" ")),
-            "cpufreq/scaling_setspeed" => Err(HwmonError::NoSuchAttribute {
-                path: format!("{path} (write-only)"),
-            }),
+            "cpufreq/scaling_setspeed" => {
+                Err(HwmonError::NoSuchAttribute { path: format!("{path} (write-only)") })
+            }
             other => Err(HwmonError::NoSuchAttribute { path: other.to_string() }),
         }
     }
@@ -151,10 +151,8 @@ impl SysfsTree {
     /// Convenience: reads the PWM duty as a percent, converting from the
     /// 0–255 register encoding.
     pub fn read_pwm_percent(&mut self, node: &mut Node) -> Result<u8, HwmonError> {
-        let raw: u8 = self
-            .read(node, "hwmon0/pwm1")?
-            .parse()
-            .expect("pwm1 read produces a valid u8");
+        let raw: u8 =
+            self.read(node, "hwmon0/pwm1")?.parse().expect("pwm1 read produces a valid u8");
         Ok(DutyCycle::from_register(raw).percent())
     }
 }
@@ -221,10 +219,7 @@ mod tests {
     fn read_only_attributes_reject_writes() {
         let (mut n, mut t) = setup();
         for p in ["hwmon0/temp1_input", "hwmon0/fan1_input", "cpufreq/scaling_cur_freq"] {
-            assert!(matches!(
-                t.write(&mut n, p, "1"),
-                Err(HwmonError::ReadOnlyAttribute { .. })
-            ));
+            assert!(matches!(t.write(&mut n, p, "1"), Err(HwmonError::ReadOnlyAttribute { .. })));
         }
     }
 

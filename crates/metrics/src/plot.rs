@@ -71,9 +71,9 @@ impl AsciiPlot {
         let t0 = drawable.iter().map(|s| s.first().unwrap().time_s).fold(f64::INFINITY, f64::min);
         let t1 =
             drawable.iter().map(|s| s.last().unwrap().time_s).fold(f64::NEG_INFINITY, f64::max);
-        let mut lo = self
-            .y_min
-            .unwrap_or_else(|| drawable.iter().map(|s| s.summary().min).fold(f64::INFINITY, f64::min));
+        let mut lo = self.y_min.unwrap_or_else(|| {
+            drawable.iter().map(|s| s.summary().min).fold(f64::INFINITY, f64::min)
+        });
         let mut hi = self.y_max.unwrap_or_else(|| {
             drawable.iter().map(|s| s.summary().max).fold(f64::NEG_INFINITY, f64::max)
         });
@@ -108,10 +108,17 @@ impl AsciiPlot {
             let _ = writeln!(out, "{y:>label_w$.1} |{line}");
         }
         let _ = writeln!(out, "{:>label_w$} +{}", "", "-".repeat(self.width));
-        let _ = writeln!(out, "{:>label_w$}  t={t0:.0}s{:>w$}t={t1:.0}s", "", "", w = self.width.saturating_sub(16));
+        let _ = writeln!(
+            out,
+            "{:>label_w$}  t={t0:.0}s{:>w$}t={t1:.0}s",
+            "",
+            "",
+            w = self.width.saturating_sub(16)
+        );
         for (si, s) in drawable.iter().enumerate() {
             let unit = if s.unit.is_empty() { String::new() } else { format!(" [{}]", s.unit) };
-            let _ = writeln!(out, "{:>label_w$}  {} {}{}", "", GLYPHS[si % GLYPHS.len()], s.name, unit);
+            let _ =
+                writeln!(out, "{:>label_w$}  {} {}{}", "", GLYPHS[si % GLYPHS.len()], s.name, unit);
         }
         out
     }

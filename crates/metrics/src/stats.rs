@@ -179,8 +179,8 @@ mod tests {
         }
         let naive_mean = values.iter().sum::<f64>() / values.len() as f64;
         assert!((r.mean() - naive_mean).abs() < 1e-12);
-        let naive_var =
-            values.iter().map(|v| (v - naive_mean).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+        let naive_var = values.iter().map(|v| (v - naive_mean).powi(2)).sum::<f64>()
+            / (values.len() - 1) as f64;
         assert!((r.variance() - naive_var).abs() < 1e-12);
     }
 

@@ -139,7 +139,13 @@ pub struct SensorConfig {
 
 impl Default for SensorConfig {
     fn default() -> Self {
-        Self { noise_std_c: 0.35, quantization_c: 0.25, offset_c: 0.0, count: 1, core_spread_c: 1.5 }
+        Self {
+            noise_std_c: 0.35,
+            quantization_c: 0.25,
+            offset_c: 0.0,
+            count: 1,
+            core_spread_c: 1.5,
+        }
     }
 }
 
@@ -216,8 +222,10 @@ impl NodeConfig {
 
         let b = &self.board;
         assert!(b.base_power_w >= 0.0, "base power must be non-negative");
-        assert!((0.0..=1.0).contains(&b.psu_efficiency) && b.psu_efficiency > 0.0,
-            "PSU efficiency must be in (0,1]");
+        assert!(
+            (0.0..=1.0).contains(&b.psu_efficiency) && b.psu_efficiency > 0.0,
+            "PSU efficiency must be in (0,1]"
+        );
     }
 }
 

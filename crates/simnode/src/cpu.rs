@@ -42,6 +42,10 @@ pub struct Cpu {
     utilization: f64,
     activity: f64,
     condition: ThermalCondition,
+    /// ACPI sleep-state power/speed gate in `[0, 1]`: 1.0 = C0 (fully
+    /// awake), lower values model the package-level savings of deeper
+    /// processor sleep states.
+    sleep_gate: f64,
     freq_transitions: u64,
     throttle_events: u64,
 }
@@ -56,6 +60,7 @@ impl Cpu {
             utilization: 0.0,
             activity: 0.0,
             condition: ThermalCondition::Nominal,
+            sleep_gate: 1.0,
             freq_transitions: 0,
             throttle_events: 0,
         }
@@ -97,14 +102,12 @@ impl Cpu {
     /// frequency transition). Requests for unavailable frequencies are
     /// rejected with `Err` carrying the list of valid frequencies.
     pub fn set_frequency_mhz(&mut self, freq_mhz: u32) -> Result<bool, InvalidFrequency> {
-        let idx = self
-            .cfg
-            .pstates
-            .iter()
-            .position(|p| p.freq_mhz == freq_mhz)
-            .ok_or_else(|| InvalidFrequency {
-                requested_mhz: freq_mhz,
-                available_mhz: self.cfg.pstates.iter().map(|p| p.freq_mhz).collect(),
+        let idx =
+            self.cfg.pstates.iter().position(|p| p.freq_mhz == freq_mhz).ok_or_else(|| {
+                InvalidFrequency {
+                    requested_mhz: freq_mhz,
+                    available_mhz: self.cfg.pstates.iter().map(|p| p.freq_mhz).collect(),
+                }
             })?;
         if idx == self.requested {
             return Ok(false);
@@ -151,6 +154,19 @@ impl Cpu {
         self.activity
     }
 
+    /// Sets the ACPI sleep-state gate: the fraction of nominal power (and
+    /// execution speed) the package retains, 1.0 for C0 down toward 0 for
+    /// deep sleep. Clamped to `[0, 1]`.
+    pub fn set_sleep_gate(&mut self, gate: f64) {
+        assert!(gate.is_finite(), "sleep gate must be finite");
+        self.sleep_gate = gate.clamp(0.0, 1.0);
+    }
+
+    /// Current ACPI sleep-state gate in `[0, 1]`.
+    pub fn sleep_gate(&self) -> f64 {
+        self.sleep_gate
+    }
+
     /// Current thermal condition.
     pub fn condition(&self) -> ThermalCondition {
         self.condition
@@ -169,7 +185,7 @@ impl Cpu {
             return 0.0;
         }
         let top = self.cfg.pstates[0].freq_mhz;
-        f64::from(self.effective_pstate().freq_mhz) / f64::from(top)
+        f64::from(self.effective_pstate().freq_mhz) / f64::from(top) * self.sleep_gate
     }
 
     /// Electrical power draw in W at the given die temperature.
@@ -181,7 +197,8 @@ impl Cpu {
         let eff = self.effective_pstate();
 
         let leak_scale = (eff.voltage_v / top.voltage_v)
-            * (1.0 + self.cfg.leakage_temp_coeff_per_k * (die_temp_c - self.cfg.leakage_ref_temp_c))
+            * (1.0
+                + self.cfg.leakage_temp_coeff_per_k * (die_temp_c - self.cfg.leakage_ref_temp_c))
                 .max(0.0);
         let leakage = self.cfg.leakage_power_ref_w * leak_scale;
 
@@ -189,7 +206,9 @@ impl Cpu {
         let vf0 = top.voltage_v * top.voltage_v * f64::from(top.freq_mhz);
         let dynamic = self.activity * self.cfg.dynamic_power_max_w * vf / vf0;
 
-        leakage + dynamic
+        // Sleep states gate the whole package (clocks, caches, uncore), so
+        // the gate scales total power, not just the dynamic term.
+        (leakage + dynamic) * self.sleep_gate
     }
 
     /// Updates the thermal-monitor state machine for the current die
@@ -386,6 +405,20 @@ mod tests {
         assert_eq!(c.condition(), ThermalCondition::Throttled);
         c.update_thermal_monitor(86.0);
         assert!(c.is_shut_down());
+    }
+
+    #[test]
+    fn sleep_gate_scales_power_and_speed() {
+        let mut c = cpu();
+        c.set_utilization(1.0);
+        assert_eq!(c.sleep_gate(), 1.0, "default gate is C0");
+        let awake_power = c.power_w(50.0);
+        let awake_speed = c.speed_factor();
+        c.set_sleep_gate(0.35); // C2's power fraction
+        assert!((c.power_w(50.0) - awake_power * 0.35).abs() < 1e-9);
+        assert!((c.speed_factor() - awake_speed * 0.35).abs() < 1e-12);
+        c.set_sleep_gate(2.0);
+        assert_eq!(c.sleep_gate(), 1.0, "gate clamps to [0, 1]");
     }
 
     #[test]

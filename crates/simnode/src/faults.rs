@@ -109,9 +109,8 @@ mod tests {
 
     #[test]
     fn simultaneous_events_keep_insertion_order() {
-        let mut plan = FaultPlan::none()
-            .at(5.0, FaultEvent::FanFailure)
-            .at(5.0, FaultEvent::SensorDropout);
+        let mut plan =
+            FaultPlan::none().at(5.0, FaultEvent::FanFailure).at(5.0, FaultEvent::SensorDropout);
         assert_eq!(plan.due(5.0), vec![FaultEvent::FanFailure, FaultEvent::SensorDropout]);
     }
 

@@ -35,12 +35,12 @@ pub enum I2cError {
     /// No device acknowledged the address.
     NoDevice {
         /// The unacknowledged 7-bit address.
-        addr: u8
+        addr: u8,
     },
     /// The device NACKed the transaction (injected fault).
     Nack {
         /// The NACKing 7-bit address.
-        addr: u8
+        addr: u8,
     },
     /// The device rejected the register access.
     Device(DeviceError),
@@ -117,10 +117,7 @@ impl I2cBus {
     /// both are wiring bugs, not runtime conditions.
     pub fn attach(&mut self, addr: u8, device: Box<dyn SmbusDevice>) {
         assert!(addr <= 0x7F, "i2c addresses are 7-bit, got 0x{addr:02x}");
-        assert!(
-            !self.devices.contains_key(&addr),
-            "i2c address 0x{addr:02x} already occupied"
-        );
+        assert!(!self.devices.contains_key(&addr), "i2c address 0x{addr:02x} already occupied");
         self.devices.insert(addr, device);
     }
 
@@ -217,19 +214,13 @@ mod tests {
 
     impl SmbusDevice for RamDevice {
         fn read_byte(&mut self, reg: u8) -> Result<u8, DeviceError> {
-            self.regs
-                .get(reg as usize)
-                .copied()
-                .ok_or(DeviceError::InvalidRegister(reg))
+            self.regs.get(reg as usize).copied().ok_or(DeviceError::InvalidRegister(reg))
         }
         fn write_byte(&mut self, reg: u8, value: u8) -> Result<(), DeviceError> {
             if reg == 3 {
                 return Err(DeviceError::ReadOnlyRegister(reg));
             }
-            *self
-                .regs
-                .get_mut(reg as usize)
-                .ok_or(DeviceError::InvalidRegister(reg))? = value;
+            *self.regs.get_mut(reg as usize).ok_or(DeviceError::InvalidRegister(reg))? = value;
             Ok(())
         }
         fn as_any(&self) -> &dyn Any {

@@ -31,8 +31,8 @@
 pub mod adt7467;
 pub mod config;
 pub mod cpu;
-pub mod faults;
 pub mod fan;
+pub mod faults;
 pub mod i2c;
 pub mod node;
 pub mod power;

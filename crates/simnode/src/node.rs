@@ -118,7 +118,10 @@ impl Node {
                     per_sensor.offset_c +=
                         cfg.sensor.core_spread_c * i as f64 / (cfg.sensor.count - 1) as f64;
                 }
-                ThermalSensor::new(per_sensor, seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407))
+                ThermalSensor::new(
+                    per_sensor,
+                    seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+                )
             })
             .collect();
         let meter = PowerMeter::new(cfg.board.psu_efficiency, METER_PERIOD_S);
@@ -212,11 +215,7 @@ impl Node {
     /// when *no* sensor responds.
     pub fn read_hottest_sensor(&mut self) -> Result<MilliCelsius, SensorDropout> {
         let die = self.thermal.die_temp_c();
-        self.sensors
-            .iter_mut()
-            .filter_map(|s| s.read(die).ok())
-            .max()
-            .ok_or(SensorDropout)
+        self.sensors.iter_mut().filter_map(|s| s.read(die).ok()).max().ok_or(SensorDropout)
     }
 
     /// Available DVFS frequencies in kHz, descending (cpufreq
@@ -228,6 +227,13 @@ impl Node {
     /// Requests a DVFS frequency in kHz (cpufreq `scaling_setspeed`).
     pub fn set_frequency_khz(&mut self, khz: u32) -> Result<bool, InvalidFrequency> {
         self.cpu.set_frequency_mhz(khz / 1000)
+    }
+
+    /// Sets the CPU's ACPI sleep-state gate (1.0 = C0 fully awake; lower
+    /// models deeper processor sleep). The in-band path an ACPI sleep
+    /// daemon actuates through.
+    pub fn set_sleep_gate(&mut self, gate: f64) {
+        self.cpu.set_sleep_gate(gate);
     }
 
     /// Currently requested frequency in kHz (cpufreq `scaling_cur_freq`
@@ -401,8 +407,7 @@ mod tests {
         // ultimately shuts down. This is the "loss of availability" failure
         // mode the paper's introduction warns about.
         n.smbus_write(ADT7467_ADDR, regs::PWM_CONFIG, 1).unwrap();
-        n.smbus_write(ADT7467_ADDR, regs::PWM_CURRENT, DutyCycle::new(2).to_register())
-            .unwrap();
+        n.smbus_write(ADT7467_ADDR, regs::PWM_CURRENT, DutyCycle::new(2).to_register()).unwrap();
         n.set_utilization(1.0);
         run(&mut n, 900.0);
         assert!(n.cpu().throttle_event_count() > 0, "expected a thermal emergency");
@@ -416,8 +421,7 @@ mod tests {
     fn smbus_path_controls_fan() {
         let mut n = node();
         n.smbus_write(ADT7467_ADDR, regs::PWM_CONFIG, 1).unwrap();
-        n.smbus_write(ADT7467_ADDR, regs::PWM_CURRENT, DutyCycle::new(80).to_register())
-            .unwrap();
+        n.smbus_write(ADT7467_ADDR, regs::PWM_CURRENT, DutyCycle::new(80).to_register()).unwrap();
         run(&mut n, 10.0);
         assert_eq!(n.state().fan_duty.percent(), 80);
         assert!((n.state().fan_rpm - 0.8 * 4300.0).abs() < 50.0);
@@ -433,7 +437,10 @@ mod tests {
         n.set_utilization(1.0);
         run(&mut n, 120.0);
         let hot = n.wall_power_w();
-        assert_eq!(n.available_frequencies_khz(), vec![2_400_000, 2_200_000, 2_000_000, 1_800_000, 1_000_000]);
+        assert_eq!(
+            n.available_frequencies_khz(),
+            vec![2_400_000, 2_200_000, 2_000_000, 1_800_000, 1_000_000]
+        );
         n.set_frequency_khz(1_000_000).unwrap();
         assert_eq!(n.requested_frequency_khz(), 1_000_000);
         run(&mut n, 120.0);
@@ -469,9 +476,8 @@ mod tests {
 
     #[test]
     fn sensor_dropout_fault_blocks_reads() {
-        let faults = FaultPlan::none()
-            .at(1.0, FaultEvent::SensorDropout)
-            .at(2.0, FaultEvent::SensorRestore);
+        let faults =
+            FaultPlan::none().at(1.0, FaultEvent::SensorDropout).at(2.0, FaultEvent::SensorRestore);
         let mut n = Node::with_faults(NodeConfig::default(), 3, faults);
         run(&mut n, 1.5);
         assert!(n.read_sensor().is_err());
@@ -505,8 +511,7 @@ mod tests {
         // mid fan duty lands in that neighbourhood.
         let mut n = node();
         n.smbus_write(ADT7467_ADDR, regs::PWM_CONFIG, 1).unwrap();
-        n.smbus_write(ADT7467_ADDR, regs::PWM_CURRENT, DutyCycle::new(50).to_register())
-            .unwrap();
+        n.smbus_write(ADT7467_ADDR, regs::PWM_CURRENT, DutyCycle::new(50).to_register()).unwrap();
         n.set_utilization(1.0);
         run(&mut n, 400.0);
         let p = n.wall_power_w();

@@ -28,10 +28,7 @@ pub struct PowerMeter {
 impl PowerMeter {
     /// Creates a meter with the given PSU efficiency and sampling period.
     pub fn new(psu_efficiency: f64, sample_period_s: f64) -> Self {
-        assert!(
-            psu_efficiency > 0.0 && psu_efficiency <= 1.0,
-            "PSU efficiency must be in (0,1]"
-        );
+        assert!(psu_efficiency > 0.0 && psu_efficiency <= 1.0, "PSU efficiency must be in (0,1]");
         assert!(sample_period_s > 0.0, "sample period must be positive");
         Self {
             psu_efficiency,

@@ -132,8 +132,8 @@ mod tests {
         let mut s = sensor(3);
         let readings: Vec<f64> = (0..4000).map(|_| s.read(50.0).unwrap().to_celsius()).collect();
         let mean = readings.iter().sum::<f64>() / readings.len() as f64;
-        let var = readings.iter().map(|r| (r - mean).powi(2)).sum::<f64>()
-            / (readings.len() - 1) as f64;
+        let var =
+            readings.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / (readings.len() - 1) as f64;
         assert!((mean - 50.0).abs() < 0.05, "mean {mean}");
         // std 0.35 plus quantization noise (0.25²/12 ≈ 0.0052 variance).
         let expected_var = 0.35f64.powi(2) + 0.25f64.powi(2) / 12.0;
@@ -173,7 +173,12 @@ mod tests {
 
     #[test]
     fn noiseless_sensor_is_exact_up_to_quantization() {
-        let cfg = SensorConfig { noise_std_c: 0.0, quantization_c: 0.25, offset_c: 0.0, ..Default::default() };
+        let cfg = SensorConfig {
+            noise_std_c: 0.0,
+            quantization_c: 0.25,
+            offset_c: 0.0,
+            ..Default::default()
+        };
         let mut s = ThermalSensor::new(cfg, 0);
         assert_eq!(s.read(51.25).unwrap().to_celsius(), 51.25);
         assert_eq!(s.read(51.30).unwrap().to_celsius(), 51.25);
@@ -181,7 +186,12 @@ mod tests {
 
     #[test]
     fn offset_shifts_readings() {
-        let cfg = SensorConfig { noise_std_c: 0.0, quantization_c: 0.0, offset_c: 2.0, ..Default::default() };
+        let cfg = SensorConfig {
+            noise_std_c: 0.0,
+            quantization_c: 0.0,
+            offset_c: 2.0,
+            ..Default::default()
+        };
         let mut s = ThermalSensor::new(cfg, 0);
         assert_eq!(s.read(50.0).unwrap().to_celsius(), 52.0);
     }

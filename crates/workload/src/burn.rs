@@ -160,7 +160,9 @@ mod tests {
         let mut a = CpuBurn::new(1);
         let mut b = CpuBurn::new(2);
         let matches = (0..1000)
-            .filter(|_| (a.advance(0.1, 1.0).utilization - b.advance(0.1, 1.0).utilization).abs() < 1e-12)
+            .filter(|_| {
+                (a.advance(0.1, 1.0).utilization - b.advance(0.1, 1.0).utilization).abs() < 1e-12
+            })
             .count();
         assert!(matches < 1000);
     }

@@ -203,7 +203,8 @@ impl NpbBenchmark {
     pub fn rank_program(self, class: NpbClass, rank: usize, seed: u64) -> PhaseWorkload {
         let s = self.shape();
         let scale = class.scale();
-        let mut rng = SmallRng::seed_from_u64(seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            SmallRng::seed_from_u64(seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut phases = Vec::with_capacity(s.iterations * 4 + 2);
 
         phases.push(Phase::compute_with_activity(s.init_s * scale.max(0.25), 0.8, 0.7, 0.8));

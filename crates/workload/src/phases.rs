@@ -195,22 +195,14 @@ impl PhaseWorkload {
     /// If the current phase is a barrier (or the program is exhausted),
     /// transition the state accordingly.
     fn settle_entry(&mut self) {
-        loop {
-            if self.current >= self.phases.len() {
-                self.state = WorkState::Finished;
-                return;
-            }
-            match self.phases[self.current] {
-                Phase::Barrier => {
-                    self.state = WorkState::AtBarrier(self.barriers_passed);
-                    return;
-                }
-                _ => {
-                    self.state = WorkState::Running;
-                    return;
-                }
-            }
+        if self.current >= self.phases.len() {
+            self.state = WorkState::Finished;
+            return;
         }
+        self.state = match self.phases[self.current] {
+            Phase::Barrier => WorkState::AtBarrier(self.barriers_passed),
+            _ => WorkState::Running,
+        };
     }
 
     fn advance_to_next_phase(&mut self) {
@@ -371,7 +363,8 @@ mod tests {
 
     #[test]
     fn utilization_reported_per_phase() {
-        let mut w = PhaseWorkload::new(vec![Phase::compute(1.0, 0.97, 1.0), Phase::comm(1.0, 0.30)]);
+        let mut w =
+            PhaseWorkload::new(vec![Phase::compute(1.0, 0.97, 1.0), Phase::comm(1.0, 0.30)]);
         let u1 = w.advance(0.5, 1.0);
         assert!((u1.utilization - 0.97).abs() < 1e-9);
         let _ = w.advance(0.5, 1.0); // finishes compute

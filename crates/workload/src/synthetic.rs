@@ -56,8 +56,8 @@ impl ScriptWorkload {
     /// Total duration ≈ 300 s (1200 samples at 4 Hz, like the figure).
     pub fn figure2_profile() -> Self {
         let mut segs = vec![
-            Segment::new(30.0, 0.10),  // idle baseline
-            Segment::new(70.0, 1.00),  // sudden rise, then gradual climb
+            Segment::new(30.0, 0.10), // idle baseline
+            Segment::new(70.0, 1.00), // sudden rise, then gradual climb
         ];
         // Bursty jitter: 2 s alternation for 80 s.
         for i in 0..40 {

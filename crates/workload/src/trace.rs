@@ -53,9 +53,7 @@ impl TraceWorkload {
     /// utilizations — recorded traces with those defects need cleaning, not
     /// silent repair.
     pub fn from_points(points: &[(f64, f64)]) -> Self {
-        Self::from_points_with_activity(
-            &points.iter().map(|&(t, u)| (t, u, u)).collect::<Vec<_>>(),
-        )
+        Self::from_points_with_activity(&points.iter().map(|&(t, u)| (t, u, u)).collect::<Vec<_>>())
     }
 
     /// Builds a trace from `(time_s, utilization, activity)` points.
@@ -137,7 +135,8 @@ impl TraceWorkload {
     /// Reads and parses a CSV trace file.
     pub fn from_csv_file(path: impl AsRef<std::path::Path>) -> Result<Self, std::io::Error> {
         let text = std::fs::read_to_string(path)?;
-        Self::from_csv_str(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        Self::from_csv_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 
     /// Makes the trace repeat forever instead of finishing at its last

@@ -19,10 +19,7 @@ use unitherm::metrics::TextTable;
 /// A synthetic 4 Hz trace: idle, sudden load, hot plateau with jitter,
 /// gradual cool-down.
 fn trace() -> Vec<f64> {
-    let mut t = Vec::new();
-    for _ in 0..120 {
-        t.push(42.0);
-    }
+    let mut t = vec![42.0; 120];
     for i in 0..40 {
         t.push((42.0 + f64::from(i)).min(58.0));
     }

@@ -12,9 +12,7 @@
 //! cargo run --release --example cluster_bt
 //! ```
 
-use unitherm::cluster::{
-    run_scenarios_parallel, DvfsScheme, FanScheme, Scenario, WorkloadSpec,
-};
+use unitherm::cluster::{run_scenarios_parallel, DvfsScheme, FanScheme, Scenario, WorkloadSpec};
 use unitherm::core::baseline::StaticFanCurve;
 use unitherm::core::control_array::Policy;
 use unitherm::metrics::TextTable;

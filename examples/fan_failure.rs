@@ -53,11 +53,8 @@ fn main() {
     for (label, sc) in arms {
         let report = Simulation::new(sc).run();
         let victim = &report.nodes[2];
-        let final_freq = victim
-            .freq
-            .last()
-            .map(|s| format!("{:.0} MHz", s.value))
-            .unwrap_or_else(|| "?".into());
+        let final_freq =
+            victim.freq.last().map(|s| format!("{:.0} MHz", s.value)).unwrap_or_else(|| "?".into());
         table.row(&[
             label.to_string(),
             victim.throttle_events.to_string(),
@@ -74,7 +71,9 @@ fn main() {
             .filter(|(i, _)| *i != 2)
             .map(|(_, n)| n.temp_summary.max)
             .fold(f64::NEG_INFINITY, f64::max);
-        println!("[{label}] healthy peers peak at {healthy_max:.1}°C — unaffected by node 2's fault");
+        println!(
+            "[{label}] healthy peers peak at {healthy_max:.1}°C — unaffected by node 2's fault"
+        );
     }
 
     println!("\n{}", table.render());

@@ -49,9 +49,16 @@ fn main() {
     );
 
     println!("summary: {}", report.summary_line());
-    println!("  temperature: avg {:.2}°C, max {:.2}°C", node.temp_summary.mean, node.temp_summary.max);
+    println!(
+        "  temperature: avg {:.2}°C, max {:.2}°C",
+        node.temp_summary.mean, node.temp_summary.max
+    );
     println!("  fan duty:    avg {:.1}%", node.duty_summary.mean);
-    println!("  wall power:  avg {:.2} W ({:.1} kJ total)", node.avg_wall_power_w, node.energy_j / 1000.0);
+    println!(
+        "  wall power:  avg {:.2} W ({:.1} kJ total)",
+        node.avg_wall_power_w,
+        node.energy_j / 1000.0
+    );
     if node.freq_events.is_empty() {
         println!("  tDVFS:       never needed to act");
     } else {

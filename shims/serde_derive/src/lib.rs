@@ -1,0 +1,553 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! value-tree model in the sibling `serde` shim, without depending on
+//! `syn`/`quote` (the build environment has no registry access). The parser
+//! walks the raw `proc_macro::TokenStream` and supports the shapes this
+//! workspace actually uses: named/tuple/unit structs (optionally generic),
+//! externally tagged enums with unit/newtype/tuple/struct variants, and the
+//! field attributes `#[serde(default)]`, `#[serde(default = "path")]`, and
+//! `#[serde(skip)]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+type Iter = std::iter::Peekable<std::vec::IntoIter<TokenTree>>;
+
+fn tokens(ts: TokenStream) -> Iter {
+    ts.into_iter().collect::<Vec<_>>().into_iter().peekable()
+}
+
+#[derive(Clone)]
+enum DefaultKind {
+    None,
+    Std,
+    Path(String),
+}
+
+#[derive(Clone)]
+struct SerdeAttrs {
+    skip: bool,
+    default: DefaultKind,
+}
+
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    body: Body,
+}
+
+fn take_attrs(it: &mut Iter) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs { skip: false, default: DefaultKind::None };
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.next() {
+                    parse_attr_group(g.stream(), &mut attrs);
+                }
+            }
+            _ => break,
+        }
+    }
+    attrs
+}
+
+fn parse_attr_group(ts: TokenStream, attrs: &mut SerdeAttrs) {
+    let mut it = tokens(ts);
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let inner = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return,
+    };
+    let mut it = tokens(inner);
+    while let Some(tt) = it.next() {
+        if let TokenTree::Ident(id) = tt {
+            match id.to_string().as_str() {
+                "skip" => attrs.skip = true,
+                "default" => {
+                    let has_eq =
+                        matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+                    if has_eq {
+                        it.next();
+                        if let Some(TokenTree::Literal(lit)) = it.next() {
+                            let s = lit.to_string();
+                            attrs.default = DefaultKind::Path(s.trim_matches('"').to_string());
+                        }
+                    } else {
+                        attrs.default = DefaultKind::Std;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn skip_vis(it: &mut Iter) {
+    let is_pub = matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub");
+    if is_pub {
+        it.next();
+        let has_restriction = matches!(
+            it.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        );
+        if has_restriction {
+            it.next();
+        }
+    }
+}
+
+fn parse_generics(it: &mut Iter) -> Vec<String> {
+    let mut params = Vec::new();
+    let opens = matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<');
+    if !opens {
+        return params;
+    }
+    it.next();
+    let mut depth = 1usize;
+    let mut expecting_name = true;
+    let mut skip_lifetime_ident = false;
+    for tt in it.by_ref() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 => {
+                skip_lifetime_ident = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expecting_name = true,
+            TokenTree::Ident(id) if depth == 1 => {
+                if skip_lifetime_ident {
+                    skip_lifetime_ident = false;
+                } else if expecting_name {
+                    let s = id.to_string();
+                    if s != "const" {
+                        params.push(s);
+                        expecting_name = false;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    params
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut it = tokens(ts);
+    let mut fields = Vec::new();
+    loop {
+        let attrs = take_attrs(&mut it);
+        skip_vis(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde shim derive: unexpected token in fields: {other}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        let mut depth = 0i32;
+        loop {
+            let action = match it.peek() {
+                None => 0u8,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => 2,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => 3,
+                Some(_) => 4,
+            };
+            match action {
+                0 => break,
+                1 => {
+                    it.next();
+                    break;
+                }
+                2 => {
+                    depth += 1;
+                    it.next();
+                }
+                3 => {
+                    depth -= 1;
+                    it.next();
+                }
+                _ => {
+                    it.next();
+                }
+            }
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut pending = false;
+    for tt in ts {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if pending {
+                    count += 1;
+                }
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut it = tokens(ts);
+    let mut variants = Vec::new();
+    loop {
+        let _attrs = take_attrs(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde shim derive: unexpected token in enum: {other}"),
+        };
+        enum Peeked {
+            Brace(TokenStream),
+            Paren(TokenStream),
+            Other,
+        }
+        let peeked = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Peeked::Brace(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Peeked::Paren(g.stream())
+            }
+            _ => Peeked::Other,
+        };
+        let body = match peeked {
+            Peeked::Brace(inner) => {
+                it.next();
+                VariantBody::Named(parse_named_fields(inner))
+            }
+            Peeked::Paren(inner) => {
+                it.next();
+                VariantBody::Tuple(count_tuple_fields(inner))
+            }
+            Peeked::Other => VariantBody::Unit,
+        };
+        loop {
+            match it.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+            }
+        }
+        variants.push(Variant { name, body });
+    }
+    variants
+}
+
+fn parse_input(ts: TokenStream) -> Input {
+    let mut it = tokens(ts);
+    let _ = take_attrs(&mut it);
+    skip_vis(&mut it);
+    let kw = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct`/`enum`, got {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    let generics = parse_generics(&mut it);
+    let at_where = matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "where");
+    if at_where {
+        loop {
+            let at_body = match it.peek() {
+                None => true,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => true,
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => true,
+                Some(_) => false,
+            };
+            if at_body {
+                break;
+            }
+            it.next();
+        }
+    }
+    let body = if kw == "enum" {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: expected enum body, got {other:?}"),
+        }
+    } else {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("serde shim derive: expected struct body, got {other:?}"),
+        }
+    };
+    Input { name, generics, body }
+}
+
+fn impl_header(trait_name: &str, input: &Input) -> String {
+    if input.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {} ", input.name)
+    } else {
+        let bounded: Vec<String> =
+            input.generics.iter().map(|g| format!("{g}: ::serde::{trait_name}")).collect();
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{}> ",
+            bounded.join(", "),
+            input.name,
+            input.generics.join(", ")
+        )
+    }
+}
+
+fn serialize_named_fields(fields: &[Field], access: &str) -> String {
+    let mut out = String::from(
+        "{ let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        out.push_str(&format!(
+            "__fields.push((\"{0}\".to_string(), ::serde::Serialize::serialize({1}{0})));\n",
+            f.name, access
+        ));
+    }
+    out.push_str("::serde::Value::Map(__fields) }");
+    out
+}
+
+fn deserialize_named_fields(fields: &[Field], ty_label: &str, source: &str) -> String {
+    let mut out = String::from("{\n");
+    for f in fields {
+        let expr = if f.attrs.skip {
+            "::std::default::Default::default()".to_string()
+        } else {
+            let missing = match &f.attrs.default {
+                DefaultKind::None => format!(
+                    "return ::std::result::Result::Err(::serde::Error::missing_field(\"{ty_label}\", \"{}\"))",
+                    f.name
+                ),
+                DefaultKind::Std => "::std::default::Default::default()".to_string(),
+                DefaultKind::Path(p) => format!("{p}()"),
+            };
+            format!(
+                "match {source}.get(\"{0}\") {{ ::std::option::Option::Some(__f) => ::serde::Deserialize::deserialize(__f)?, ::std::option::Option::None => {missing} }}",
+                f.name
+            )
+        };
+        out.push_str(&format!("{}: {expr},\n", f.name));
+    }
+    out.push('}');
+    out
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let header = impl_header("Serialize", input);
+    let body = match &input.body {
+        Body::NamedStruct(fields) => serialize_named_fields(fields, "&self."),
+        Body::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::serialize(&self.{i})")).collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let ty = &input.name;
+                let vn = &v.name;
+                match &v.body {
+                    VariantBody::Unit => arms.push_str(&format!(
+                        "{ty}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantBody::Tuple(1) => arms.push_str(&format!(
+                        "{ty}::{vn}(__f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Serialize::serialize(__f0))]),\n"
+                    )),
+                    VariantBody::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::serialize(__f{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{ty}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Seq(vec![{}]))]),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantBody::Named(fields) => {
+                        let binders: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.attrs.skip)
+                            .map(|f| f.name.clone())
+                            .collect();
+                        let mut map_items = String::new();
+                        for f in fields.iter().filter(|f| !f.attrs.skip) {
+                            map_items.push_str(&format!(
+                                "(\"{0}\".to_string(), ::serde::Serialize::serialize({0})),",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{ty}::{vn} {{ {}, .. }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Map(vec![{map_items}]))]),\n",
+                            binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!("{header}{{ fn serialize(&self) -> ::serde::Value {{ {body} }} }}")
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let header = impl_header("Deserialize", input);
+    let ty = &input.name;
+    let body = match &input.body {
+        Body::NamedStruct(fields) => {
+            let ctor = deserialize_named_fields(fields, ty, "__v");
+            format!(
+                "if !matches!(__v, ::serde::Value::Map(_)) {{ return ::std::result::Result::Err(::serde::Error::expected(\"map for struct {ty}\", __v)); }}\n\
+                 ::std::result::Result::Ok({ty} {ctor})"
+            )
+        }
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({ty}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{ ::serde::Value::Seq(__items) if __items.len() == {n} => ::std::result::Result::Ok({ty}({})), __other => ::std::result::Result::Err(::serde::Error::expected(\"sequence of {n} for {ty}\", __other)) }}",
+                items.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("::std::result::Result::Ok({ty})"),
+        Body::Enum(variants) => {
+            let mut str_arms = String::new();
+            let mut map_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    VariantBody::Unit => {
+                        str_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({ty}::{vn}),\n"
+                        ));
+                        map_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({ty}::{vn}),\n"
+                        ));
+                    }
+                    VariantBody::Tuple(1) => map_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({ty}::{vn}(::serde::Deserialize::deserialize(__inner)?)),\n"
+                    )),
+                    VariantBody::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                            .collect();
+                        map_arms.push_str(&format!(
+                            "\"{vn}\" => match __inner {{ ::serde::Value::Seq(__items) if __items.len() == {n} => ::std::result::Result::Ok({ty}::{vn}({})), __other => ::std::result::Result::Err(::serde::Error::expected(\"sequence of {n} for variant {vn}\", __other)) }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantBody::Named(fields) => {
+                        let label = format!("{ty}::{vn}");
+                        let ctor = deserialize_named_fields(fields, &label, "__inner");
+                        map_arms.push_str(&format!(
+                            "\"{vn}\" => {{ if !matches!(__inner, ::serde::Value::Map(_)) {{ return ::std::result::Result::Err(::serde::Error::expected(\"map for variant {vn}\", __inner)); }} ::std::result::Result::Ok({ty}::{vn} {ctor}) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                   ::serde::Value::Str(__s) => match __s.as_str() {{\n{str_arms}\
+                     __other => ::std::result::Result::Err(::serde::Error::unknown_variant(\"{ty}\", __other)),\n\
+                   }},\n\
+                   ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                     let (__key, __inner) = &__entries[0];\n\
+                     match __key.as_str() {{\n{map_arms}\
+                       __other => ::std::result::Result::Err(::serde::Error::unknown_variant(\"{ty}\", __other)),\n\
+                     }}\n\
+                   }}\n\
+                   __other => ::std::result::Result::Err(::serde::Error::expected(\"string or single-key map for enum {ty}\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "{header}{{ fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+}
+
+/// Derives the serde shim's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde shim derive: generated Serialize impl failed to parse")
+}
+
+/// Derives the serde shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde shim derive: generated Deserialize impl failed to parse")
+}

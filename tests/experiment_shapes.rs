@@ -7,7 +7,9 @@
 //! scale. Each test prints the rendered result on failure so violations are
 //! diagnosable from CI logs alone.
 
-use unitherm::experiments::{ablations, fig1, fig10, fig2, fig5, fig6, fig7, fig8, fig9, scaling, table1, Experiment, Scale};
+use unitherm::experiments::{
+    ablations, fig1, fig10, fig2, fig5, fig6, fig7, fig8, fig9, scaling, table1, Experiment, Scale,
+};
 
 fn assert_shape(result: &dyn Experiment) {
     let violations = result.shape_violations();

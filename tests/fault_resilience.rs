@@ -8,7 +8,7 @@ use unitherm::core::failsafe::FailsafeConfig;
 use unitherm::simnode::faults::{FaultEvent, FaultPlan};
 
 /// A sustained-burn scenario where the sensor goes permanently dark at
-/// t = 3 s, before the fan controller has meaningfully ramped. The frozen
+/// t = 0.5 s, before the fan controller has meaningfully ramped. The frozen
 /// controller holds a low duty against a full-power workload.
 fn blind_sensor_scenario(name: &str) -> Scenario {
     let sustained = unitherm::workload::burn::BurnConfig {
@@ -22,7 +22,7 @@ fn blind_sensor_scenario(name: &str) -> Scenario {
         .with_workload(WorkloadSpec::CpuBurnTuned(sustained))
         .with_fan(FanScheme::dynamic(Policy::MODERATE, 100))
         .with_max_time(600.0)
-        .with_fault(0, FaultPlan::none().at(1.5, FaultEvent::SensorDropout))
+        .with_fault(0, FaultPlan::none().at(0.5, FaultEvent::SensorDropout))
 }
 
 #[test]
@@ -57,9 +57,8 @@ fn failsafe_rescues_a_blind_controller() {
 
 #[test]
 fn failsafe_releases_after_sensor_recovery() {
-    let plan = FaultPlan::none()
-        .at(15.0, FaultEvent::SensorDropout)
-        .at(120.0, FaultEvent::SensorRestore);
+    let plan =
+        FaultPlan::none().at(15.0, FaultEvent::SensorDropout).at(120.0, FaultEvent::SensorRestore);
     let report = Simulation::new(
         Scenario::new("blackout-recovery")
             .with_nodes(1)

@@ -28,9 +28,8 @@ impl SysfsDaemon {
         let mut tree = SysfsTree::new();
         // Take manual control of the PWM channel, Linux-style.
         tree.write(node, "hwmon0/pwm1_enable", "1").expect("manual mode");
-        let freqs_khz = tree
-            .read(node, "cpufreq/scaling_available_frequencies")
-            .expect("ladder readable");
+        let freqs_khz =
+            tree.read(node, "cpufreq/scaling_available_frequencies").expect("ladder readable");
         let freqs_mhz: Vec<u32> =
             freqs_khz.split_whitespace().map(|s| s.parse::<u32>().expect("kHz") / 1000).collect();
         Self {
@@ -125,10 +124,7 @@ fn sysfs_daemon_with_weak_fan_triggers_dvfs() {
 
     // The capped fan cannot hold 51 °C under burn: tDVFS must have scaled
     // down through cpufreq at least once.
-    assert!(
-        node.cpu().freq_transition_count() > 0,
-        "tDVFS engaged through the sysfs path"
-    );
+    assert!(node.cpu().freq_transition_count() > 0, "tDVFS engaged through the sysfs path");
     assert!(daemon.tdvfs.scale_down_count() > 0);
 }
 

@@ -133,8 +133,7 @@ fn claim_three_behaviour_types_are_distinguishable() {
     };
     assert!(sudden.contains(&ThermalBehavior::Sudden));
 
-    let gradual =
-        BehaviorClassifier::classify_trace((0..60).map(|i| 40.0 + 0.08 * f64::from(i)));
+    let gradual = BehaviorClassifier::classify_trace((0..60).map(|i| 40.0 + 0.08 * f64::from(i)));
     assert!(gradual.contains(&ThermalBehavior::Gradual));
     assert!(!gradual.contains(&ThermalBehavior::Sudden));
 
@@ -245,6 +244,10 @@ fn claim_weaker_fan_matches_stronger_under_proactive_control() {
     let t25 = run(25).avg_temp_c();
     let t50 = run(50).avg_temp_c();
     let t75 = run(75).avg_temp_c();
-    assert!(t50 - t75 < t25 - t50, "50 vs 75 gap ({:.1}) smaller than 25 vs 50 gap ({:.1})",
-        t50 - t75, t25 - t50);
+    assert!(
+        t50 - t75 < t25 - t50,
+        "50 vs 75 gap ({:.1}) smaller than 25 vs 50 gap ({:.1})",
+        t50 - t75,
+        t25 - t50
+    );
 }

@@ -300,6 +300,6 @@ proptest! {
         let twm = ts.time_weighted_mean().unwrap();
         prop_assert!(twm >= ts.summary().min - 1e-9 && twm <= ts.summary().max + 1e-9);
         // Transition count bounded by len-1.
-        prop_assert!(ts.transition_count(0.0) <= values.len() - 1);
+        prop_assert!(ts.transition_count(0.0) < values.len());
     }
 }

@@ -14,8 +14,7 @@ fn fan_scheme() -> impl Strategy<Value = FanScheme> {
     prop_oneof![
         (1u8..=100).prop_map(|d| FanScheme::ChipAutomatic { max_duty: d }),
         (1u8..=100).prop_map(|d| FanScheme::Constant { duty: d }),
-        (1u32..=100, 1u8..=100)
-            .prop_map(|(pp, d)| FanScheme::dynamic(Policy::new(pp).unwrap(), d)),
+        (1u32..=100, 1u8..=100).prop_map(|(pp, d)| FanScheme::dynamic(Policy::new(pp).unwrap(), d)),
         (1u32..=100, 1u8..=100)
             .prop_map(|(pp, d)| FanScheme::dynamic_feedforward(Policy::new(pp).unwrap(), d)),
     ]

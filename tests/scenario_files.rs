@@ -28,12 +28,44 @@ fn protected_burn_scenario_runs() {
 }
 
 #[test]
+fn hybrid_scenario_loads_and_runs() {
+    let mut s = scenario_file::load(repo_path("examples/scenarios/hybrid_burn.json")).unwrap();
+    assert_eq!(s.fan_label(), "hybrid(P_p=50, max=30%)");
+    assert_eq!(s.dvfs_label(), "hybrid-tDVFS(P_p=50)");
+    s.max_time_s = 120.0;
+    let (report, _) = scenario_file::run_and_render(s);
+    // The capped hybrid fan saturates under burn; coordination hands the
+    // remainder to the in-band tDVFS arm.
+    assert!(report.total_freq_transitions() > 0, "hybrid tDVFS arm engaged");
+    assert!(report.min_commanded_freq_mhz().unwrap() < 2400);
+}
+
+#[test]
+fn acpi_sleep_scenario_loads_and_runs() {
+    let mut s = scenario_file::load(repo_path("examples/scenarios/acpi_sleep_burn.json")).unwrap();
+    assert_eq!(s.dvfs_label(), "acpi-sleep(P_p=25)");
+    s.max_time_s = 120.0;
+    let (report, _) = scenario_file::run_and_render(s);
+    // A 15 % fan cannot hold cpu-burn; the sleep daemon's power gating
+    // keeps the node both unthrottled and cooler than the CPU's emergency
+    // throttle point.
+    assert_eq!(report.nodes.len(), 1);
+    assert!(report.nodes[0].temp_summary.max < 70.0, "{}", report.nodes[0].temp_summary.max);
+}
+
+#[test]
 fn scenario_files_round_trip_through_to_json() {
-    for file in ["examples/scenarios/hot_rack_bt.json", "examples/scenarios/protected_burn.json"] {
+    for file in [
+        "examples/scenarios/hot_rack_bt.json",
+        "examples/scenarios/protected_burn.json",
+        "examples/scenarios/hybrid_burn.json",
+        "examples/scenarios/acpi_sleep_burn.json",
+    ] {
         let s = scenario_file::load(repo_path(file)).unwrap();
         let json = scenario_file::to_json(&s);
         let reparsed: unitherm::cluster::Scenario = serde_json::from_str(&json).unwrap();
         assert_eq!(reparsed.name, s.name, "{file}");
         assert_eq!(reparsed.fan, s.fan, "{file}");
+        assert_eq!(reparsed.scheme, s.scheme, "{file}");
     }
 }
