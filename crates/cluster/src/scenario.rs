@@ -416,10 +416,30 @@ impl Scenario {
             cfg.validate();
         }
         self.node_config.validate();
+        // Deserialized configs bypass constructor checks, so every config
+        // that can arrive in a scenario file validates here as a data error.
+        if let Some(fs) = &self.failsafe {
+            fs.validate()?;
+        }
         for node in 0..self.nodes {
             self.effective_scheme(node).validate()?;
         }
         Ok(())
+    }
+
+    /// Expected number of recorder samples for a full-length run, used to
+    /// pre-reserve time series so steady-state recording never reallocates.
+    /// Capped so absurd `max_time_s` values don't pre-commit memory.
+    pub fn expected_samples(&self) -> usize {
+        if !self.record_series || self.sample_period_s <= 0.0 {
+            return 0;
+        }
+        let n = (self.max_time_s / self.sample_period_s).ceil() + 1.0;
+        if n.is_finite() {
+            (n as usize).min(65_536)
+        } else {
+            65_536
+        }
     }
 
     /// Per-node deterministic seed.

@@ -28,6 +28,9 @@ pub struct Simulation {
     time_s: f64,
     ticks: u64,
     ticks_per_sample: u64,
+    /// Ranks whose workload has finished (kept incrementally so the run
+    /// loop's completion check is O(1) instead of a per-tick scan).
+    finished_nodes: usize,
 }
 
 impl Simulation {
@@ -37,6 +40,10 @@ impl Simulation {
         let mut nodes: Vec<NodeSim> =
             (0..scenario.nodes).map(|i| NodeSim::build(&scenario, i)).collect();
         let ticks_per_sample = (scenario.sample_period_s / scenario.dt_s).round() as u64;
+        // validate() rejects sample_period_s < dt_s, so this cannot be 0 —
+        // a 0 here would make `is_multiple_of` false forever and silently
+        // disable the whole sampling path (sensors, fan/tDVFS daemons).
+        assert!(ticks_per_sample >= 1, "sampling period shorter than the tick");
         let rack = scenario.rack.map(|cfg| {
             let idle_heat: f64 = nodes.iter().map(|ns| ns.node.heat_output_w()).sum();
             let model = crate::rack::RackModel::new(cfg, idle_heat);
@@ -54,6 +61,7 @@ impl Simulation {
             time_s: 0.0,
             ticks: 0,
             ticks_per_sample,
+            finished_nodes: 0,
         }
     }
 
@@ -68,36 +76,52 @@ impl Simulation {
     }
 
     /// Advances the cluster one tick.
+    ///
+    /// The loop is fused into two passes over the nodes (plus the rack /
+    /// sampling work that genuinely needs a completed pass) and performs no
+    /// heap allocation in steady state — the barrier reduction folds into
+    /// pass A instead of collecting per-rank states into a scratch `Vec`.
     pub fn tick(&mut self) {
         let dt = self.scenario.dt_s;
         self.ticks += 1;
         self.time_s += dt;
 
-        // 1. Workloads advance; collect states for barrier logic.
-        let mut states = Vec::with_capacity(self.nodes.len());
+        // Pass A — workloads advance; the barrier reduction folds in.
+        // Release is all-or-nothing, so the decision needs every rank's
+        // post-advance state and cannot merge with pass B.
+        let mut unfinished_parked = true;
+        let mut any_parked = false;
         for ns in &mut self.nodes {
-            states.push(ns.tick_workload(dt));
+            match ns.tick_workload(dt) {
+                WorkState::AtBarrier(_) => any_parked = true,
+                WorkState::Finished => {}
+                _ => unfinished_parked = false,
+            }
         }
-
-        // 2. BSP barrier: release when every unfinished rank is parked.
-        let unfinished_parked =
-            states.iter().all(|s| matches!(s, WorkState::AtBarrier(_) | WorkState::Finished));
-        let any_parked = states.iter().any(|s| matches!(s, WorkState::AtBarrier(_)));
         if unfinished_parked && any_parked {
             for ns in &mut self.nodes {
                 ns.workload.release_barrier();
             }
         }
 
-        // 3. Per-tick daemons + physics.
+        // Pass B — per-tick daemons + physics, rack heat reduction, and
+        // finish times, all per-node-independent once the barrier settled.
+        let couple_rack = self.rack.is_some();
+        let mut heat = 0.0;
         for ns in &mut self.nodes {
             ns.tick_hardware(dt, self.time_s);
+            if couple_rack {
+                heat += ns.node.heat_output_w();
+            }
+            if ns.finish_time_s.is_none() && ns.workload.is_finished() {
+                ns.finish_time_s = Some(self.time_s);
+                self.finished_nodes += 1;
+            }
         }
 
-        // 3b. Rack air coupling: exhaust heat recirculates into the shared
+        // Rack air coupling: exhaust heat recirculates into the shared
         // intake volume; every node breathes the updated air.
         if let Some(rack) = &mut self.rack {
-            let heat: f64 = self.nodes.iter().map(|ns| ns.node.heat_output_w()).sum();
             rack.step(dt, heat);
             let air = rack.air_c();
             for ns in &mut self.nodes {
@@ -105,7 +129,7 @@ impl Simulation {
             }
         }
 
-        // 4. Sampling path at 4 Hz.
+        // Sampling path at 4 Hz.
         if self.ticks.is_multiple_of(self.ticks_per_sample) {
             for ns in &mut self.nodes {
                 ns.on_sample(self.time_s);
@@ -116,18 +140,11 @@ impl Simulation {
                 }
             }
         }
-
-        // 5. Record finish times.
-        for ns in &mut self.nodes {
-            if ns.finish_time_s.is_none() && ns.workload.is_finished() {
-                ns.finish_time_s = Some(self.time_s);
-            }
-        }
     }
 
     /// True when every rank's workload finished.
     pub fn all_finished(&self) -> bool {
-        self.nodes.iter().all(|ns| ns.workload.is_finished())
+        self.finished_nodes == self.nodes.len()
     }
 
     /// Runs to completion (every rank finished, plus the configured

@@ -2,12 +2,12 @@
 //!
 //! Parameter sweeps (Figures 5, 7, 10; Table 1; the ablations) run many
 //! independent simulations. Each simulation is single-threaded and
-//! deterministic; the sweep fans them out across std scoped threads pulling
-//! from a shared work queue — the shared-nothing data-parallel idiom — and
-//! reassembles results in input order.
+//! deterministic; the sweep fans them out across std scoped threads claiming
+//! work through a lock-free atomic cursor — the shared-nothing data-parallel
+//! idiom — and reassembles results in input order.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::Mutex;
 
 use crate::report::RunReport;
 use crate::scenario::Scenario;
@@ -15,6 +15,11 @@ use crate::sim::Simulation;
 
 /// Runs every scenario, using up to `max_threads` worker threads, and
 /// returns reports in the same order as the input.
+///
+/// Work is dispatched through an atomic claim index instead of a mutex-held
+/// queue: a worker that panics mid-simulation cannot poison anything, so the
+/// surviving workers drain the remaining scenarios and the original panic
+/// payload propagates from the scope join untouched.
 ///
 /// # Panics
 /// Propagates panics from worker threads (a panicking simulation is a bug).
@@ -28,26 +33,35 @@ pub fn run_scenarios_parallel(scenarios: Vec<Scenario>, max_threads: usize) -> V
         return scenarios.into_iter().map(|s| Simulation::new(s).run()).collect();
     }
 
-    let queue: Mutex<std::vec::IntoIter<(usize, Scenario)>> =
-        Mutex::new(scenarios.into_iter().enumerate().collect::<Vec<_>>().into_iter());
+    let next = AtomicUsize::new(0);
     let (result_tx, result_rx) = mpsc::channel::<(usize, RunReport)>();
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let queue = &queue;
-            let result_tx = result_tx.clone();
-            scope.spawn(move || loop {
-                let task = queue.lock().expect("queue lock poisoned").next();
-                match task {
-                    Some((idx, scenario)) => {
-                        let report = Simulation::new(scenario).run();
-                        result_tx.send((idx, report)).expect("result channel open");
-                    }
-                    None => break,
-                }
-            });
-        }
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let scenarios = &scenarios;
+                let result_tx = result_tx.clone();
+                scope.spawn(move || loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(scenario) = scenarios.get(idx) else { break };
+                    let report = Simulation::new(scenario.clone()).run();
+                    // Ignore a closed channel: it only closes early when a
+                    // sibling panicked — dying here would mask the original
+                    // message.
+                    let _ = result_tx.send((idx, report));
+                })
+            })
+            .collect();
         drop(result_tx);
+        // Join manually and re-raise the first worker's own panic payload;
+        // letting the scope auto-join would replace it with the generic
+        // "a scoped thread panicked".
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
     });
 
     let mut results: Vec<Option<RunReport>> = (0..n).map(|_| None).collect();
@@ -97,10 +111,21 @@ mod tests {
 
     #[test]
     fn parallel_matches_serial() {
-        let serial = run_scenarios_parallel(vec![quick("x", 50)], 1);
-        let parallel = run_scenarios_parallel(vec![quick("x", 50), quick("y", 50)], 2);
-        assert_eq!(serial[0].avg_temp_c(), parallel[0].avg_temp_c());
-        assert_eq!(serial[0].avg_node_power_w(), parallel[0].avg_node_power_w());
+        // 16 scenarios across varied policies: parallel dispatch must not
+        // change any result relative to the single-threaded path.
+        let policies = [10, 20, 25, 30, 40, 50, 55, 60, 65, 70, 75, 80, 85, 90, 95, 100];
+        let build = || -> Vec<Scenario> {
+            policies.iter().map(|&pp| quick(&format!("p{pp}"), pp)).collect()
+        };
+        let serial = run_scenarios_parallel(build(), 1);
+        let parallel = run_scenarios_parallel(build(), 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.avg_temp_c(), p.avg_temp_c());
+            assert_eq!(s.avg_node_power_w(), p.avg_node_power_w());
+            assert_eq!(s.avg_duty_pct(), p.avg_duty_pct());
+        }
     }
 
     #[test]
@@ -111,5 +136,26 @@ mod tests {
         for (i, r) in reports.iter().enumerate() {
             assert_eq!(r.name, format!("s{i}"));
         }
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_original_message() {
+        // A scenario invalid enough to panic inside a worker (validate runs
+        // in Simulation::new on the worker thread) must surface its own
+        // panic message from the sweep — not a secondary "queue lock
+        // poisoned" / "result channel open" panic from a sibling worker.
+        let mut bad = quick("bad", 50);
+        bad.nodes = 0; // validate() panics: "need at least one node"
+        let scenarios = vec![quick("a", 25), bad, quick("b", 75), quick("c", 60)];
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_scenarios_parallel(scenarios, 2)
+        }))
+        .expect_err("the bad scenario must panic the sweep");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("need at least one node"), "original panic lost: {msg:?}");
     }
 }

@@ -1,0 +1,95 @@
+//! Allocation regression test for the cluster hot path.
+//!
+//! The tick loop is the substrate every figure reproduction and sweep runs
+//! on; a stray per-tick allocation is a silent throughput regression. This
+//! harness installs a counting `#[global_allocator]` and asserts that
+//! steady-state `Simulation::tick` — including the 4 Hz sampling path —
+//! performs zero heap allocations once the simulation is warmed up.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use unitherm_cluster::scenario::{Scenario, WorkloadSpec};
+use unitherm_cluster::scheme::FanScheme;
+use unitherm_cluster::sim::Simulation;
+use unitherm_core::control_array::Policy;
+
+/// Counts every allocation and reallocation going through the global
+/// allocator (deallocations are free to happen — dropping a pre-reserved
+/// buffer is not a hot-path cost).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Allocations performed while running `f`.
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+fn warmed(scenario: Scenario) -> Simulation {
+    let mut sim = Simulation::new(scenario);
+    // Past the spin-up transient and through many sampling ticks, so every
+    // lazily-initialized path (sensor caches, controller windows) has run.
+    for _ in 0..500 {
+        sim.tick();
+    }
+    sim
+}
+
+#[test]
+fn steady_state_tick_is_allocation_free() {
+    let mut sim = warmed(
+        Scenario::new("alloc-burn")
+            .with_nodes(4)
+            .with_workload(WorkloadSpec::CpuBurn)
+            .with_fan(FanScheme::dynamic(Policy::MODERATE, 100))
+            .with_recording(false)
+            .with_max_time(1e9),
+    );
+    let n = allocations_during(|| {
+        for _ in 0..1000 {
+            sim.tick();
+        }
+    });
+    assert_eq!(n, 0, "steady-state tick allocated {n} times over 1000 ticks");
+}
+
+#[test]
+fn recording_run_stays_within_reserved_capacity() {
+    // With series recording on, the recorders must append into the
+    // capacity reserved at build time instead of growing per sample.
+    let mut sim = warmed(
+        Scenario::new("alloc-recorded")
+            .with_nodes(2)
+            .with_workload(WorkloadSpec::CpuBurn)
+            .with_fan(FanScheme::dynamic(Policy::MODERATE, 100))
+            .with_max_time(300.0),
+    );
+    let n = allocations_during(|| {
+        for _ in 0..1000 {
+            sim.tick();
+        }
+    });
+    assert_eq!(n, 0, "recording tick loop allocated {n} times over 1000 ticks");
+}

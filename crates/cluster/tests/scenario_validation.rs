@@ -1,0 +1,140 @@
+//! Regression tests for scenario validation of deserialized configs.
+//!
+//! Scenario JSON files construct configs field-by-field, bypassing every
+//! constructor assertion in the workspace. Two bug classes are pinned here:
+//!
+//! 1. A sampling period shorter than the physics tick used to floor
+//!    `ticks_per_sample` to zero, silently disabling the whole control
+//!    path (no samples → no controller ever runs).
+//! 2. Config blocks reachable only through scenario files (failsafe,
+//!    feedforward, tDVFS daemon tuning, CPUSPEED governor) were never
+//!    validated after deserialization, so impossible tunings reached the
+//!    daemons as-is.
+//!
+//! Every case must surface as a `ScenarioError` data error from
+//! `Scenario::validate`, not as a panic deep inside a daemon.
+
+use unitherm_cluster::scenario::Scenario;
+
+fn validate_json(json: &str) -> Result<(), String> {
+    let scenario: Scenario = serde_json::from_str(json).expect("scenario JSON deserializes");
+    scenario.validate().map_err(|e| e.message().to_string())
+}
+
+#[test]
+fn sampling_faster_than_tick_is_rejected() {
+    // Builder path.
+    let mut s = Scenario::new("fast-sampling");
+    s.sample_period_s = 0.01; // dt_s defaults to 0.05
+    let err = s.validate().expect_err("sub-tick sampling must be rejected");
+    assert!(err.message().contains("sampling cannot outpace the tick"), "{err}");
+
+    // JSON path: same flaw arriving from a scenario file.
+    let err = validate_json(r#"{"name": "fast-sampling", "sample_period_s": 0.01}"#)
+        .expect_err("sub-tick sampling from JSON must be rejected");
+    assert!(err.contains("sampling cannot outpace the tick"), "{err}");
+
+    // Sampling every tick is the legal lower bound.
+    let mut s = Scenario::new("per-tick-sampling");
+    s.sample_period_s = s.dt_s;
+    s.validate().expect("sample_period_s == dt_s is valid");
+}
+
+#[test]
+fn bad_failsafe_from_json_is_a_data_error() {
+    // Release above panic would make the watchdog latch forever; the
+    // constructor asserts this, but JSON bypasses the constructor.
+    let err = validate_json(
+        r#"{
+            "name": "bad-failsafe",
+            "failsafe": {
+                "max_stale_samples": 20,
+                "panic_temp_c": 60.0,
+                "release_temp_c": 65.0
+            }
+        }"#,
+    )
+    .expect_err("inverted failsafe temperatures must be rejected");
+    assert!(err.contains("release temperature must be below panic temperature"), "{err}");
+
+    let err = validate_json(
+        r#"{
+            "name": "bad-failsafe",
+            "failsafe": {
+                "max_stale_samples": 0,
+                "panic_temp_c": 65.0,
+                "release_temp_c": 55.0
+            }
+        }"#,
+    )
+    .expect_err("zero stale budget must be rejected");
+    assert!(err.contains("need a stale budget of at least 1 sample"), "{err}");
+}
+
+#[test]
+fn bad_feedforward_from_json_is_a_data_error() {
+    let controller = serde_json::to_string(&unitherm_core::controller::ControllerConfig::default())
+        .expect("serialize controller config");
+    let json = format!(
+        r#"{{
+            "name": "bad-feedforward",
+            "fan": {{"DynamicFeedforward": {{
+                "policy": 50,
+                "max_duty": 100,
+                "config": {controller},
+                "feedforward": {{
+                    "gain_c_per_util": -1.0,
+                    "deadband_util": 0.25,
+                    "samples_per_round": 1
+                }}
+            }}}}
+        }}"#
+    );
+    let err = validate_json(&json).expect_err("negative feedforward gain must be rejected");
+    assert!(err.contains("gain must be non-negative"), "{err}");
+}
+
+#[test]
+fn bad_tdvfs_daemon_tuning_from_json_is_a_data_error() {
+    // The non-controller half of TdvfsConfig (daemon tuning) used to skip
+    // validation entirely: only `config.controller` was checked.
+    let cfg = unitherm_core::tdvfs::TdvfsConfig { consecutive_rounds: 0, ..Default::default() };
+    let tdvfs = serde_json::to_string(&cfg).expect("serialize tdvfs config");
+    let json = format!(
+        r#"{{
+            "name": "bad-tdvfs",
+            "dvfs": {{"Tdvfs": {{"policy": 50, "config": {tdvfs}}}}}
+        }}"#
+    );
+    let err = validate_json(&json).expect_err("zero confirmation rounds must be rejected");
+    assert!(err.contains("need at least one confirmation round"), "{err}");
+}
+
+#[test]
+fn bad_cpuspeed_governor_from_json_is_a_data_error() {
+    let err = validate_json(
+        r#"{
+            "name": "bad-governor",
+            "dvfs": {"CpuSpeed": {"config": {
+                "interval_s": 0.0,
+                "up_threshold": 0.85,
+                "down_threshold": 0.5
+            }}}
+        }"#,
+    )
+    .expect_err("non-positive governor interval must be rejected");
+    assert!(err.contains("interval must be positive"), "{err}");
+
+    let err = validate_json(
+        r#"{
+            "name": "bad-governor",
+            "dvfs": {"CpuSpeed": {"config": {
+                "interval_s": 1.0,
+                "up_threshold": 0.5,
+                "down_threshold": 0.85
+            }}}
+        }"#,
+    )
+    .expect_err("inverted governor thresholds must be rejected");
+    assert!(err.contains("down threshold must be below up threshold"), "{err}");
+}

@@ -379,6 +379,10 @@ impl ControlDaemon for CpuSpeedDaemon {
         DaemonEvent::None
     }
 
+    fn wants_tick(&self) -> bool {
+        true
+    }
+
     fn reapply(&mut self, _sample: &SensorSample, act: &mut dyn Actuators) {
         let _ = act.restore_frequency_mhz(self.gov.current_frequency_mhz());
     }

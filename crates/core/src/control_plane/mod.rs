@@ -139,6 +139,14 @@ pub trait ControlDaemon {
         DaemonEvent::None
     }
 
+    /// True when the daemon does real work in [`ControlDaemon::on_tick`].
+    /// The plane skips the whole per-tick dispatch when no daemon in the
+    /// pipeline wants it, which keeps the hot path free of virtual calls
+    /// for the (common) sample-only schemes.
+    fn wants_tick(&self) -> bool {
+        false
+    }
+
     /// Re-applies whatever the daemon currently wants (failsafe release
     /// path).
     fn reapply(&mut self, _sample: &SensorSample, _act: &mut dyn Actuators) {}
@@ -239,6 +247,9 @@ pub struct PlaneOutcome {
 pub struct ControlPlane {
     daemons: Vec<Box<dyn ControlDaemon>>,
     failsafe: Option<Failsafe>,
+    /// Cached `daemons.iter().any(wants_tick)` so `on_tick` can return
+    /// without touching the pipeline when nothing listens per tick.
+    any_wants_tick: bool,
 }
 
 impl std::fmt::Debug for ControlPlane {
@@ -254,7 +265,8 @@ impl ControlPlane {
     /// Assembles a plane from an ordered daemon pipeline and an optional
     /// failsafe watchdog.
     pub fn new(daemons: Vec<Box<dyn ControlDaemon>>, failsafe: Option<FailsafeConfig>) -> Self {
-        Self { daemons, failsafe: failsafe.map(Failsafe::new) }
+        let any_wants_tick = daemons.iter().any(|d| d.wants_tick());
+        Self { daemons, failsafe: failsafe.map(Failsafe::new), any_wants_tick }
     }
 
     /// One-time initialization: lets every daemon apply its initial
@@ -313,6 +325,9 @@ impl ControlPlane {
         utilization: f64,
         act: &mut dyn Actuators,
     ) -> Option<FreqMhz> {
+        if !self.any_wants_tick {
+            return None;
+        }
         let engaged = self.is_failsafe_engaged();
         let mut gate = GatedActuators { inner: act, engaged };
         let mut applied = None;

@@ -115,10 +115,14 @@ impl FanScheme {
     /// Returns the first invalid configuration found.
     pub fn validate(&self) -> Result<(), ConfigError> {
         match self {
-            FanScheme::Dynamic { policy, config, .. }
-            | FanScheme::DynamicFeedforward { policy, config, .. } => {
+            FanScheme::Dynamic { policy, config, .. } => {
                 check_policy(*policy)?;
                 config.validate()
+            }
+            FanScheme::DynamicFeedforward { policy, config, feedforward, .. } => {
+                check_policy(*policy)?;
+                config.validate()?;
+                feedforward.validate()
             }
             _ => Ok(()),
         }
@@ -201,9 +205,10 @@ impl DvfsScheme {
         match self {
             DvfsScheme::Tdvfs { policy, config } => {
                 check_policy(*policy)?;
-                config.controller.validate()
+                config.validate()
             }
-            _ => Ok(()),
+            DvfsScheme::CpuSpeed { config } => config.validate(),
+            DvfsScheme::None => Ok(()),
         }
     }
 
@@ -355,7 +360,7 @@ impl SchemeSpec {
             SchemeSpec::Hybrid { policy, config, tdvfs, .. } => {
                 check_policy(*policy)?;
                 config.validate()?;
-                tdvfs.controller.validate()
+                tdvfs.validate()
             }
             SchemeSpec::AcpiSleep { policy, config, fan } => {
                 check_policy(*policy)?;

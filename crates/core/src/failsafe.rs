@@ -42,17 +42,19 @@ impl Default for FailsafeConfig {
 }
 
 impl FailsafeConfig {
-    /// Validates the configuration.
-    ///
-    /// # Panics
-    /// Panics when the release temperature is not below the panic
-    /// temperature or no stale budget is given.
-    pub fn validate(&self) {
-        assert!(self.max_stale_samples >= 1, "need a stale budget of at least 1 sample");
-        assert!(
-            self.release_temp_c < self.panic_temp_c,
-            "release temperature must be below panic temperature"
-        );
+    /// Validates the configuration: the release temperature must sit below
+    /// the panic temperature and the stale budget must be at least 1.
+    /// Returns an error (rather than panicking) so scenario files carrying
+    /// a bad failsafe block are rejected as data errors.
+    pub fn validate(&self) -> Result<(), crate::config::ConfigError> {
+        use crate::config::ConfigError;
+        if self.max_stale_samples < 1 {
+            return Err(ConfigError::new("need a stale budget of at least 1 sample"));
+        }
+        if self.release_temp_c >= self.panic_temp_c {
+            return Err(ConfigError::new("release temperature must be below panic temperature"));
+        }
+        Ok(())
     }
 }
 
@@ -100,7 +102,7 @@ pub struct Failsafe {
 impl Failsafe {
     /// Creates an armed (not engaged) watchdog.
     pub fn new(cfg: FailsafeConfig) -> Self {
-        cfg.validate();
+        cfg.validate().unwrap_or_else(|e| panic!("{e}"));
         Self { cfg, stale: 0, engaged: None, engagements: 0 }
     }
 

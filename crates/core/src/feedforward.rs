@@ -50,14 +50,21 @@ impl Default for FeedforwardConfig {
 }
 
 impl FeedforwardConfig {
-    /// Validates the configuration.
-    ///
-    /// # Panics
-    /// Panics on non-positive round size or negative gain/deadband.
-    pub fn validate(&self) {
-        assert!(self.samples_per_round >= 1, "need at least one sample per round");
-        assert!(self.gain_c_per_util >= 0.0, "gain must be non-negative");
-        assert!(self.deadband_util >= 0.0, "deadband must be non-negative");
+    /// Validates the configuration: positive round size, non-negative
+    /// gain/deadband. Returns an error so scenario files carrying a bad
+    /// feedforward block are rejected as data errors.
+    pub fn validate(&self) -> Result<(), crate::config::ConfigError> {
+        use crate::config::ConfigError;
+        if self.samples_per_round < 1 {
+            return Err(ConfigError::new("need at least one sample per round"));
+        }
+        if self.gain_c_per_util < 0.0 {
+            return Err(ConfigError::new("gain must be non-negative"));
+        }
+        if self.deadband_util < 0.0 {
+            return Err(ConfigError::new("deadband must be non-negative"));
+        }
+        Ok(())
     }
 }
 
@@ -73,7 +80,7 @@ pub struct UtilizationFeedforward {
 impl UtilizationFeedforward {
     /// Creates the predictor.
     pub fn new(cfg: FeedforwardConfig) -> Self {
-        cfg.validate();
+        cfg.validate().unwrap_or_else(|e| panic!("{e}"));
         Self {
             cfg,
             buf: Vec::with_capacity(cfg.samples_per_round),

@@ -36,20 +36,23 @@ impl Default for CpuSpeedConfig {
 }
 
 impl CpuSpeedConfig {
-    /// Validates the configuration.
-    ///
-    /// # Panics
-    /// Panics on a non-positive interval or inverted thresholds.
-    pub fn validate(&self) {
-        assert!(self.interval_s > 0.0, "interval must be positive");
-        assert!(
-            (0.0..=1.0).contains(&self.up_threshold) && (0.0..=1.0).contains(&self.down_threshold),
-            "thresholds must be within [0, 1]"
-        );
-        assert!(
-            self.down_threshold < self.up_threshold,
-            "down threshold must be below up threshold"
-        );
+    /// Validates the configuration: positive interval, thresholds within
+    /// `[0, 1]` and not inverted. Returns an error so scenario files
+    /// carrying a bad governor block are rejected as data errors.
+    pub fn validate(&self) -> Result<(), crate::config::ConfigError> {
+        use crate::config::ConfigError;
+        // `<= 0.0` alone would let NaN through; check it explicitly.
+        if self.interval_s <= 0.0 || self.interval_s.is_nan() {
+            return Err(ConfigError::new("interval must be positive"));
+        }
+        if !(0.0..=1.0).contains(&self.up_threshold) || !(0.0..=1.0).contains(&self.down_threshold)
+        {
+            return Err(ConfigError::new("thresholds must be within [0, 1]"));
+        }
+        if self.down_threshold >= self.up_threshold {
+            return Err(ConfigError::new("down threshold must be below up threshold"));
+        }
+        Ok(())
     }
 }
 
@@ -68,7 +71,7 @@ pub struct CpuSpeedGovernor {
 impl CpuSpeedGovernor {
     /// Creates the governor at the highest frequency.
     pub fn new(frequencies_desc_mhz: &[FreqMhz], cfg: CpuSpeedConfig) -> Self {
-        cfg.validate();
+        cfg.validate().unwrap_or_else(|e| panic!("{e}"));
         let freqs = crate::actuator::dvfs_mode_set(frequencies_desc_mhz);
         Self { cfg, freqs, current: 0, elapsed_s: 0.0, util_time: 0.0, transitions: 0 }
     }

@@ -78,16 +78,25 @@ impl Default for TdvfsConfig {
 }
 
 impl TdvfsConfig {
-    /// Validates the configuration.
-    ///
-    /// # Panics
-    /// Panics on non-positive round sizes or a negative hysteresis.
-    pub fn validate(&self) {
-        assert!(self.samples_per_round >= 1, "need at least one sample per round");
-        assert!(self.consecutive_rounds >= 1, "need at least one confirmation round");
-        assert!(self.hysteresis_c >= 0.0, "hysteresis must be non-negative");
-        assert!(self.escalation_margin_c >= 0.0, "escalation margin must be non-negative");
-        self.controller.validate().unwrap_or_else(|e| panic!("{e}"));
+    /// Validates the configuration: positive round sizes, non-negative
+    /// hysteresis/margin, and a usable embedded controller tuning. Returns
+    /// an error so scenario files carrying a bad tDVFS block are rejected
+    /// as data errors.
+    pub fn validate(&self) -> Result<(), crate::config::ConfigError> {
+        use crate::config::ConfigError;
+        if self.samples_per_round < 1 {
+            return Err(ConfigError::new("need at least one sample per round"));
+        }
+        if self.consecutive_rounds < 1 {
+            return Err(ConfigError::new("need at least one confirmation round"));
+        }
+        if self.hysteresis_c < 0.0 {
+            return Err(ConfigError::new("hysteresis must be non-negative"));
+        }
+        if self.escalation_margin_c < 0.0 {
+            return Err(ConfigError::new("escalation margin must be non-negative"));
+        }
+        self.controller.validate()
     }
 }
 
@@ -152,7 +161,7 @@ impl Tdvfs {
     /// Creates the daemon over a frequency ladder given in descending order
     /// (ascending cooling effectiveness), governed by `policy`.
     pub fn new(frequencies_desc_mhz: &[FreqMhz], policy: Policy, cfg: TdvfsConfig) -> Self {
-        cfg.validate();
+        cfg.validate().unwrap_or_else(|e| panic!("{e}"));
         let modes = crate::actuator::dvfs_mode_set(frequencies_desc_mhz);
         let array = ThermalControlArray::build(&modes, policy, cfg.controller.array_len);
         Self {

@@ -1,9 +1,9 @@
 //! Summary statistics and streaming (Welford) accumulators.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Summary statistics of a finite sample set.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of samples aggregated.
     pub count: usize,
@@ -40,6 +40,48 @@ impl Summary {
         } else {
             self.max - self.min
         }
+    }
+}
+
+// Hand-written serde: an empty summary holds `min = +inf` / `max = −inf`,
+// which JSON cannot represent (`serde_json` prints non-finite floats as
+// `null`). Serializing would corrupt every report containing a zero-sample
+// series, so the empty sentinels are *omitted* on the wire and restored on
+// deserialization.
+impl Serialize for Summary {
+    fn serialize(&self) -> Value {
+        let mut map = vec![
+            ("count".to_string(), Value::U64(self.count as u64)),
+            ("mean".to_string(), Value::F64(self.mean)),
+        ];
+        if self.count > 0 {
+            map.push(("min".to_string(), Value::F64(self.min)));
+            map.push(("max".to_string(), Value::F64(self.max)));
+        }
+        map.push(("std_dev".to_string(), Value::F64(self.std_dev)));
+        Value::Map(map)
+    }
+}
+
+impl Deserialize for Summary {
+    fn deserialize(value: &Value) -> Result<Self, serde::Error> {
+        let field = |key: &str| -> Result<f64, serde::Error> {
+            value
+                .get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| serde::Error::custom(format!("Summary: missing field `{key}`")))
+        };
+        let count = value
+            .get("count")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| serde::Error::custom("Summary: missing field `count`"))?
+            as usize;
+        let (min, max) = if count == 0 {
+            (f64::INFINITY, f64::NEG_INFINITY)
+        } else {
+            (field("min")?, field("max")?)
+        };
+        Ok(Self { count, mean: field("mean")?, min, max, std_dev: field("std_dev")? })
     }
 }
 
@@ -234,5 +276,26 @@ mod tests {
     #[test]
     fn pdp() {
         assert_eq!(power_delay_product(99.78, 219.0), 99.78 * 219.0);
+    }
+
+    #[test]
+    fn empty_summary_serializes_without_null_and_round_trips() {
+        // An empty summary carries ±inf sentinels that JSON cannot encode;
+        // the serializer must omit them instead of emitting `null`.
+        let empty = Summary::default();
+        let json = serde_json::to_string(&empty).expect("serialize");
+        assert!(!json.contains("null"), "±inf leaked as null: {json}");
+        let back: Summary = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, empty);
+        assert_eq!(back.min, f64::INFINITY);
+        assert_eq!(back.max, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn populated_summary_round_trips_exactly() {
+        let s = Summary::of([1.0, 2.5, 4.0]);
+        let json = serde_json::to_string(&s).expect("serialize");
+        let back: Summary = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, s);
     }
 }

@@ -18,12 +18,16 @@ pub struct Fan {
     duty: DutyCycle,
     rpm: f64,
     failed: bool,
+    /// Memoized `(dt_s, alpha)` for the lag update below. The simulator calls
+    /// `step` with a fixed `dt`, so the `exp()` only runs when `dt` changes;
+    /// the exact-match key keeps results bit-identical to the uncached path.
+    lag_cache: (f64, f64),
 }
 
 impl Fan {
     /// Creates a fan at rest with 0 % duty.
     pub fn new(cfg: FanConfig) -> Self {
-        Self { cfg, duty: DutyCycle::OFF, rpm: 0.0, failed: false }
+        Self { cfg, duty: DutyCycle::OFF, rpm: 0.0, failed: false, lag_cache: (f64::NAN, 0.0) }
     }
 
     /// Creates a fan already spinning at the equilibrium speed for `duty`.
@@ -99,7 +103,10 @@ impl Fan {
         assert!(dt_s > 0.0, "time step must be positive");
         let target = self.target_rpm();
         // Exact solution of the first-order lag over dt (stable for any dt).
-        let alpha = 1.0 - (-dt_s / self.cfg.time_constant_s).exp();
+        if self.lag_cache.0.to_bits() != dt_s.to_bits() {
+            self.lag_cache = (dt_s, 1.0 - (-dt_s / self.cfg.time_constant_s).exp());
+        }
+        let alpha = self.lag_cache.1;
         self.rpm += (target - self.rpm) * alpha;
         if self.rpm < 1.0 && target == 0.0 {
             self.rpm = 0.0;
