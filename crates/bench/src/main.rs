@@ -8,19 +8,29 @@
 //! Usage:
 //!
 //! ```text
-//! unitherm-bench [--quick] [--out PATH] [--min-time SECONDS]
+//! unitherm-bench [--quick] [--out PATH] [--min-time SECONDS] [--journal PATH]
+//! unitherm-bench --check FILE [--baseline FILE] [--max-regression-pct N]
 //! ```
 //!
 //! `--quick` shrinks the matrix and measurement window for CI smoke runs.
+//! `--journal PATH` additionally runs the reference scenario with a JSONL
+//! event journal attached and writes it to PATH. `--check` validates a
+//! previously written report against the `unitherm-bench/v1` schema and,
+//! with `--baseline`, fails (exit 1) when any shared case regressed by more
+//! than `--max-regression-pct` percent (default 15).
 
+use std::fs::File;
+use std::io::BufWriter;
 use std::time::Instant;
 
 use serde::Serialize;
+use serde_json::Value;
 use unitherm_cluster::scenario::{Scenario, WorkloadSpec};
 use unitherm_cluster::scheme::{FanScheme, SchemeSpec};
 use unitherm_cluster::sim::Simulation;
 use unitherm_cluster::sweep::run_scenarios_parallel;
 use unitherm_core::control_array::Policy;
+use unitherm_obs::{read_journal, JournalWriter};
 use unitherm_workload::{NpbBenchmark, NpbClass};
 
 /// Pre-PR tick throughput of the 16-node cpu-burn / dynamic-fan case,
@@ -109,6 +119,17 @@ struct Comparison {
     improvement_pct: f64,
 }
 
+/// Event-layer overhead on the reference case: the same scenario measured
+/// with event retention disabled (`event_capacity 0`; counters still run)
+/// and with the default 256-slot ring sink attached.
+#[derive(Serialize)]
+struct Observability {
+    scenario: String,
+    ticks_per_s_sink_off: f64,
+    ticks_per_s_ring: f64,
+    overhead_pct: f64,
+}
+
 #[derive(Serialize)]
 struct BenchReport {
     schema: String,
@@ -117,6 +138,7 @@ struct BenchReport {
     results: Vec<CaseResult>,
     sweep: SweepResult,
     comparison: Comparison,
+    observability: Observability,
 }
 
 /// Measures steady-state tick throughput for one case.
@@ -129,13 +151,28 @@ struct BenchReport {
 /// never leaves the running regime; rebuild time is excluded from the timed
 /// window.
 fn measure_case(case: Case, min_wall_s: f64) -> CaseResult {
+    let (ticks_per_s, ticks) = measure_scenario(|| case.scenario(), min_wall_s);
+    CaseResult {
+        name: case.name(),
+        nodes: case.nodes,
+        workload: if case.burn { "cpu-burn" } else { "bt-a" }.to_string(),
+        scheme: case.scheme.label().to_string(),
+        ticks_per_s,
+        node_ticks_per_s: ticks_per_s * case.nodes as f64,
+        measured_ticks: ticks,
+    }
+}
+
+/// Core measurement loop shared by the matrix and the observability
+/// overhead probe: peak-batch ticks/s plus total ticks timed.
+fn measure_scenario(build_scenario: impl Fn() -> Scenario, min_wall_s: f64) -> (f64, u64) {
     const WARMUP_TICKS: u32 = 200;
     const BATCH_TICKS: u32 = 1000;
     // BT.A finishes near its ~100 s nominal duration; stay well short.
     const REBUILD_AT_SIM_S: f64 = 60.0;
 
     let build = || {
-        let mut sim = Simulation::new(case.scenario());
+        let mut sim = Simulation::new(build_scenario());
         for _ in 0..WARMUP_TICKS {
             sim.tick();
         }
@@ -160,16 +197,46 @@ fn measure_case(case: Case, min_wall_s: f64) -> CaseResult {
         best_batch_s = best_batch_s.min(batch_s);
     }
 
-    let ticks_per_s = f64::from(BATCH_TICKS) / best_batch_s;
-    CaseResult {
-        name: case.name(),
-        nodes: case.nodes,
-        workload: if case.burn { "cpu-burn" } else { "bt-a" }.to_string(),
-        scheme: case.scheme.label().to_string(),
-        ticks_per_s,
-        node_ticks_per_s: ticks_per_s * case.nodes as f64,
-        measured_ticks: ticks,
+    (f64::from(BATCH_TICKS) / best_batch_s, ticks)
+}
+
+/// Measures event-layer overhead: the reference case with event retention
+/// disabled versus the default ring sink. Interleaves several short
+/// measurements of each arm so scheduler drift hits both equally.
+fn measure_observability(case: Case, min_wall_s: f64) -> Observability {
+    const ROUNDS: usize = 3;
+    let mut off_best = 0.0f64;
+    let mut ring_best = 0.0f64;
+    for _ in 0..ROUNDS {
+        let (off, _) =
+            measure_scenario(|| case.scenario().with_event_capacity(0), min_wall_s / ROUNDS as f64);
+        let (ring, _) = measure_scenario(|| case.scenario(), min_wall_s / ROUNDS as f64);
+        off_best = off_best.max(off);
+        ring_best = ring_best.max(ring);
     }
+    Observability {
+        scenario: case.name(),
+        ticks_per_s_sink_off: off_best,
+        ticks_per_s_ring: ring_best,
+        overhead_pct: (1.0 - ring_best / off_best) * 100.0,
+    }
+}
+
+/// Runs the reference scenario for a bounded stretch with a JSONL journal
+/// attached and writes every event to `path`.
+fn write_journal(case: Case, path: &str) {
+    const JOURNAL_TICKS: u32 = 4000;
+    let file = File::create(path).unwrap_or_else(|e| panic!("create {path}: {e}"));
+    let mut sim = Simulation::new(case.scenario());
+    sim.attach_journal(Box::new(JournalWriter::new(BufWriter::new(file))));
+    for _ in 0..JOURNAL_TICKS {
+        sim.tick();
+    }
+    // The journal flushes when the simulation (and its boxed sink) drops.
+    drop(sim.into_report());
+    let reader = std::io::BufReader::new(File::open(path).expect("reopen journal"));
+    let events = read_journal(reader).expect("journal must round-trip");
+    eprintln!("journal: {} events over {JOURNAL_TICKS} ticks -> {path}", events.len());
 }
 
 /// Times a parallel sweep over short versions of every matrix scenario.
@@ -183,6 +250,156 @@ fn measure_sweep(cases: &[Case], sim_seconds: f64) -> SweepResult {
     let wall = t0.elapsed().as_secs_f64();
     assert_eq!(reports.len(), n, "sweep must produce every report");
     SweepResult { scenarios: n, threads, wall_time_s: wall }
+}
+
+/// Loads and parses a bench report file into a JSON value.
+fn load_report(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::parse_value(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))
+}
+
+/// Structural validation of the `unitherm-bench/v1` report schema.
+fn validate_report(v: &Value, path: &str) -> Result<(), String> {
+    let err = |msg: &str| Err(format!("{path}: {msg}"));
+    match v.get("schema") {
+        Some(Value::Str(s)) if s == "unitherm-bench/v1" => {}
+        Some(Value::Str(s)) => return err(&format!("unsupported schema {s:?}")),
+        _ => return err("missing string field `schema`"),
+    }
+    match v.get("mode") {
+        Some(Value::Str(s)) if s == "quick" || s == "full" => {}
+        _ => return err("`mode` must be \"quick\" or \"full\""),
+    }
+    if !matches!(v.get("commit"), Some(Value::Str(_))) {
+        return err("missing string field `commit`");
+    }
+    let results = match v.get("results") {
+        Some(Value::Seq(items)) if !items.is_empty() => items,
+        Some(Value::Seq(_)) => return err("`results` is empty"),
+        _ => return err("missing array field `results`"),
+    };
+    for (i, case) in results.iter().enumerate() {
+        let name = match case.get("name") {
+            Some(Value::Str(s)) => s.as_str(),
+            _ => return err(&format!("results[{i}]: missing string field `name`")),
+        };
+        match case.get("nodes").and_then(Value::as_u64) {
+            Some(n) if n >= 1 => {}
+            _ => return err(&format!("results[{i}] ({name}): `nodes` must be >= 1")),
+        }
+        for field in ["ticks_per_s", "node_ticks_per_s"] {
+            match case.get(field).and_then(Value::as_f64) {
+                Some(t) if t.is_finite() && t > 0.0 => {}
+                _ => {
+                    return err(&format!(
+                        "results[{i}] ({name}): `{field}` must be finite and positive"
+                    ))
+                }
+            }
+        }
+        if case.get("measured_ticks").and_then(Value::as_u64).is_none() {
+            return err(&format!("results[{i}] ({name}): missing integer `measured_ticks`"));
+        }
+    }
+    for (section, fields) in [
+        ("sweep", &["scenarios", "threads", "wall_time_s"][..]),
+        ("comparison", &["scenario", "baseline_ticks_per_s", "current_ticks_per_s"][..]),
+    ] {
+        let map = match v.get(section) {
+            Some(m @ Value::Map(_)) => m,
+            _ => return err(&format!("missing object field `{section}`")),
+        };
+        for field in fields {
+            if map.get(field).is_none() {
+                return err(&format!("`{section}` missing field `{field}`"));
+            }
+        }
+    }
+    // `observability` arrived after v1 reports were first committed; when
+    // present the overhead arms must both be real measurements.
+    if let Some(obs) = v.get("observability") {
+        for field in ["ticks_per_s_sink_off", "ticks_per_s_ring", "overhead_pct"] {
+            match obs.get(field).and_then(Value::as_f64) {
+                Some(t) if t.is_finite() => {}
+                _ => return err(&format!("`observability.{field}` must be a finite number")),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Extracts `(name, ticks_per_s)` pairs from a validated report.
+fn case_throughputs(v: &Value) -> Vec<(String, f64)> {
+    let Some(Value::Seq(items)) = v.get("results") else { return Vec::new() };
+    items
+        .iter()
+        .filter_map(|case| {
+            let Some(Value::Str(name)) = case.get("name") else { return None };
+            let ticks = case.get("ticks_per_s").and_then(Value::as_f64)?;
+            Some((name.clone(), ticks))
+        })
+        .collect()
+}
+
+/// `--check` entry point: schema-validate `check_path` and, when a baseline
+/// is given, gate on per-case throughput regressions. Returns the process
+/// exit code.
+fn run_check(check_path: &str, baseline_path: Option<&str>, max_regression_pct: f64) -> i32 {
+    let report = match load_report(check_path).and_then(|v| {
+        validate_report(&v, check_path)?;
+        Ok(v)
+    }) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("check failed: {e}");
+            return 1;
+        }
+    };
+    eprintln!("{check_path}: schema unitherm-bench/v1 OK");
+
+    let Some(baseline_path) = baseline_path else { return 0 };
+    let baseline = match load_report(baseline_path).and_then(|v| {
+        validate_report(&v, baseline_path)?;
+        Ok(v)
+    }) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("check failed: {e}");
+            return 1;
+        }
+    };
+
+    let current = case_throughputs(&report);
+    let mut compared = 0;
+    let mut failed = false;
+    for (name, base_ticks) in case_throughputs(&baseline) {
+        let Some((_, cur_ticks)) = current.iter().find(|(n, _)| *n == name) else {
+            // Quick-mode reports cover a subset of the full matrix.
+            continue;
+        };
+        compared += 1;
+        let regression_pct = (1.0 - cur_ticks / base_ticks) * 100.0;
+        let verdict = if regression_pct > max_regression_pct { "FAIL" } else { "ok" };
+        eprintln!(
+            "{name:<26} baseline {base_ticks:>12.0}  current {cur_ticks:>12.0}  \
+             ({:+.1} %)  {verdict}",
+            -regression_pct
+        );
+        failed |= regression_pct > max_regression_pct;
+    }
+    if compared == 0 {
+        eprintln!("check failed: no shared cases between {check_path} and {baseline_path}");
+        return 1;
+    }
+    if failed {
+        eprintln!(
+            "check failed: at least one case regressed more than {max_regression_pct:.0} % \
+             vs {baseline_path}"
+        );
+        return 1;
+    }
+    eprintln!("{compared} case(s) within {max_regression_pct:.0} % of {baseline_path}");
+    0
 }
 
 fn git_commit() -> String {
@@ -199,6 +416,10 @@ fn main() {
     let mut quick = false;
     let mut out_path = "BENCH_cluster.json".to_string();
     let mut min_wall_s: Option<f64> = None;
+    let mut journal_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut max_regression_pct = 15.0;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -208,12 +429,34 @@ fn main() {
                 min_wall_s =
                     Some(args.next().expect("--min-time needs seconds").parse().expect("number"))
             }
+            "--journal" => journal_path = Some(args.next().expect("--journal needs a path")),
+            "--check" => check_path = Some(args.next().expect("--check needs a report file")),
+            "--baseline" => {
+                baseline_path = Some(args.next().expect("--baseline needs a report file"))
+            }
+            "--max-regression-pct" => {
+                max_regression_pct = args
+                    .next()
+                    .expect("--max-regression-pct needs a number")
+                    .parse()
+                    .expect("number")
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: unitherm-bench [--quick] [--out PATH] [--min-time SECONDS]");
+                eprintln!(
+                    "usage: unitherm-bench [--quick] [--out PATH] [--min-time SECONDS] \
+                     [--journal PATH]"
+                );
+                eprintln!(
+                    "       unitherm-bench --check FILE [--baseline FILE] \
+                     [--max-regression-pct N]"
+                );
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(check) = check_path {
+        std::process::exit(run_check(&check, baseline_path.as_deref(), max_regression_pct));
     }
     let min_wall_s = min_wall_s.unwrap_or(if quick { 0.02 } else { 0.5 });
 
@@ -243,6 +486,26 @@ fn main() {
         sweep.scenarios, sweep.threads, sweep.wall_time_s
     );
 
+    // Overhead probe + journal run use the largest burn/dynamic-fan case
+    // the mode covers (16 nodes full, 4 nodes quick).
+    let probe_case = Case {
+        nodes: *node_counts.last().expect("matrix has node counts").min(&16),
+        burn: true,
+        scheme: Scheme::DynamicFan,
+    };
+    let observability = measure_observability(probe_case, min_wall_s.max(0.02));
+    eprintln!(
+        "observability: {} sink-off {:.0} ticks/s, ring {:.0} ticks/s ({:+.2} % overhead)",
+        observability.scenario,
+        observability.ticks_per_s_sink_off,
+        observability.ticks_per_s_ring,
+        observability.overhead_pct
+    );
+
+    if let Some(path) = &journal_path {
+        write_journal(probe_case, path);
+    }
+
     let reference = "16x-burn-dynamic-fan";
     let current =
         results.iter().find(|r| r.name == reference).map(|r| r.ticks_per_s).unwrap_or(f64::NAN);
@@ -271,6 +534,7 @@ fn main() {
             current_ticks_per_s: current,
             improvement_pct,
         },
+        observability,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, json + "\n").expect("write bench report");

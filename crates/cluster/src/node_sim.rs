@@ -12,6 +12,7 @@ use unitherm_core::actuator::FreqMhz;
 use unitherm_core::control_plane::{BuildContext, ControlPlane, SensorSample};
 use unitherm_hwmon::{LmSensors, PlatformActuators, PlatformBinding};
 use unitherm_metrics::{RunningStats, TimeSeries};
+use unitherm_obs::{Counters, EventSink, Observer, RingSink, TeeSink};
 use unitherm_simnode::faults::FaultPlan;
 use unitherm_simnode::Node;
 use unitherm_workload::{WorkState, Workload};
@@ -77,6 +78,13 @@ pub struct NodeSim {
     pub rec: NodeRecorder,
     /// Wall-clock second at which this rank's workload finished.
     pub finish_time_s: Option<f64>,
+    /// This node's rank index (stamped into emitted event records).
+    pub index: u32,
+    /// Fixed-capacity ring of the most recent control-plane events
+    /// (allocation-free in steady state; capacity from the scenario).
+    pub events: RingSink,
+    /// Monotonic control-plane counters for this node.
+    pub counters: Counters,
 }
 
 impl NodeSim {
@@ -118,6 +126,9 @@ impl NodeSim {
             binding,
             rec: NodeRecorder::new(node_idx, scenario.record_series, scenario.expected_samples()),
             finish_time_s: None,
+            index: node_idx as u32,
+            events: RingSink::with_capacity(scenario.event_capacity),
+            counters: Counters::default(),
         }
     }
 
@@ -131,14 +142,37 @@ impl NodeSim {
     }
 
     /// Advances the physics and per-tick daemons (CPUSPEED observes
-    /// utilization every tick).
-    pub fn tick_hardware(&mut self, dt_s: f64, now_s: f64) {
+    /// utilization every tick). `journal` additionally receives any events
+    /// the per-tick daemons emit (None on the allocation-free default path).
+    pub fn tick_hardware(
+        &mut self,
+        dt_s: f64,
+        now_s: f64,
+        journal: Option<&mut (dyn EventSink + 'static)>,
+    ) {
         let util = self.node.utilization();
-        let applied = self.plane.on_tick(
-            dt_s,
-            util,
-            &mut PlatformActuators { node: &mut self.node, binding: &mut self.binding },
-        );
+        let applied = match journal {
+            None => {
+                let mut obs =
+                    Observer::new(&mut self.events, &mut self.counters, self.index, now_s);
+                self.plane.on_tick_observed(
+                    dt_s,
+                    util,
+                    &mut PlatformActuators { node: &mut self.node, binding: &mut self.binding },
+                    &mut obs,
+                )
+            }
+            Some(journal) => {
+                let mut tee = TeeSink::new(&mut self.events, journal);
+                let mut obs = Observer::new(&mut tee, &mut self.counters, self.index, now_s);
+                self.plane.on_tick_observed(
+                    dt_s,
+                    util,
+                    &mut PlatformActuators { node: &mut self.node, binding: &mut self.binding },
+                    &mut obs,
+                )
+            }
+        };
         if let Some(mhz) = applied {
             if self.rec.enabled {
                 self.rec.freq_events.push((now_s, mhz));
@@ -149,8 +183,9 @@ impl NodeSim {
 
     /// Runs the 4 Hz sampling path: read the sensor, hand the sample to the
     /// control plane (failsafe supervision + daemon pipeline), record
-    /// traces.
-    pub fn on_sample(&mut self, now_s: f64) {
+    /// traces. Emitted events land in this node's ring (and `journal`, when
+    /// one is attached).
+    pub fn on_sample(&mut self, now_s: f64, journal: Option<&mut (dyn EventSink + 'static)>) {
         // Hottest-sensor read. `fresh` distinguishes a live reading from
         // the stale fallback the controllers tolerate — the failsafe cares
         // about the difference.
@@ -164,10 +199,26 @@ impl NodeSim {
             utilization: self.node.utilization(),
             die_temp_c: self.node.die_temp_c(),
         };
-        let out = self.plane.on_sample(
-            &sample,
-            &mut PlatformActuators { node: &mut self.node, binding: &mut self.binding },
-        );
+        let out = match journal {
+            None => {
+                let mut obs =
+                    Observer::new(&mut self.events, &mut self.counters, self.index, now_s);
+                self.plane.on_sample_observed(
+                    &sample,
+                    &mut PlatformActuators { node: &mut self.node, binding: &mut self.binding },
+                    &mut obs,
+                )
+            }
+            Some(journal) => {
+                let mut tee = TeeSink::new(&mut self.events, journal);
+                let mut obs = Observer::new(&mut tee, &mut self.counters, self.index, now_s);
+                self.plane.on_sample_observed(
+                    &sample,
+                    &mut PlatformActuators { node: &mut self.node, binding: &mut self.binding },
+                    &mut obs,
+                )
+            }
+        };
         // Daemon-confirmed frequency changes are trace events; frequencies
         // forced by a failsafe engagement are not (they bypass the driver).
         if let Some(mhz) = out.freq_mhz {
@@ -223,9 +274,9 @@ mod tests {
         for i in 0..steps {
             let _ = ns.tick_workload(dt);
             let now = (i + 1) as f64 * dt;
-            ns.tick_hardware(dt, now);
+            ns.tick_hardware(dt, now, None);
             if (i + 1) % per_sample == 0 {
-                ns.on_sample(now);
+                ns.on_sample(now, None);
             }
         }
     }
@@ -364,6 +415,39 @@ mod tests {
         assert_eq!(ns.rec.freq.len(), 40);
         assert_eq!(ns.rec.power.len(), 40);
         assert_eq!(ns.rec.util.len(), 40);
+    }
+
+    #[test]
+    fn events_and_counters_populate_under_dynamic_control() {
+        let sc = scenario_with(FanScheme::dynamic(Policy::MODERATE, 100), DvfsScheme::None);
+        let mut ns = NodeSim::build(&sc, 0);
+        run(&mut ns, 200.0);
+        assert!(ns.counters.samples > 0);
+        assert!(ns.counters.events_emitted > 0, "dynamic fan must emit mode changes");
+        assert!(
+            ns.counters.l1_decisions + ns.counters.l2_fallbacks > 0,
+            "window decisions counted"
+        );
+        assert!(!ns.events.is_empty());
+        assert!(ns.events.iter().all(|r| r.node == 0));
+    }
+
+    #[test]
+    fn journal_receives_teed_events() {
+        let sc = scenario_with(FanScheme::dynamic(Policy::MODERATE, 100), DvfsScheme::None);
+        let mut ns = NodeSim::build(&sc, 0);
+        let mut journal = unitherm_obs::VecSink::default();
+        let dt = 0.05;
+        for i in 0..4000usize {
+            let _ = ns.tick_workload(dt);
+            let now = (i + 1) as f64 * dt;
+            ns.tick_hardware(dt, now, Some(&mut journal));
+            if (i + 1) % 5 == 0 {
+                ns.on_sample(now, Some(&mut journal));
+            }
+        }
+        assert!(!journal.records.is_empty(), "journal captured the stream");
+        assert_eq!(journal.records.len() as u64, ns.counters.events_emitted);
     }
 
     #[test]

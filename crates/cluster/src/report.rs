@@ -8,6 +8,7 @@
 use unitherm_core::actuator::FreqMhz;
 use unitherm_metrics::stats::power_delay_product;
 use unitherm_metrics::{Summary, TimeSeries};
+use unitherm_obs::{Counters, EventRecord};
 
 /// Results for one node.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -42,6 +43,18 @@ pub struct NodeReport {
     pub duty_summary: Summary,
     /// When this rank's workload finished, if it did.
     pub finish_time_s: Option<f64>,
+    /// Monotonic control-plane counters (`serde(default)` so reports from
+    /// before the observability layer still parse).
+    #[serde(default)]
+    pub counters: Counters,
+    /// Events overwritten out of the node's fixed-capacity ring (the ring
+    /// keeps only the most recent `event_capacity` records).
+    #[serde(default)]
+    pub events_dropped: u64,
+    /// The most recent control-plane events, drained from the node's ring
+    /// in emission order.
+    #[serde(default)]
+    pub events: Vec<EventRecord>,
 }
 
 /// Results for one scenario run.
@@ -134,6 +147,22 @@ impl RunReport {
         self.nodes.iter().flat_map(|n| n.freq_events.iter().map(|&(_, f)| f)).min()
     }
 
+    /// Cluster-wide counter totals (field-by-field sum over the nodes).
+    pub fn counters_total(&self) -> Counters {
+        let mut total = Counters::default();
+        for n in &self.nodes {
+            total.merge(&n.counters);
+        }
+        total
+    }
+
+    /// The cluster counter totals in the Prometheus text exposition format,
+    /// tagged with the scenario name.
+    pub fn prometheus_text(&self) -> String {
+        let label = format!("scenario=\"{}\"", self.name);
+        unitherm_obs::prometheus_text(&self.counters_total(), &label)
+    }
+
     /// One-line summary, used by the `repro` binary.
     pub fn summary_line(&self) -> String {
         format!(
@@ -181,6 +210,13 @@ mod tests {
             },
             duty_summary: Summary { count: 10, mean: 50.0, min: 10.0, max: 90.0, std_dev: 5.0 },
             finish_time_s: Some(100.0),
+            counters: Counters { samples: 400, l2_fallbacks: 3, ..Counters::default() },
+            events_dropped: 0,
+            events: vec![EventRecord {
+                time_s: 10.0,
+                node: 0,
+                event: unitherm_obs::Event::TdvfsEngage { from_mhz: 2400, to_mhz: 2200 },
+            }],
         }
     }
 
@@ -215,6 +251,16 @@ mod tests {
         let r = report();
         assert_eq!(r.first_dvfs_event_time_s(), Some(10.0));
         assert_eq!(r.min_commanded_freq_mhz(), Some(2000));
+    }
+
+    #[test]
+    fn counter_totals_and_prometheus_export() {
+        let r = report();
+        let total = r.counters_total();
+        assert_eq!(total.samples, 800, "two nodes at 400 samples each");
+        assert_eq!(total.l2_fallbacks, 6);
+        let text = r.prometheus_text();
+        assert!(text.contains("unitherm_samples_total{scenario=\"test\"} 800"), "{text}");
     }
 
     #[test]

@@ -157,6 +157,9 @@ fn default_fan() -> FanScheme {
 fn default_true() -> bool {
     true
 }
+fn default_event_capacity() -> usize {
+    256
+}
 
 /// A complete experiment description.
 ///
@@ -226,6 +229,12 @@ pub struct Scenario {
     /// different heatsink). Nodes not listed use `node_config`.
     #[serde(default)]
     pub node_config_overrides: Vec<(usize, NodeConfig)>,
+    /// Capacity of each node's observability event ring (most recent
+    /// control-plane events kept for the report). 0 disables event
+    /// retention — counters are still maintained — which is the sink-off
+    /// arm of the bench overhead comparison.
+    #[serde(default = "default_event_capacity")]
+    pub event_capacity: usize,
 }
 
 impl Scenario {
@@ -251,6 +260,7 @@ impl Scenario {
             rack: None,
             fan_overrides: Vec::new(),
             node_config_overrides: Vec::new(),
+            event_capacity: default_event_capacity(),
         }
     }
 
@@ -337,6 +347,12 @@ impl Scenario {
     /// Builder: override the hardware configuration on one node.
     pub fn with_node_config(mut self, node: usize, cfg: NodeConfig) -> Self {
         self.node_config_overrides.push((node, cfg));
+        self
+    }
+
+    /// Builder: per-node event-ring capacity (0 disables event retention).
+    pub fn with_event_capacity(mut self, capacity: usize) -> Self {
+        self.event_capacity = capacity;
         self
     }
 

@@ -13,6 +13,7 @@
 //! throttled or down-scaled CPU therefore delays the whole job — the
 //! mechanism behind the paper's execution-time results.
 
+use unitherm_obs::EventSink;
 use unitherm_workload::WorkState;
 
 use crate::node_sim::NodeSim;
@@ -31,6 +32,10 @@ pub struct Simulation {
     /// Ranks whose workload has finished (kept incrementally so the run
     /// loop's completion check is O(1) instead of a per-tick scan).
     finished_nodes: usize,
+    /// Optional cluster-wide event journal; every node's event stream is
+    /// teed into it on top of the per-node rings (e.g. a JSONL
+    /// [`unitherm_obs::JournalWriter`] behind `unitherm-bench --journal`).
+    journal: Option<Box<dyn EventSink>>,
 }
 
 impl Simulation {
@@ -62,7 +67,15 @@ impl Simulation {
             ticks: 0,
             ticks_per_sample,
             finished_nodes: 0,
+            journal: None,
         }
+    }
+
+    /// Attaches a cluster-wide event journal: every node's control-plane
+    /// event stream is teed into `sink` in addition to the per-node rings.
+    /// The sink sees records in tick order (node order within a tick).
+    pub fn attach_journal(&mut self, sink: Box<dyn EventSink>) {
+        self.journal = Some(sink);
     }
 
     /// Current simulated time.
@@ -108,8 +121,9 @@ impl Simulation {
         // finish times, all per-node-independent once the barrier settled.
         let couple_rack = self.rack.is_some();
         let mut heat = 0.0;
+        let journal = &mut self.journal;
         for ns in &mut self.nodes {
-            ns.tick_hardware(dt, self.time_s);
+            ns.tick_hardware(dt, self.time_s, journal.as_deref_mut());
             if couple_rack {
                 heat += ns.node.heat_output_w();
             }
@@ -131,8 +145,9 @@ impl Simulation {
 
         // Sampling path at 4 Hz.
         if self.ticks.is_multiple_of(self.ticks_per_sample) {
+            let journal = &mut self.journal;
             for ns in &mut self.nodes {
-                ns.on_sample(self.time_s);
+                ns.on_sample(self.time_s, journal.as_deref_mut());
             }
             if let Some(rack) = &self.rack {
                 if self.scenario.record_series {
@@ -195,6 +210,9 @@ impl Simulation {
                 temp_summary: ns.rec.temp_stats.summary(),
                 duty_summary: ns.rec.duty_stats.summary(),
                 finish_time_s: ns.finish_time_s,
+                counters: ns.counters,
+                events_dropped: ns.events.dropped(),
+                events: ns.events.to_vec(),
             })
             .collect();
 

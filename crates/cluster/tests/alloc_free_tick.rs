@@ -73,6 +73,19 @@ fn steady_state_tick_is_allocation_free() {
         }
     });
     assert_eq!(n, 0, "steady-state tick allocated {n} times over 1000 ticks");
+    // The zero-allocation window must not be an artifact of observability
+    // sitting idle: the ring sinks and counters were live the whole time.
+    let report = sim.into_report();
+    let counters = report.counters_total();
+    assert!(counters.samples > 0, "sampling path ran during the window");
+    assert!(
+        counters.events_emitted > 0,
+        "dynamic-fan control under burn must emit events through the ring sink"
+    );
+    assert!(
+        report.nodes.iter().any(|node| !node.events.is_empty()),
+        "ring sinks captured events with zero heap allocations"
+    );
 }
 
 #[test]

@@ -6,7 +6,7 @@
 //! Daemons keep their build parameters so [`ControlDaemon::reset`] can
 //! rebuild the controller from scratch.
 
-use super::{Actuators, ControlDaemon, DaemonEvent, SensorSample};
+use super::{window_level, Actuators, ControlDaemon, DaemonEvent, SensorSample};
 use crate::acpi::{sleep_state_controller, SleepState, SleepStateController};
 use crate::actuator::{FanDuty, FreqMhz};
 use crate::baseline::StaticFanCurve;
@@ -16,6 +16,7 @@ use crate::fan_control::DynamicFanController;
 use crate::feedforward::{FeedforwardConfig, FeedforwardFanController};
 use crate::governor::{CpuSpeedConfig, CpuSpeedGovernor};
 use crate::tdvfs::{Tdvfs, TdvfsConfig};
+use unitherm_obs::{ActuatorKind, CrossDirection, Event, Observer, WindowLevel};
 
 /// Traditional chip-automatic fan control (paper §2): the ADT7467's own
 /// thermal curve runs the fan; software only caps the maximum duty at
@@ -37,7 +38,12 @@ impl ControlDaemon for ChipAutoFan {
 
     fn reset(&mut self) {}
 
-    fn on_sample(&mut self, _sample: &SensorSample, _act: &mut dyn Actuators) -> DaemonEvent {
+    fn on_sample(
+        &mut self,
+        _sample: &SensorSample,
+        _act: &mut dyn Actuators,
+        _obs: &mut Observer<'_>,
+    ) -> DaemonEvent {
         DaemonEvent::None
     }
 
@@ -81,7 +87,12 @@ impl ControlDaemon for StaticCurveFan {
         let _ = act.set_fan_duty(self.curve.duty_for(sample.die_temp_c));
     }
 
-    fn on_sample(&mut self, sample: &SensorSample, act: &mut dyn Actuators) -> DaemonEvent {
+    fn on_sample(
+        &mut self,
+        sample: &SensorSample,
+        act: &mut dyn Actuators,
+        _obs: &mut Observer<'_>,
+    ) -> DaemonEvent {
         let Some(t) = sample.temp_c else {
             return DaemonEvent::None;
         };
@@ -130,7 +141,12 @@ impl ControlDaemon for ConstantFanDaemon {
         let _ = act.set_fan_duty(self.duty);
     }
 
-    fn on_sample(&mut self, _sample: &SensorSample, _act: &mut dyn Actuators) -> DaemonEvent {
+    fn on_sample(
+        &mut self,
+        _sample: &SensorSample,
+        _act: &mut dyn Actuators,
+        _obs: &mut Observer<'_>,
+    ) -> DaemonEvent {
         DaemonEvent::None
     }
 
@@ -178,12 +194,26 @@ impl ControlDaemon for DynamicFan {
         let _ = act.set_fan_duty(self.ctl.current_duty());
     }
 
-    fn on_sample(&mut self, sample: &SensorSample, act: &mut dyn Actuators) -> DaemonEvent {
+    fn on_sample(
+        &mut self,
+        sample: &SensorSample,
+        act: &mut dyn Actuators,
+        obs: &mut Observer<'_>,
+    ) -> DaemonEvent {
         let Some(t) = sample.temp_c else {
             return DaemonEvent::None;
         };
+        let from = self.ctl.current_duty();
         if let Some(decision) = self.ctl.observe(t) {
             if act.set_fan_duty(decision.mode) {
+                let saturated = decision.index == 1 || decision.index == self.cfg.array_len;
+                obs.mode_change(
+                    ActuatorKind::Fan,
+                    u32::from(from),
+                    u32::from(decision.mode),
+                    window_level(decision.level),
+                    saturated,
+                );
                 return DaemonEvent::FanDuty(decision.mode);
             }
         }
@@ -246,12 +276,32 @@ impl ControlDaemon for FeedforwardFan {
         let _ = act.set_fan_duty(self.ctl.current_duty());
     }
 
-    fn on_sample(&mut self, sample: &SensorSample, act: &mut dyn Actuators) -> DaemonEvent {
+    fn on_sample(
+        &mut self,
+        sample: &SensorSample,
+        act: &mut dyn Actuators,
+        obs: &mut Observer<'_>,
+    ) -> DaemonEvent {
         let Some(t) = sample.temp_c else {
             return DaemonEvent::None;
         };
+        let from = self.ctl.current_duty();
         if let Some(decision) = self.ctl.observe(t, sample.utilization) {
             if act.set_fan_duty(decision.mode) {
+                let saturated = decision.index == 1 || decision.index == self.cfg.array_len;
+                obs.mode_change(
+                    ActuatorKind::Fan,
+                    u32::from(from),
+                    u32::from(decision.mode),
+                    window_level(decision.level),
+                    saturated,
+                );
+                if decision.level == crate::controller::DecisionLevel::Feedforward {
+                    obs.emit(Event::PredictionSample {
+                        utilization: sample.utilization,
+                        predicted_delta_c: decision.delta_c,
+                    });
+                }
                 return DaemonEvent::FanDuty(decision.mode);
             }
         }
@@ -276,6 +326,9 @@ pub struct TdvfsDaemon {
     freqs: Vec<FreqMhz>,
     policy: Policy,
     cfg: TdvfsConfig,
+    /// Last observed side of the trigger threshold (None before the first
+    /// temperature sample), for threshold-cross event edges.
+    last_above: Option<bool>,
 }
 
 impl TdvfsDaemon {
@@ -287,6 +340,7 @@ impl TdvfsDaemon {
             freqs: frequencies_desc_mhz.to_vec(),
             policy,
             cfg,
+            last_above: None,
         }
     }
 
@@ -303,15 +357,36 @@ impl ControlDaemon for TdvfsDaemon {
 
     fn reset(&mut self) {
         self.tdvfs = Tdvfs::new(&self.freqs, self.policy, self.cfg);
+        self.last_above = None;
     }
 
-    fn on_sample(&mut self, sample: &SensorSample, act: &mut dyn Actuators) -> DaemonEvent {
+    fn on_sample(
+        &mut self,
+        sample: &SensorSample,
+        act: &mut dyn Actuators,
+        obs: &mut Observer<'_>,
+    ) -> DaemonEvent {
         let Some(t) = sample.temp_c else {
             return DaemonEvent::None;
         };
+        let above = t > self.cfg.threshold_c;
+        if self.last_above.is_some_and(|was| was != above) {
+            obs.emit(Event::ThresholdCross {
+                threshold_c: self.cfg.threshold_c,
+                temp_c: t,
+                direction: if above { CrossDirection::Above } else { CrossDirection::Below },
+            });
+        }
+        self.last_above = Some(above);
+
+        let from = self.tdvfs.current_frequency_mhz();
         if let Some(event) = self.tdvfs.observe(t) {
             let mhz = event.frequency_mhz();
             if act.set_frequency_mhz(mhz) {
+                match event {
+                    crate::tdvfs::TdvfsEvent::ScaleDown(_) => obs.tdvfs_engage(from, mhz),
+                    crate::tdvfs::TdvfsEvent::Restore(_) => obs.tdvfs_release(mhz),
+                }
                 return DaemonEvent::Frequency(mhz);
             }
         }
@@ -366,13 +441,26 @@ impl ControlDaemon for CpuSpeedDaemon {
         self.gov = CpuSpeedGovernor::new(&self.freqs, self.cfg);
     }
 
-    fn on_sample(&mut self, _sample: &SensorSample, _act: &mut dyn Actuators) -> DaemonEvent {
+    fn on_sample(
+        &mut self,
+        _sample: &SensorSample,
+        _act: &mut dyn Actuators,
+        _obs: &mut Observer<'_>,
+    ) -> DaemonEvent {
         DaemonEvent::None
     }
 
-    fn on_tick(&mut self, dt_s: f64, utilization: f64, act: &mut dyn Actuators) -> DaemonEvent {
+    fn on_tick(
+        &mut self,
+        dt_s: f64,
+        utilization: f64,
+        act: &mut dyn Actuators,
+        obs: &mut Observer<'_>,
+    ) -> DaemonEvent {
+        let from = self.gov.current_frequency_mhz();
         if let Some(mhz) = self.gov.observe(dt_s, utilization) {
             if act.set_frequency_mhz(mhz) {
+                obs.mode_change(ActuatorKind::Dvfs, from, mhz, WindowLevel::Governor, false);
                 return DaemonEvent::Frequency(mhz);
             }
         }
@@ -431,12 +519,26 @@ impl ControlDaemon for AcpiSleepDaemon {
         self.ctl = sleep_state_controller(self.policy, self.cfg);
     }
 
-    fn on_sample(&mut self, sample: &SensorSample, act: &mut dyn Actuators) -> DaemonEvent {
+    fn on_sample(
+        &mut self,
+        sample: &SensorSample,
+        act: &mut dyn Actuators,
+        obs: &mut Observer<'_>,
+    ) -> DaemonEvent {
         let Some(t) = sample.temp_c else {
             return DaemonEvent::None;
         };
+        let from = self.ctl.current_mode();
         if let Some(decision) = self.ctl.observe(t) {
             if act.set_sleep_state(decision.mode) {
+                let saturated = decision.index == 1 || decision.index == self.cfg.array_len;
+                obs.mode_change(
+                    ActuatorKind::Sleep,
+                    from as u32,
+                    decision.mode as u32,
+                    window_level(decision.level),
+                    saturated,
+                );
                 return DaemonEvent::Sleep(decision.mode);
             }
         }

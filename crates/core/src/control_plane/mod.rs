@@ -41,7 +41,26 @@ pub use scheme::{BuildContext, DvfsScheme, FanBinding, FanScheme, SchemeSpec};
 
 use crate::acpi::SleepState;
 use crate::actuator::{FanDuty, FreqMhz};
-use crate::failsafe::{Failsafe, FailsafeAction, FailsafeConfig};
+use crate::failsafe::{Failsafe, FailsafeAction, FailsafeConfig, FailsafeReason};
+use unitherm_obs::{Counters, Event, NullSink, Observer, TripCause, WindowLevel};
+
+use crate::controller::DecisionLevel;
+
+/// Maps a controller decision level onto the observability vocabulary.
+pub(crate) fn window_level(level: DecisionLevel) -> WindowLevel {
+    match level {
+        DecisionLevel::Level1 => WindowLevel::L1,
+        DecisionLevel::Level2 => WindowLevel::L2,
+        DecisionLevel::Feedforward => WindowLevel::Feedforward,
+    }
+}
+
+fn trip_cause(reason: FailsafeReason) -> TripCause {
+    match reason {
+        FailsafeReason::StaleSensor => TripCause::StaleSensor,
+        FailsafeReason::OverTemperature => TripCause::OverTemperature,
+    }
+}
 
 /// One 4 Hz sensor sample, as the plane presents it to daemons.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -130,12 +149,25 @@ pub trait ControlDaemon {
     fn attach(&mut self, _sample: &SensorSample, _act: &mut dyn Actuators) {}
 
     /// The 4 Hz sampling path. Called only when `sample.temp_c` is present;
-    /// writes are gated (dropped) while the failsafe is engaged.
-    fn on_sample(&mut self, sample: &SensorSample, act: &mut dyn Actuators) -> DaemonEvent;
+    /// writes are gated (dropped) while the failsafe is engaged. Accepted
+    /// actuations (and pure observations like threshold crossings) are
+    /// reported through `obs`.
+    fn on_sample(
+        &mut self,
+        sample: &SensorSample,
+        act: &mut dyn Actuators,
+        obs: &mut Observer<'_>,
+    ) -> DaemonEvent;
 
     /// The per-physics-tick path (utilization governors). Writes are gated
     /// while the failsafe is engaged.
-    fn on_tick(&mut self, _dt_s: f64, _utilization: f64, _act: &mut dyn Actuators) -> DaemonEvent {
+    fn on_tick(
+        &mut self,
+        _dt_s: f64,
+        _utilization: f64,
+        _act: &mut dyn Actuators,
+        _obs: &mut Observer<'_>,
+    ) -> DaemonEvent {
         DaemonEvent::None
     }
 
@@ -279,15 +311,23 @@ impl ControlPlane {
 
     /// Runs the 4 Hz sampling path: failsafe supervision first, then the
     /// daemon pipeline (observing always, writing only while not engaged).
-    pub fn on_sample(&mut self, sample: &SensorSample, act: &mut dyn Actuators) -> PlaneOutcome {
+    /// Events and counters go through `obs`.
+    pub fn on_sample_observed(
+        &mut self,
+        sample: &SensorSample,
+        act: &mut dyn Actuators,
+        obs: &mut Observer<'_>,
+    ) -> PlaneOutcome {
+        obs.counters.samples += 1;
         let mut out = PlaneOutcome { temp_c: sample.temp_c, ..PlaneOutcome::default() };
 
         if let Some(fs) = &mut self.failsafe {
             match fs.observe(sample.fresh_temp_c) {
-                Some(FailsafeAction::Engage(_)) => {
+                Some(FailsafeAction::Engage(reason)) => {
                     let (duty, mhz) = act.force_max_cooling();
                     out.forced_fan_duty = Some(duty);
                     out.forced_freq_mhz = Some(mhz);
+                    obs.failsafe_trip(trip_cause(reason));
                 }
                 Some(FailsafeAction::Release) => {
                     for d in &mut self.daemons {
@@ -296,6 +336,7 @@ impl ControlPlane {
                     if !self.daemons.iter().any(|d| d.controls_frequency()) {
                         let _ = act.restore_max_frequency();
                     }
+                    obs.emit(Event::FailsafeRelease);
                 }
                 None => {}
             }
@@ -306,7 +347,7 @@ impl ControlPlane {
         if sample.temp_c.is_some() {
             let mut gate = GatedActuators { inner: act, engaged };
             for d in &mut self.daemons {
-                match d.on_sample(sample, &mut gate) {
+                match d.on_sample(sample, &mut gate, obs) {
                     DaemonEvent::FanDuty(duty) => out.fan_duty = Some(duty),
                     DaemonEvent::Frequency(mhz) => out.freq_mhz = Some(mhz),
                     DaemonEvent::Sleep(state) => out.sleep_state = Some(state),
@@ -317,26 +358,53 @@ impl ControlPlane {
         out
     }
 
+    /// [`ControlPlane::on_sample_observed`] with observability discarded
+    /// (null sink, throwaway counters). Behavior is identical — the
+    /// observer is write-only from the plane's perspective.
+    pub fn on_sample(&mut self, sample: &SensorSample, act: &mut dyn Actuators) -> PlaneOutcome {
+        let mut sink = NullSink;
+        let mut counters = Counters::default();
+        let mut obs = Observer::new(&mut sink, &mut counters, 0, sample.now_s);
+        self.on_sample_observed(sample, act, &mut obs)
+    }
+
     /// Runs the per-physics-tick path (utilization governors observe every
-    /// tick). Returns the frequency applied this tick, if any.
-    pub fn on_tick(
+    /// tick). Returns the frequency applied this tick, if any. Ticks
+    /// short-circuited because no daemon listens are counted in
+    /// `obs.counters.ticks_skipped`.
+    pub fn on_tick_observed(
         &mut self,
         dt_s: f64,
         utilization: f64,
         act: &mut dyn Actuators,
+        obs: &mut Observer<'_>,
     ) -> Option<FreqMhz> {
         if !self.any_wants_tick {
+            obs.counters.ticks_skipped += 1;
             return None;
         }
         let engaged = self.is_failsafe_engaged();
         let mut gate = GatedActuators { inner: act, engaged };
         let mut applied = None;
         for d in &mut self.daemons {
-            if let DaemonEvent::Frequency(mhz) = d.on_tick(dt_s, utilization, &mut gate) {
+            if let DaemonEvent::Frequency(mhz) = d.on_tick(dt_s, utilization, &mut gate, obs) {
                 applied = Some(mhz);
             }
         }
         applied
+    }
+
+    /// [`ControlPlane::on_tick_observed`] with observability discarded.
+    pub fn on_tick(
+        &mut self,
+        dt_s: f64,
+        utilization: f64,
+        act: &mut dyn Actuators,
+    ) -> Option<FreqMhz> {
+        let mut sink = NullSink;
+        let mut counters = Counters::default();
+        let mut obs = Observer::new(&mut sink, &mut counters, 0, 0.0);
+        self.on_tick_observed(dt_s, utilization, act, &mut obs)
     }
 
     /// True while the failsafe owns the actuators.

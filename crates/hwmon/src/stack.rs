@@ -41,6 +41,7 @@ use unitherm_core::controller::ControllerConfig;
 use unitherm_core::failsafe::{Failsafe, FailsafeConfig};
 use unitherm_core::feedforward::{FeedforwardConfig, FeedforwardFanController};
 use unitherm_core::tdvfs::{Tdvfs, TdvfsConfig};
+use unitherm_obs::{Counters, Observer, RingSink};
 use unitherm_simnode::node::Node;
 
 use crate::binding::{PlatformActuators, PlatformBinding};
@@ -56,6 +57,7 @@ pub struct ControlStackBuilder {
     feedforward: Option<FeedforwardConfig>,
     tdvfs: Option<TdvfsConfig>,
     failsafe: Option<FailsafeConfig>,
+    event_capacity: usize,
 }
 
 impl ControlStackBuilder {
@@ -96,6 +98,13 @@ impl ControlStackBuilder {
         self
     }
 
+    /// Capacity of the stack's event ring (most recent control-plane
+    /// events retained; 0 keeps counters only). Default 256.
+    pub fn event_capacity(mut self, capacity: usize) -> Self {
+        self.event_capacity = capacity;
+        self
+    }
+
     /// The [`SchemeSpec`] this builder describes: the feedforward fan
     /// daemon (zero-gain feedforward reduces to the plain reactive
     /// controller) plus the optional tDVFS arm.
@@ -133,7 +142,14 @@ impl ControlStackBuilder {
             die_temp_c: node.die_temp_c(),
         };
         plane.attach(&attach_sample, &mut PlatformActuators { node, binding: &mut binding });
-        Ok(ControlStack { lm: LmSensors::new(), binding, plane, samples: 0 })
+        Ok(ControlStack {
+            lm: LmSensors::new(),
+            binding,
+            plane,
+            samples: 0,
+            events: RingSink::with_capacity(self.event_capacity),
+            counters: Counters::default(),
+        })
     }
 }
 
@@ -144,6 +160,8 @@ pub struct ControlStack {
     binding: PlatformBinding,
     plane: ControlPlane,
     samples: u64,
+    events: RingSink,
+    counters: Counters,
 }
 
 /// What happened during one control sample.
@@ -170,6 +188,7 @@ impl ControlStack {
             feedforward: None,
             tdvfs: None,
             failsafe: None,
+            event_capacity: 256,
         }
     }
 
@@ -177,17 +196,21 @@ impl ControlStack {
     pub fn sample(&mut self, node: &mut Node) -> SampleOutcome {
         let fresh = self.lm.read_hottest_celsius(node).ok();
         let temp = fresh.or_else(|| self.lm.last_good().map(|m| m.to_celsius()));
+        let now_s = self.samples as f64 / 4.0;
         let sample = SensorSample {
-            now_s: self.samples as f64 / 4.0,
+            now_s,
             fresh_temp_c: fresh,
             temp_c: temp,
             utilization: node.utilization(),
             die_temp_c: node.die_temp_c(),
         };
         self.samples += 1;
-        let out = self
-            .plane
-            .on_sample(&sample, &mut PlatformActuators { node, binding: &mut self.binding });
+        let mut obs = Observer::new(&mut self.events, &mut self.counters, 0, now_s);
+        let out = self.plane.on_sample_observed(
+            &sample,
+            &mut PlatformActuators { node, binding: &mut self.binding },
+            &mut obs,
+        );
         SampleOutcome {
             temp_c: out.temp_c,
             fan_duty: out.forced_fan_duty.or(out.fan_duty),
@@ -227,6 +250,22 @@ impl ControlStack {
     /// The probed platform binding.
     pub fn binding(&self) -> &PlatformBinding {
         &self.binding
+    }
+
+    /// Monotonic control-plane counters accumulated since probe.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// The event ring holding the most recent control-plane events.
+    pub fn events(&self) -> &RingSink {
+        &self.events
+    }
+
+    /// Renders this stack's counters in Prometheus text exposition
+    /// format, ready to serve from a `/metrics` endpoint.
+    pub fn prometheus_text(&self) -> String {
+        unitherm_obs::prometheus_text(&self.counters, "")
     }
 }
 
@@ -301,6 +340,25 @@ mod tests {
         let t = out.temp_c.expect("sensor readable");
         assert!((t - node.die_temp_c()).abs() < 3.0);
         assert!(!out.failsafe_engaged);
+    }
+
+    #[test]
+    fn stack_exposes_events_and_counters() {
+        let mut node = Node::new(NodeConfig::default(), 47);
+        let mut stack = ControlStack::builder(Policy::MODERATE)
+            .with_tdvfs()
+            .event_capacity(64)
+            .probe(&mut node)
+            .unwrap();
+        drive(&mut node, &mut stack, 300.0, 1.0);
+        let counters = stack.counters();
+        assert!(counters.samples > 0, "every sample is counted");
+        assert!(counters.events_emitted > 0, "burn run produces control events");
+        assert!(!stack.events().is_empty(), "ring retains recent events");
+        assert!(stack.events().len() <= 64, "ring bounded by configured capacity");
+        let text = stack.prometheus_text();
+        assert!(text.contains("unitherm_samples_total"), "metrics exported: {text}");
+        assert!(text.contains("# TYPE unitherm_events_total counter"));
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! The typed event taxonomy.
+//!
+//! Every variant is `Copy` and carries only fixed-size scalars: recording an
+//! event is a plain memcpy, never a heap allocation. Actuation values are
+//! widened to `u32` (fan duty percent, MHz, sleep-state ordinal) so one
+//! `ModeChange` shape covers every technique the control array unifies.
+
+use serde::{Deserialize, Serialize};
+
+/// Which actuation technique an event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActuatorKind {
+    /// Out-of-band: fan duty (percent).
+    Fan,
+    /// In-band: CPU frequency (MHz).
+    Dvfs,
+    /// In-band: ACPI processor sleep state (ordinal, C0 = 0).
+    Sleep,
+}
+
+/// Which prediction path produced a mode change (mirrors the core
+/// controller's `DecisionLevel`, plus the non-window governor path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WindowLevel {
+    /// The level-one (sudden) window delta moved the index.
+    L1,
+    /// Level one saw no change; the level-two (gradual) fallback moved it.
+    L2,
+    /// A utilization feedforward prediction moved it.
+    Feedforward,
+    /// Not window-driven at all: a utilization governor (CPUSPEED) acted.
+    Governor,
+}
+
+/// Direction of a threshold crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrossDirection {
+    /// The temperature rose through the threshold.
+    Above,
+    /// The temperature fell back through the threshold.
+    Below,
+}
+
+/// Why the failsafe watchdog tripped (mirrors the core `FailsafeReason`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TripCause {
+    /// The sensor path produced no fresh reading for too long.
+    StaleSensor,
+    /// A fresh reading crossed the panic line.
+    OverTemperature,
+}
+
+/// One structured control-plane event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A daemon moved its actuator to a new mode.
+    ModeChange {
+        /// Which technique acted.
+        actuator: ActuatorKind,
+        /// Previous mode value (duty %, MHz, or sleep ordinal).
+        from: u32,
+        /// New mode value.
+        to: u32,
+        /// Which window level (or the governor path) drove the change.
+        window_level: WindowLevel,
+    },
+    /// A monitored temperature crossed a control threshold (e.g. the tDVFS
+    /// 51 °C trigger).
+    ThresholdCross {
+        /// The threshold crossed, °C.
+        threshold_c: f64,
+        /// The sample that crossed it, °C.
+        temp_c: f64,
+        /// Crossing direction.
+        direction: CrossDirection,
+    },
+    /// tDVFS scaled the CPU down (in-band control engaged because
+    /// out-of-band cooling could not hold the threshold).
+    TdvfsEngage {
+        /// Frequency before the scale-down, MHz.
+        from_mhz: u32,
+        /// Frequency after, MHz.
+        to_mhz: u32,
+    },
+    /// tDVFS restored the original frequency after sustained cooling.
+    TdvfsRelease {
+        /// The restored frequency, MHz.
+        to_mhz: u32,
+    },
+    /// The failsafe watchdog engaged maximum cooling.
+    FailsafeTrip {
+        /// What tripped it.
+        cause: TripCause,
+    },
+    /// The failsafe released control back to the daemon pipeline.
+    FailsafeRelease,
+    /// A feedforward prediction fired: the utilization step it saw and the
+    /// temperature boost it pre-positioned the fan for.
+    PredictionSample {
+        /// CPU utilization in `[0, 1]` at prediction time.
+        utilization: f64,
+        /// Predicted temperature delta the controller acted on, °C.
+        predicted_delta_c: f64,
+    },
+}
+
+/// An [`Event`] stamped with when and where it happened.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Simulated wall-clock time of the emitting sample, seconds.
+    pub time_s: f64,
+    /// Node (rank) index within the cluster; 0 for single-node stacks.
+    pub node: u32,
+    /// The event itself.
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_are_fixed_size_and_copy() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Event>();
+        assert_copy::<EventRecord>();
+        // The record must stay a small, flat value: recording one is a
+        // memcpy into the ring, never a pointer chase or allocation.
+        assert!(std::mem::size_of::<EventRecord>() <= 64);
+    }
+
+    #[test]
+    fn events_serialize_to_tagged_json() {
+        let rec = EventRecord {
+            time_s: 12.25,
+            node: 3,
+            event: Event::ModeChange {
+                actuator: ActuatorKind::Fan,
+                from: 25,
+                to: 40,
+                window_level: WindowLevel::L1,
+            },
+        };
+        let json = serde_json::to_string(&rec).expect("serialize");
+        assert!(json.contains("\"ModeChange\""), "{json}");
+        assert!(json.contains("\"node\":3"), "{json}");
+        let back: EventRecord = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, rec);
+    }
+}

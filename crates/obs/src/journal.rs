@@ -1,0 +1,145 @@
+//! JSONL event journal: one [`EventRecord`] per line.
+
+use std::io::{self, BufRead, Write};
+
+use crate::event::EventRecord;
+use crate::sink::EventSink;
+
+/// Streams every recorded event to a writer as one JSON object per line.
+///
+/// This is the offline sink: serialization allocates, so keep it off the
+/// allocation-free hot path (the cluster tees into it only at sample
+/// boundaries when a journal is attached). Write errors are latched into
+/// [`JournalWriter::io_error`] rather than panicking mid-simulation.
+pub struct JournalWriter<W: Write> {
+    out: W,
+    written: u64,
+    io_error: Option<io::Error>,
+}
+
+impl<W: Write> JournalWriter<W> {
+    /// Wraps a writer. Callers wanting buffering should pass a
+    /// `BufWriter` themselves.
+    pub fn new(out: W) -> Self {
+        Self { out, written: 0, io_error: None }
+    }
+
+    /// Records successfully written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// The first I/O error hit while writing, if any.
+    pub fn io_error(&self) -> Option<&io::Error> {
+        self.io_error.as_ref()
+    }
+
+    /// Flushes and returns the inner writer, or the latched/flush error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(err) = self.io_error {
+            return Err(err);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> EventSink for JournalWriter<W> {
+    fn record(&mut self, rec: &EventRecord) {
+        if self.io_error.is_some() {
+            return;
+        }
+        let line = match serde_json::to_string(rec) {
+            Ok(line) => line,
+            Err(err) => {
+                self.io_error = Some(io::Error::new(io::ErrorKind::InvalidData, err.to_string()));
+                return;
+            }
+        };
+        match self.out.write_all(line.as_bytes()).and_then(|()| self.out.write_all(b"\n")) {
+            Ok(()) => self.written += 1,
+            Err(err) => self.io_error = Some(err),
+        }
+    }
+}
+
+/// Parses a JSONL journal back into records. Blank lines are skipped;
+/// a malformed line is an `InvalidData` error naming its line number.
+pub fn read_journal<R: BufRead>(reader: R) -> io::Result<Vec<EventRecord>> {
+    let mut records = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: EventRecord = serde_json::from_str(&line).map_err(|err| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("journal line {}: {err}", idx + 1))
+        })?;
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, TripCause};
+
+    #[test]
+    fn writes_and_reads_round_trip() {
+        let records = vec![
+            EventRecord {
+                time_s: 1.0,
+                node: 0,
+                event: Event::TdvfsEngage { from_mhz: 2400, to_mhz: 2200 },
+            },
+            EventRecord {
+                time_s: 2.5,
+                node: 1,
+                event: Event::FailsafeTrip { cause: TripCause::OverTemperature },
+            },
+        ];
+        let mut writer = JournalWriter::new(Vec::new());
+        for rec in &records {
+            writer.record(rec);
+        }
+        assert_eq!(writer.written(), 2);
+        let bytes = writer.finish().expect("finish");
+        assert_eq!(bytes.iter().filter(|&&b| b == b'\n').count(), 2);
+        let back = read_journal(bytes.as_slice()).expect("read");
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn blank_lines_skipped_malformed_lines_named() {
+        let rec = EventRecord { time_s: 0.0, node: 0, event: Event::FailsafeRelease };
+        let good = serde_json::to_string(&rec).unwrap();
+        let text = format!("{good}\n\n{good}\n");
+        let back = read_journal(text.as_bytes()).expect("read");
+        assert_eq!(back.len(), 2);
+
+        let bad = format!("{good}\nnot json\n");
+        let err = read_journal(bad.as_bytes()).expect_err("malformed");
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn write_errors_latch_instead_of_panicking() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "closed"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut writer = JournalWriter::new(Failing);
+        let rec = EventRecord { time_s: 0.0, node: 0, event: Event::FailsafeRelease };
+        writer.record(&rec);
+        writer.record(&rec);
+        assert_eq!(writer.written(), 0);
+        assert!(writer.io_error().is_some());
+        assert!(writer.finish().is_err());
+    }
+}

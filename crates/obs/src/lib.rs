@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Zero-allocation observability for the thermal control plane.
+//!
+//! The control loop is only trustworthy if we can see *why* it acted: which
+//! window level (sudden L1 vs gradual L2 fallback) drove a fan mode change,
+//! when tDVFS engaged because a capped fan could not hold the 51 °C
+//! threshold, when the failsafe watchdog tripped. This crate provides the
+//! shared vocabulary and plumbing:
+//!
+//! * [`Event`] / [`EventRecord`] — the typed, fixed-size (`Copy`, heap-free)
+//!   event taxonomy every control layer emits;
+//! * [`EventSink`] — the pluggable recording trait. [`RingSink`] is the
+//!   steady-state sink: a fixed-capacity ring buffer whose `record` path
+//!   performs **zero heap allocations** (enforced by the counting-allocator
+//!   test in `unitherm-cluster`). [`JournalWriter`] streams records as JSONL
+//!   for offline analysis; [`TeeSink`] fans one stream out to both.
+//! * [`Observer`] — the per-sample emission context threaded through
+//!   `unitherm-core::control_plane`: a sink plus the [`Counters`] block and
+//!   the record metadata (node id, timestamp);
+//! * [`Counters`] — per-daemon monotonic counters (ticks skipped, L2
+//!   fallbacks, saturations, …) with a Prometheus text-format exporter.
+//!
+//! The crate is deliberately at the bottom of the dependency graph (only
+//! `serde` for the journal schema) so `unitherm-core`, the cluster
+//! simulator, the hwmon stack and the bench harness can all share it.
+
+pub mod counters;
+pub mod event;
+pub mod journal;
+pub mod ring;
+pub mod sink;
+
+pub use counters::{prometheus_text, Counters};
+pub use event::{ActuatorKind, CrossDirection, Event, EventRecord, TripCause, WindowLevel};
+pub use journal::{read_journal, JournalWriter};
+pub use ring::RingSink;
+pub use sink::{EventSink, NullSink, Observer, TeeSink, VecSink};

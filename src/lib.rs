@@ -39,6 +39,7 @@
 //! | [`workload`] | cpu-burn, NPB-style BSP workloads, scripted traces |
 //! | [`cluster`] | multi-node simulation, scenarios, reports, parallel sweeps |
 //! | [`metrics`] | time series, statistics, CSV, ASCII plots |
+//! | [`obs`] | observability: typed control events, counters, sinks, JSONL journal |
 //! | [`experiments`] | one runner per paper table/figure, plus ablations |
 //!
 //! Run `cargo run --release -p unitherm-experiments --bin repro -- all` to
@@ -50,6 +51,7 @@ pub use unitherm_core as core;
 pub use unitherm_experiments as experiments;
 pub use unitherm_hwmon as hwmon;
 pub use unitherm_metrics as metrics;
+pub use unitherm_obs as obs;
 pub use unitherm_simnode as simnode;
 pub use unitherm_workload as workload;
 
