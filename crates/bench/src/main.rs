@@ -9,13 +9,19 @@
 //!
 //! ```text
 //! unitherm-bench [--quick] [--out PATH] [--min-time SECONDS] [--journal PATH]
+//!                [--threads N]
 //! unitherm-bench --check FILE [--baseline FILE] [--max-regression-pct N]
 //! ```
 //!
 //! `--quick` shrinks the matrix and measurement window for CI smoke runs.
-//! `--journal PATH` additionally runs the reference scenario with a JSONL
-//! event journal attached and writes it to PATH. `--check` validates a
-//! previously written report against the `unitherm-bench/v1` schema and,
+//! `--threads N` runs the matrix through the intra-run worker pool at N
+//! threads (default 1, the committed baseline configuration); whatever the
+//! setting, an `intra_run_scaling` section measures the largest burn case
+//! at 1/2/4/8 threads and a `determinism` section records a digest of the
+//! reference scenario's full report, which must not move with the thread
+//! count. `--journal PATH` additionally runs the reference scenario with a
+//! JSONL event journal attached and writes it to PATH. `--check` validates
+//! a previously written report against the `unitherm-bench/v1` schema and,
 //! with `--baseline`, fails (exit 1) when any shared case regressed by more
 //! than `--max-regression-pct` percent (default 15).
 
@@ -121,13 +127,46 @@ struct Comparison {
 
 /// Event-layer overhead on the reference case: the same scenario measured
 /// with event retention disabled (`event_capacity 0`; counters still run)
-/// and with the default 256-slot ring sink attached.
+/// and with the default 256-slot ring sink attached. Both numbers are
+/// medians over interleaved repetitions; `noise_floor_pct` is the larger
+/// arm's relative spread across those repetitions, so a reported overhead
+/// smaller than the floor means the arms are statistically
+/// indistinguishable (and its sign carries no information).
 #[derive(Serialize)]
 struct Observability {
     scenario: String,
+    rounds: usize,
     ticks_per_s_sink_off: f64,
     ticks_per_s_ring: f64,
     overhead_pct: f64,
+    noise_floor_pct: f64,
+}
+
+/// Throughput of one intra-run thread count on the scaling case.
+#[derive(Serialize)]
+struct ScalingPoint {
+    threads: usize,
+    ticks_per_s: f64,
+    speedup_vs_1: f64,
+}
+
+/// Intra-run strong scaling: the largest burn case of the matrix, one
+/// simulation sharded across the persistent worker pool.
+#[derive(Serialize)]
+struct IntraRunScaling {
+    scenario: String,
+    points: Vec<ScalingPoint>,
+}
+
+/// A digest of the reference scenario's complete `RunReport` at the
+/// configured thread count. Bit-identical sharding means this string must
+/// not depend on `--threads`; CI compares the digests of a 1-thread and a
+/// 4-thread bench run.
+#[derive(Serialize)]
+struct Determinism {
+    scenario: String,
+    threads: usize,
+    digest: String,
 }
 
 #[derive(Serialize)]
@@ -135,10 +174,13 @@ struct BenchReport {
     schema: String,
     mode: String,
     commit: String,
+    threads: usize,
     results: Vec<CaseResult>,
     sweep: SweepResult,
     comparison: Comparison,
     observability: Observability,
+    intra_run_scaling: IntraRunScaling,
+    determinism: Determinism,
 }
 
 /// Measures steady-state tick throughput for one case.
@@ -150,8 +192,9 @@ struct BenchReport {
 /// Finite workloads (NPB) are rebuilt before they finish so the measurement
 /// never leaves the running regime; rebuild time is excluded from the timed
 /// window.
-fn measure_case(case: Case, min_wall_s: f64) -> CaseResult {
-    let (ticks_per_s, ticks) = measure_scenario(|| case.scenario(), min_wall_s);
+fn measure_case(case: Case, min_wall_s: f64, threads: usize) -> CaseResult {
+    let (ticks_per_s, ticks) =
+        measure_scenario(|| case.scenario().with_threads(threads), min_wall_s);
     CaseResult {
         name: case.name(),
         nodes: case.nodes,
@@ -200,25 +243,114 @@ fn measure_scenario(build_scenario: impl Fn() -> Scenario, min_wall_s: f64) -> (
     (f64::from(BATCH_TICKS) / best_batch_s, ticks)
 }
 
-/// Measures event-layer overhead: the reference case with event retention
-/// disabled versus the default ring sink. Interleaves several short
-/// measurements of each arm so scheduler drift hits both equally.
-fn measure_observability(case: Case, min_wall_s: f64) -> Observability {
-    const ROUNDS: usize = 3;
-    let mut off_best = 0.0f64;
-    let mut ring_best = 0.0f64;
-    for _ in 0..ROUNDS {
-        let (off, _) =
-            measure_scenario(|| case.scenario().with_event_capacity(0), min_wall_s / ROUNDS as f64);
-        let (ring, _) = measure_scenario(|| case.scenario(), min_wall_s / ROUNDS as f64);
-        off_best = off_best.max(off);
-        ring_best = ring_best.max(ring);
+/// Median of a sample set (mean of the middle pair for even counts).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("throughputs are finite"));
+    let n = samples.len();
+    if n == 0 {
+        return f64::NAN;
     }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+/// Relative spread of a sorted sample set around its median, percent.
+fn spread_pct(sorted: &[f64], median: f64) -> f64 {
+    match (sorted.first(), sorted.last()) {
+        (Some(min), Some(max)) if median > 0.0 => (max - min) / median * 100.0,
+        _ => f64::NAN,
+    }
+}
+
+/// Measures event-layer overhead: the reference case with event retention
+/// disabled versus the default ring sink.
+///
+/// Earlier versions timed each arm once, back to back, and routinely
+/// reported a *negative* overhead — whichever arm ran second inherited a
+/// warmer cache and a calmer scheduler. Now the arms are interleaved
+/// (off/ring, ring/off, …) across `ROUNDS` repetitions so drift hits both
+/// equally, the medians are compared instead of the peaks, and the
+/// per-arm spread is reported as a noise floor next to the delta.
+fn measure_observability(case: Case, min_wall_s: f64) -> Observability {
+    const ROUNDS: usize = 5;
+    let mut off_samples = Vec::with_capacity(ROUNDS);
+    let mut ring_samples = Vec::with_capacity(ROUNDS);
+    let slice_s = min_wall_s / ROUNDS as f64;
+    for round in 0..ROUNDS {
+        // Alternate which arm goes first so any monotonic drift (thermal
+        // ramp, cache warm-up) cancels instead of biasing one arm.
+        let off_first = round % 2 == 0;
+        if off_first {
+            off_samples
+                .push(measure_scenario(|| case.scenario().with_event_capacity(0), slice_s).0);
+            ring_samples.push(measure_scenario(|| case.scenario(), slice_s).0);
+        } else {
+            ring_samples.push(measure_scenario(|| case.scenario(), slice_s).0);
+            off_samples
+                .push(measure_scenario(|| case.scenario().with_event_capacity(0), slice_s).0);
+        }
+    }
+    let off_median = median(&mut off_samples);
+    let ring_median = median(&mut ring_samples);
+    let noise_floor_pct =
+        spread_pct(&off_samples, off_median).max(spread_pct(&ring_samples, ring_median));
     Observability {
         scenario: case.name(),
-        ticks_per_s_sink_off: off_best,
-        ticks_per_s_ring: ring_best,
-        overhead_pct: (1.0 - ring_best / off_best) * 100.0,
+        rounds: ROUNDS,
+        ticks_per_s_sink_off: off_median,
+        ticks_per_s_ring: ring_median,
+        overhead_pct: (1.0 - ring_median / off_median) * 100.0,
+        noise_floor_pct,
+    }
+}
+
+/// Measures intra-run strong scaling on `case`: one simulation, sharded
+/// across 1/2/4/8 worker threads.
+fn measure_intra_run_scaling(case: Case, min_wall_s: f64) -> IntraRunScaling {
+    let mut points = Vec::new();
+    let mut base = f64::NAN;
+    for threads in [1usize, 2, 4, 8] {
+        let (ticks_per_s, _) =
+            measure_scenario(|| case.scenario().with_threads(threads), min_wall_s);
+        if threads == 1 {
+            base = ticks_per_s;
+        }
+        points.push(ScalingPoint { threads, ticks_per_s, speedup_vs_1: ticks_per_s / base });
+        eprintln!(
+            "scaling: {} @ {threads} thread(s): {ticks_per_s:.0} ticks/s ({:.2}x)",
+            case.name(),
+            ticks_per_s / base
+        );
+    }
+    IntraRunScaling { scenario: case.name(), points }
+}
+
+/// FNV-1a over the serialized report — cheap, dependency-free, and stable
+/// across runs of a deterministic simulation.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Runs the reference scenario for a short fixed horizon at `threads` and
+/// digests the complete `RunReport` (traces, counters, events). The digest
+/// must be identical at every thread count — the sharded tick loop's
+/// bit-identity contract, checked here on the exact binary CI ships.
+fn measure_determinism(case: Case, threads: usize) -> Determinism {
+    let scenario = case.scenario().with_recording(true).with_max_time(30.0).with_threads(threads);
+    let report = Simulation::new(scenario).run();
+    let json = serde_json::to_string(&report).expect("report serializes");
+    Determinism {
+        scenario: case.name(),
+        threads,
+        digest: format!("fnv1a64:{:016x}", fnv1a64(json.as_bytes())),
     }
 }
 
@@ -324,6 +456,47 @@ fn validate_report(v: &Value, path: &str) -> Result<(), String> {
                 _ => return err(&format!("`observability.{field}` must be a finite number")),
             }
         }
+        // The noise floor arrived with the interleaved-median measurement;
+        // when present it bounds how much meaning the delta can carry.
+        if let Some(floor) = obs.get("noise_floor_pct") {
+            match floor.as_f64() {
+                Some(t) if t.is_finite() && t >= 0.0 => {}
+                _ => return err("`observability.noise_floor_pct` must be finite and >= 0"),
+            }
+        }
+    }
+    // `intra_run_scaling` / `determinism` arrived with the node-parallel
+    // tick loop; validate their shape when present.
+    if let Some(scaling) = v.get("intra_run_scaling") {
+        let points = match scaling.get("points") {
+            Some(Value::Seq(points)) if !points.is_empty() => points,
+            _ => return err("`intra_run_scaling.points` must be a non-empty array"),
+        };
+        for (i, point) in points.iter().enumerate() {
+            match point.get("threads").and_then(Value::as_u64) {
+                Some(t) if t >= 1 => {}
+                _ => return err(&format!("intra_run_scaling.points[{i}]: `threads` >= 1")),
+            }
+            for field in ["ticks_per_s", "speedup_vs_1"] {
+                match point.get(field).and_then(Value::as_f64) {
+                    Some(t) if t.is_finite() && t > 0.0 => {}
+                    _ => {
+                        return err(&format!(
+                            "intra_run_scaling.points[{i}]: `{field}` must be finite and positive"
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    if let Some(det) = v.get("determinism") {
+        match det.get("digest") {
+            Some(Value::Str(s)) if !s.is_empty() => {}
+            _ => return err("`determinism.digest` must be a non-empty string"),
+        }
+        if det.get("threads").and_then(Value::as_u64).is_none() {
+            return err("`determinism.threads` must be an integer");
+        }
     }
     Ok(())
 }
@@ -420,6 +593,7 @@ fn main() {
     let mut check_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut max_regression_pct = 15.0;
+    let mut threads = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -441,11 +615,15 @@ fn main() {
                     .parse()
                     .expect("number")
             }
+            "--threads" => {
+                threads = args.next().expect("--threads needs a count").parse().expect("number");
+                assert!(threads >= 1, "--threads needs at least 1");
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: unitherm-bench [--quick] [--out PATH] [--min-time SECONDS] \
-                     [--journal PATH]"
+                     [--journal PATH] [--threads N]"
                 );
                 eprintln!(
                     "       unitherm-bench --check FILE [--baseline FILE] \
@@ -472,7 +650,7 @@ fn main() {
 
     let mut results = Vec::with_capacity(cases.len());
     for &case in &cases {
-        let r = measure_case(case, min_wall_s);
+        let r = measure_case(case, min_wall_s, threads);
         eprintln!(
             "{:<26} {:>12.0} ticks/s  ({:>12.0} node-ticks/s)",
             r.name, r.ticks_per_s, r.node_ticks_per_s
@@ -495,11 +673,28 @@ fn main() {
     };
     let observability = measure_observability(probe_case, min_wall_s.max(0.02));
     eprintln!(
-        "observability: {} sink-off {:.0} ticks/s, ring {:.0} ticks/s ({:+.2} % overhead)",
+        "observability: {} sink-off {:.0} ticks/s, ring {:.0} ticks/s \
+         ({:+.2} % overhead, noise floor {:.2} %)",
         observability.scenario,
         observability.ticks_per_s_sink_off,
         observability.ticks_per_s_ring,
-        observability.overhead_pct
+        observability.overhead_pct,
+        observability.noise_floor_pct
+    );
+
+    // Strong scaling uses the largest burn/dynamic-fan case the mode covers
+    // (64 nodes full, 4 nodes quick) — the cell with the most per-tick work
+    // to shard.
+    let scaling_case = Case {
+        nodes: *node_counts.last().expect("matrix has node counts"),
+        burn: true,
+        scheme: Scheme::DynamicFan,
+    };
+    let intra_run_scaling = measure_intra_run_scaling(scaling_case, min_wall_s.max(0.02));
+    let determinism = measure_determinism(probe_case, threads);
+    eprintln!(
+        "determinism: {} @ {} thread(s) -> {}",
+        determinism.scenario, determinism.threads, determinism.digest
     );
 
     if let Some(path) = &journal_path {
@@ -525,6 +720,7 @@ fn main() {
         schema: "unitherm-bench/v1".to_string(),
         mode: if quick { "quick" } else { "full" }.to_string(),
         commit: git_commit(),
+        threads,
         results,
         sweep,
         comparison: Comparison {
@@ -535,6 +731,8 @@ fn main() {
             improvement_pct,
         },
         observability,
+        intra_run_scaling,
+        determinism,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, json + "\n").expect("write bench report");

@@ -24,13 +24,17 @@
 //!   schemes, faults, duration, seed);
 //! * [`node_sim`] — one node's simulation state: hardware + platform
 //!   binding + control plane + recorders;
-//! * [`sim`] — the cluster tick loop with barrier release;
+//! * [`sim`] — the cluster tick loop with barrier release; with
+//!   `Scenario::threads > 1` the per-node passes run shard-parallel on a
+//!   persistent worker pool with bit-identical results;
 //! * [`report`] — structured run results (traces + the summary numbers the
 //!   paper's tables report);
 //! * [`sweep`] — parallel execution of independent scenarios (std
-//!   scoped threads, one per configuration).
+//!   scoped threads, one per configuration), budgeted against the
+//!   intra-run thread counts so the two layers never oversubscribe.
 
 pub mod node_sim;
+pub(crate) mod pool;
 pub mod rack;
 pub mod report;
 pub mod scenario;
@@ -43,4 +47,4 @@ pub use report::{NodeReport, RunReport};
 pub use scenario::{Scenario, ScenarioError, WorkloadSpec};
 pub use scheme::{DvfsScheme, FanScheme, SchemeSpec};
 pub use sim::Simulation;
-pub use sweep::run_scenarios_parallel;
+pub use sweep::{run_scenarios_parallel, thread_budget};

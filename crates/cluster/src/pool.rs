@@ -1,0 +1,387 @@
+//! The persistent node-parallel worker pool behind [`crate::sim::Simulation`].
+//!
+//! A simulation built with `Scenario::threads > 1` shards its nodes into
+//! contiguous ranges and runs the per-node halves of every tick — workload
+//! advance (pass A), daemons + physics (pass B), and the 4 Hz sampling
+//! pass — shard-parallel on this pool. The pool is created once per
+//! simulation and persists across ticks: at a 50 ms simulated dt a tick is
+//! microseconds of work, so spawn-per-tick (or even scope-per-tick) would
+//! dominate the run.
+//!
+//! # Determinism
+//!
+//! Results are bit-identical to the serial loop at every thread count:
+//!
+//! * per-node work is shared-nothing — a node's tick depends only on its
+//!   own state plus tick-global inputs (the barrier-release decision, the
+//!   rack air temperature) that are fixed before the pass starts;
+//! * the two cross-node reductions are exact: the barrier flags are
+//!   booleans (order-free), and rack heat is written **per node** into a
+//!   scratch slot and folded by the coordinator in node order — the same
+//!   left-to-right f64 summation the serial loop performs, independent of
+//!   the shard layout;
+//! * journal tees buffer per-shard in pre-reserved scratch and are drained
+//!   into the sink in shard (= node) order after the pass, preserving the
+//!   "tick order, node order within a tick" contract byte-for-byte.
+//!
+//! # Synchronization
+//!
+//! The coordinator publishes a [`Job`] (raw shard pointers + pass
+//! parameters) under an epoch counter, executes shard 0 itself, and waits
+//! for the workers' completion countdown. Workers spin briefly on the
+//! epoch and then park, so an idle pool (a paused simulation, a pool
+//! outliving its last tick) costs nothing; on oversubscribed machines the
+//! park path keeps ticks correct, just not faster. Worker panics are
+//! caught, carried across the countdown, and re-raised on the coordinator
+//! thread with their original payload.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{JoinHandle, Thread};
+
+use unitherm_obs::{EventSink, VecSink};
+use unitherm_workload::WorkState;
+
+use crate::node_sim::NodeSim;
+
+/// Which per-node pass to run over a shard.
+#[derive(Clone, Copy)]
+pub(crate) enum PassKind {
+    /// Pass A: advance every rank's workload; fold the barrier flags.
+    Workload {
+        /// Physics tick, seconds.
+        dt_s: f64,
+    },
+    /// Pass B: optional barrier release, per-tick daemons + physics,
+    /// per-node heat capture, finish detection.
+    Hardware {
+        /// Physics tick, seconds.
+        dt_s: f64,
+        /// Simulated time after this tick.
+        now_s: f64,
+        /// Whether the barrier released this tick (decided from pass A).
+        release: bool,
+        /// Whether to capture per-node heat for the rack reduction.
+        couple_rack: bool,
+    },
+    /// The 4 Hz sampling pass: sensor read, control plane, recorders.
+    Sample {
+        /// Simulated time of the sample.
+        now_s: f64,
+    },
+}
+
+/// Per-shard reduction outputs, written by exactly one worker per pass and
+/// read by the coordinator after the completion barrier.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct ShardOut {
+    /// Pass A: every non-finished rank in the shard is parked at a barrier.
+    pub unfinished_parked: bool,
+    /// Pass A: at least one rank in the shard is parked at a barrier.
+    pub any_parked: bool,
+    /// Pass B: ranks in the shard that finished on this tick.
+    pub finished_delta: usize,
+}
+
+/// One parallel section: everything a worker needs to process its shard.
+///
+/// Raw pointers stand in for the `&mut` borrows the coordinator holds; the
+/// run protocol guarantees workers only dereference them between the epoch
+/// publish and their completion decrement, while the coordinator is parked
+/// inside [`WorkerPool::run`] and the borrows are live.
+#[derive(Clone, Copy)]
+struct Job {
+    nodes: *mut NodeSim,
+    len: usize,
+    shards: usize,
+    kind: PassKind,
+    /// Per-node heat slots (`len` entries) or null when the pass does not
+    /// capture heat.
+    heat: *mut f64,
+    /// Per-shard reduction slots (`shards` entries).
+    outs: *mut ShardOut,
+    /// Per-shard journal scratch (`shards` entries) or null when no
+    /// journal is attached.
+    scratch: *mut VecSink,
+}
+
+// SAFETY: the pointers are only dereferenced under the run protocol above,
+// over disjoint shard ranges.
+unsafe impl Send for Job {}
+
+struct Shared {
+    /// Bumped (release) to publish `job`; workers acquire-load it.
+    epoch: AtomicUsize,
+    /// The published job; valid for the epoch it was published under.
+    job: UnsafeCell<Option<Job>>,
+    /// Workers yet to finish the current job.
+    remaining: AtomicUsize,
+    /// Set (then epoch bumped) to shut the pool down.
+    shutdown: AtomicBool,
+    /// The coordinator thread, unparked by the last finishing worker.
+    coordinator: Thread,
+    /// First worker panic of the current job, re-raised by the coordinator.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+// SAFETY: `job` is written only by the coordinator before the epoch bump
+// and read by workers after acquiring the new epoch; `remaining` orders the
+// hand-back.
+unsafe impl Sync for Shared {}
+
+/// Spins this long on the epoch / countdown before parking. Short, so a
+/// pool on an oversubscribed (or single-core) machine backs off to the
+/// scheduler quickly instead of burning the very cycles the shards need.
+const SPIN_LIMIT: u32 = 512;
+
+/// The persistent pool: `shards - 1` spawned workers plus the calling
+/// thread, which always executes shard 0 itself.
+pub(crate) struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<Thread>,
+    handles: Vec<JoinHandle<()>>,
+    shards: usize,
+}
+
+/// The contiguous node range of shard `s` out of `shards` over `len` nodes.
+pub(crate) fn shard_range(len: usize, shards: usize, s: usize) -> std::ops::Range<usize> {
+    (s * len / shards)..((s + 1) * len / shards)
+}
+
+impl WorkerPool {
+    /// Spawns `shards - 1` workers (the coordinator is shard 0).
+    ///
+    /// # Panics
+    /// `shards` must be at least 2 — a 1-shard pool is the serial loop.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 2, "a pool needs at least two shards");
+        let shared = Arc::new(Shared {
+            epoch: AtomicUsize::new(0),
+            job: UnsafeCell::new(None),
+            remaining: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            coordinator: std::thread::current(),
+            panic: Mutex::new(None),
+        });
+        let (tx, rx) = std::sync::mpsc::channel();
+        let handles: Vec<JoinHandle<()>> = (1..shards)
+            .map(|shard| {
+                let shared = Arc::clone(&shared);
+                let tx = tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("unitherm-shard{shard}"))
+                    .spawn(move || {
+                        tx.send(std::thread::current()).expect("pool creator is alive");
+                        drop(tx);
+                        worker_loop(&shared, shard);
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        drop(tx);
+        let workers: Vec<Thread> = rx.iter().take(shards - 1).collect();
+        Self { shared, workers, handles, shards }
+    }
+
+    /// Total shards (spawned workers + the coordinator).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Runs one pass over `nodes`, shard-parallel, returning when every
+    /// shard (including the coordinator's own shard 0) has finished.
+    ///
+    /// `outs` must hold one slot per shard; `heat`, when given, one slot
+    /// per node; `scratch`, when given, one pre-reserved sink per shard.
+    pub fn run(
+        &self,
+        nodes: &mut [NodeSim],
+        kind: PassKind,
+        heat: Option<&mut [f64]>,
+        outs: &mut [ShardOut],
+        scratch: Option<&mut [VecSink]>,
+    ) {
+        assert_eq!(outs.len(), self.shards, "one reduction slot per shard");
+        if let Some(heat) = &heat {
+            assert_eq!(heat.len(), nodes.len(), "one heat slot per node");
+        }
+        if let Some(scratch) = &scratch {
+            assert_eq!(scratch.len(), self.shards, "one journal scratch per shard");
+        }
+        let job = Job {
+            nodes: nodes.as_mut_ptr(),
+            len: nodes.len(),
+            shards: self.shards,
+            kind,
+            heat: heat.map_or(std::ptr::null_mut(), |h| h.as_mut_ptr()),
+            outs: outs.as_mut_ptr(),
+            scratch: scratch.map_or(std::ptr::null_mut(), |s| s.as_mut_ptr()),
+        };
+
+        // Publish: countdown first, then the job, then the epoch (release)
+        // so an acquiring worker sees both.
+        self.shared.remaining.store(self.shards - 1, Ordering::Relaxed);
+        // SAFETY: workers only read `job` after the epoch bump below; no
+        // other writer exists.
+        unsafe { *self.shared.job.get() = Some(job) };
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        for w in &self.workers {
+            w.unpark();
+        }
+
+        // The coordinator is shard 0.
+        // SAFETY: shard ranges are disjoint; shard 0 is ours alone.
+        unsafe { exec_shard(&job, 0) };
+
+        // Wait for the workers, spinning briefly before parking; the last
+        // worker unparks us.
+        let mut spins = 0u32;
+        while self.shared.remaining.load(Ordering::Acquire) != 0 {
+            if spins < SPIN_LIMIT {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::park();
+            }
+        }
+        if let Some(payload) = self.shared.panic.lock().expect("panic slot").take() {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        for w in &self.workers {
+            w.unpark();
+        }
+        for handle in self.handles.drain(..) {
+            // A worker that panicked outside catch_unwind already aborted
+            // the process; a join error here cannot carry new information.
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, shard: usize) {
+    let mut seen = 0usize;
+    loop {
+        // Wait for a new epoch: spin briefly, then park.
+        let mut spins = 0u32;
+        let epoch = loop {
+            let e = shared.epoch.load(Ordering::Acquire);
+            if e != seen {
+                break e;
+            }
+            if spins < SPIN_LIMIT {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::park();
+            }
+        };
+        seen = epoch;
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        // SAFETY: the coordinator published the job before this epoch and
+        // keeps the underlying borrows alive until `remaining` hits 0.
+        let job = unsafe { (*shared.job.get()).expect("epoch bump publishes a job") };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // SAFETY: disjoint shard ranges; this shard is ours alone.
+            unsafe { exec_shard(&job, shard) };
+        }));
+        if let Err(payload) = result {
+            shared.panic.lock().expect("panic slot").get_or_insert(payload);
+        }
+        if shared.remaining.fetch_sub(1, Ordering::Release) == 1 {
+            shared.coordinator.unpark();
+        }
+    }
+}
+
+/// Processes shard `s` of the published job. Caller guarantees exclusive
+/// access to the shard's node range and to slot `s` of `outs` / `scratch`
+/// (plus the shard's rows of `heat`).
+unsafe fn exec_shard(job: &Job, s: usize) {
+    let range = shard_range(job.len, job.shards, s);
+    let nodes = std::slice::from_raw_parts_mut(job.nodes.add(range.start), range.len());
+    let out = &mut *job.outs.add(s);
+    *out = ShardOut { unfinished_parked: true, any_parked: false, finished_delta: 0 };
+    let mut scratch = if job.scratch.is_null() { None } else { Some(&mut *job.scratch.add(s)) };
+
+    match job.kind {
+        PassKind::Workload { dt_s } => {
+            for ns in nodes {
+                match ns.tick_workload(dt_s) {
+                    WorkState::AtBarrier(_) => out.any_parked = true,
+                    WorkState::Finished => {}
+                    _ => out.unfinished_parked = false,
+                }
+            }
+        }
+        PassKind::Hardware { dt_s, now_s, release, couple_rack } => {
+            for (i, ns) in nodes.iter_mut().enumerate() {
+                if release {
+                    ns.workload.release_barrier();
+                }
+                ns.tick_hardware(
+                    dt_s,
+                    now_s,
+                    scratch.as_deref_mut().map(|s| s as &mut dyn EventSink),
+                );
+                if couple_rack {
+                    *job.heat.add(range.start + i) = ns.node.heat_output_w();
+                }
+                if ns.finish_time_s.is_none() && ns.workload.is_finished() {
+                    ns.finish_time_s = Some(now_s);
+                    out.finished_delta += 1;
+                }
+            }
+        }
+        PassKind::Sample { now_s } => {
+            for ns in nodes {
+                ns.on_sample(now_s, scratch.as_deref_mut().map(|s| s as &mut dyn EventSink));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_cover_and_are_disjoint() {
+        for len in [1usize, 2, 5, 7, 13, 64] {
+            for shards in [1usize, 2, 3, 4, 7, 8] {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for s in 0..shards {
+                    let r = shard_range(len, shards, s);
+                    assert_eq!(r.start, prev_end, "contiguous at len={len} shards={shards}");
+                    prev_end = r.end;
+                    covered += r.len();
+                }
+                assert_eq!(prev_end, len);
+                assert_eq!(covered, len);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_sizes_balanced_within_one() {
+        for len in [5usize, 13, 64] {
+            for shards in [2usize, 3, 4, 7] {
+                let sizes: Vec<usize> =
+                    (0..shards).map(|s| shard_range(len, shards, s).len()).collect();
+                let min = *sizes.iter().min().unwrap();
+                let max = *sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "unbalanced {sizes:?} at len={len} shards={shards}");
+            }
+        }
+    }
+}

@@ -160,6 +160,9 @@ fn default_true() -> bool {
 fn default_event_capacity() -> usize {
     256
 }
+fn default_threads() -> usize {
+    1
+}
 
 /// A complete experiment description.
 ///
@@ -235,6 +238,14 @@ pub struct Scenario {
     /// arm of the bench overhead comparison.
     #[serde(default = "default_event_capacity")]
     pub event_capacity: usize,
+    /// Worker threads for the intra-run tick loop (capped at the node
+    /// count). 1 — the default — runs the serial tick path unchanged;
+    /// larger values shard the nodes across a persistent worker pool with
+    /// bit-identical results (see `crate::pool`). Coordinate with
+    /// [`crate::sweep::run_scenarios_parallel`]'s thread budget when
+    /// sweeping many scenarios at once.
+    #[serde(default = "default_threads")]
+    pub threads: usize,
 }
 
 impl Scenario {
@@ -261,6 +272,7 @@ impl Scenario {
             fan_overrides: Vec::new(),
             node_config_overrides: Vec::new(),
             event_capacity: default_event_capacity(),
+            threads: 1,
         }
     }
 
@@ -356,6 +368,13 @@ impl Scenario {
         self
     }
 
+    /// Builder: intra-run worker threads (1 = serial tick loop; more shard
+    /// the nodes across a persistent pool, bit-identically).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// The effective fan scheme for a node (override or cluster default).
     pub fn fan_for(&self, node: usize) -> &FanScheme {
         self.fan_overrides.iter().find(|(n, _)| *n == node).map(|(_, f)| f).unwrap_or(&self.fan)
@@ -413,6 +432,7 @@ impl Scenario {
             }
         }
         check(self.nodes >= 1, "need at least one node")?;
+        check(self.threads >= 1, "need at least one worker thread")?;
         check(self.max_time_s > 0.0, "time limit must be positive")?;
         check(self.dt_s > 0.0, "tick must be positive")?;
         check(self.sample_period_s >= self.dt_s, "sampling cannot outpace the tick")?;

@@ -13,15 +13,21 @@
 //! throttled or down-scaled CPU therefore delays the whole job — the
 //! mechanism behind the paper's execution-time results.
 
-use unitherm_obs::EventSink;
+use unitherm_obs::{EventSink, VecSink};
 use unitherm_workload::WorkState;
 
 use crate::node_sim::NodeSim;
+use crate::pool::{shard_range, PassKind, ShardOut, WorkerPool};
 use crate::report::{NodeReport, RunReport};
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, ScenarioError};
 
 /// A runnable cluster simulation.
 pub struct Simulation {
+    /// The intra-run worker pool (`Scenario::threads > 1`). Declared first:
+    /// fields drop in declaration order, and the pool's `Drop` joins its
+    /// workers — which may still hold shard pointers into `nodes` if a
+    /// coordinator-side panic is unwinding — before `nodes` is freed.
+    pool: Option<WorkerPool>,
     scenario: Scenario,
     nodes: Vec<NodeSim>,
     rack: Option<crate::rack::RackModel>,
@@ -36,12 +42,24 @@ pub struct Simulation {
     /// teed into it on top of the per-node rings (e.g. a JSONL
     /// [`unitherm_obs::JournalWriter`] behind `unitherm-bench --journal`).
     journal: Option<Box<dyn EventSink>>,
+    /// Per-shard reduction slots for the parallel passes (empty on the
+    /// serial path).
+    shard_outs: Vec<ShardOut>,
+    /// Per-node heat slots for the rack reduction: workers fill their
+    /// shard's rows, the coordinator folds them in node order so the f64
+    /// summation order matches the serial loop exactly.
+    heat_scratch: Vec<f64>,
+    /// Per-shard journal scratch: parallel passes tee events here and the
+    /// coordinator drains shard 0, 1, … — i.e. node order — into the
+    /// journal after each pass. Pre-reserved in `attach_journal`.
+    event_scratch: Vec<VecSink>,
 }
 
 impl Simulation {
-    /// Builds the cluster from a scenario.
-    pub fn new(scenario: Scenario) -> Self {
-        scenario.validate().unwrap_or_else(|e| panic!("{e}"));
+    /// Builds the cluster from a scenario, or reports why the scenario
+    /// cannot be run (the [`Scenario::validate`] error).
+    pub fn try_new(scenario: Scenario) -> Result<Self, ScenarioError> {
+        scenario.validate()?;
         let mut nodes: Vec<NodeSim> =
             (0..scenario.nodes).map(|i| NodeSim::build(&scenario, i)).collect();
         let ticks_per_sample = (scenario.sample_period_s / scenario.dt_s).round() as u64;
@@ -58,7 +76,16 @@ impl Simulation {
             }
             model
         });
-        Self {
+        // More shards than nodes would only spin idle workers; threads = 1
+        // (the default) skips the pool entirely and runs the serial loop.
+        let shards = scenario.threads.min(nodes.len()).max(1);
+        let pool = (shards > 1).then(|| WorkerPool::new(shards));
+        let heat_scratch =
+            if pool.is_some() && rack.is_some() { vec![0.0; nodes.len()] } else { Vec::new() };
+        let shard_outs =
+            if pool.is_some() { vec![ShardOut::default(); shards] } else { Vec::new() };
+        Ok(Self {
+            pool,
             scenario,
             nodes,
             rack,
@@ -68,14 +95,41 @@ impl Simulation {
             ticks_per_sample,
             finished_nodes: 0,
             journal: None,
-        }
+            shard_outs,
+            heat_scratch,
+            event_scratch: Vec::new(),
+        })
+    }
+
+    /// Builds the cluster from a scenario.
+    ///
+    /// # Panics
+    /// On an invalid scenario; library callers who want the
+    /// [`Scenario::validate`] error instead use [`Simulation::try_new`].
+    pub fn new(scenario: Scenario) -> Self {
+        Self::try_new(scenario).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Attaches a cluster-wide event journal: every node's control-plane
     /// event stream is teed into `sink` in addition to the per-node rings.
-    /// The sink sees records in tick order (node order within a tick).
+    /// The sink sees records in tick order (node order within a tick) at
+    /// every thread count.
     pub fn attach_journal(&mut self, sink: Box<dyn EventSink>) {
         self.journal = Some(sink);
+        if let Some(pool) = &self.pool {
+            // One pre-reserved scratch per shard; a tick rarely emits more
+            // than a few events per node, so the reserve makes the buffer
+            // effectively fixed-capacity (growth stays possible but is
+            // amortized away and never affects determinism).
+            self.event_scratch = (0..pool.shards())
+                .map(|s| {
+                    let mut sink = VecSink::default();
+                    let shard_nodes = shard_range(self.nodes.len(), pool.shards(), s).len();
+                    sink.records.reserve(32 * shard_nodes.max(1));
+                    sink
+                })
+                .collect();
+        }
     }
 
     /// Current simulated time.
@@ -94,7 +148,19 @@ impl Simulation {
     /// sampling work that genuinely needs a completed pass) and performs no
     /// heap allocation in steady state — the barrier reduction folds into
     /// pass A instead of collecting per-rank states into a scratch `Vec`.
+    /// With `Scenario::threads > 1` both passes (and the sampling pass) run
+    /// shard-parallel on the persistent [`crate::pool::WorkerPool`] with
+    /// bit-identical results; the default runs the serial loop unchanged.
     pub fn tick(&mut self) {
+        if self.pool.is_some() {
+            self.tick_sharded();
+        } else {
+            self.tick_serial();
+        }
+    }
+
+    /// The single-threaded tick loop (`threads = 1`).
+    fn tick_serial(&mut self) {
         let dt = self.scenario.dt_s;
         self.ticks += 1;
         self.time_s += dt;
@@ -148,6 +214,98 @@ impl Simulation {
             let journal = &mut self.journal;
             for ns in &mut self.nodes {
                 ns.on_sample(self.time_s, journal.as_deref_mut());
+            }
+            if let Some(rack) = &self.rack {
+                if self.scenario.record_series {
+                    self.rack_air.push(self.time_s, rack.air_c());
+                }
+            }
+        }
+    }
+
+    /// The node-parallel tick loop (`threads > 1`): the same passes as
+    /// [`Self::tick_serial`], shard-parallel on the worker pool.
+    ///
+    /// Determinism: the barrier decision folds exact booleans; rack heat is
+    /// captured per node and folded here in node order (the serial
+    /// summation order); journal events drain shard 0, 1, … — node order —
+    /// after each pass. See `crate::pool` for the full argument.
+    fn tick_sharded(&mut self) {
+        let dt = self.scenario.dt_s;
+        self.ticks += 1;
+        self.time_s += dt;
+        let pool = self.pool.as_ref().expect("tick_sharded requires a pool");
+        let teeing = self.journal.is_some();
+
+        // Pass A — workloads advance shard-parallel; the barrier reduction
+        // folds per shard, then across shards (order-free booleans).
+        pool.run(
+            &mut self.nodes,
+            PassKind::Workload { dt_s: dt },
+            None,
+            &mut self.shard_outs,
+            None,
+        );
+        let unfinished_parked = self.shard_outs.iter().all(|o| o.unfinished_parked);
+        let any_parked = self.shard_outs.iter().any(|o| o.any_parked);
+        let release = unfinished_parked && any_parked;
+
+        // Pass B — barrier release + per-tick daemons + physics; workers
+        // capture per-node heat and buffer journal events per shard.
+        let couple_rack = self.rack.is_some();
+        if teeing {
+            for scratch in &mut self.event_scratch {
+                scratch.records.clear();
+            }
+        }
+        pool.run(
+            &mut self.nodes,
+            PassKind::Hardware { dt_s: dt, now_s: self.time_s, release, couple_rack },
+            couple_rack.then_some(&mut self.heat_scratch[..]),
+            &mut self.shard_outs,
+            teeing.then_some(&mut self.event_scratch[..]),
+        );
+        self.finished_nodes += self.shard_outs.iter().map(|o| o.finished_delta).sum::<usize>();
+        if let Some(journal) = &mut self.journal {
+            for scratch in &self.event_scratch {
+                for rec in &scratch.records {
+                    journal.record(rec);
+                }
+            }
+        }
+
+        // Rack air coupling, folded from the per-node slots in node order —
+        // bit-identical to the serial `heat += …` accumulation.
+        if let Some(rack) = &mut self.rack {
+            let heat = self.heat_scratch.iter().fold(0.0f64, |acc, h| acc + h);
+            rack.step(dt, heat);
+            let air = rack.air_c();
+            for ns in &mut self.nodes {
+                ns.node.set_ambient_c(air);
+            }
+        }
+
+        // Sampling path at 4 Hz, shard-parallel with the same journal
+        // buffering.
+        if self.ticks.is_multiple_of(self.ticks_per_sample) {
+            if teeing {
+                for scratch in &mut self.event_scratch {
+                    scratch.records.clear();
+                }
+            }
+            pool.run(
+                &mut self.nodes,
+                PassKind::Sample { now_s: self.time_s },
+                None,
+                &mut self.shard_outs,
+                teeing.then_some(&mut self.event_scratch[..]),
+            );
+            if let Some(journal) = &mut self.journal {
+                for scratch in &self.event_scratch {
+                    for rec in &scratch.records {
+                        journal.record(rec);
+                    }
+                }
             }
             if let Some(rack) = &self.rack {
                 if self.scenario.record_series {

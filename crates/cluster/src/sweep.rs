@@ -13,8 +13,27 @@ use crate::report::RunReport;
 use crate::scenario::Scenario;
 use crate::sim::Simulation;
 
+/// The sweep's worker budget: how many scenario-level workers to run so
+/// that `workers × threads_per_job` never exceeds `max_threads` (and no
+/// worker sits idle when there are fewer jobs than threads).
+///
+/// `threads_per_job` is the *largest* intra-run thread count among the
+/// jobs — a scenario with `Scenario::threads > 1` brings its own worker
+/// pool to every simulation, so the sweep must leave room for it.
+pub fn thread_budget(max_threads: usize, jobs: usize, threads_per_job: usize) -> usize {
+    if jobs == 0 {
+        return 0;
+    }
+    (max_threads.max(1) / threads_per_job.max(1)).clamp(1, jobs)
+}
+
 /// Runs every scenario, using up to `max_threads` worker threads, and
 /// returns reports in the same order as the input.
+///
+/// The worker count is budgeted by [`thread_budget`]: capped at the
+/// scenario count (small sweeps stop spawning idle threads) and divided by
+/// the largest per-scenario intra-run thread count, so sweep parallelism ×
+/// intra-run parallelism never oversubscribes the machine.
 ///
 /// Work is dispatched through an atomic claim index instead of a mutex-held
 /// queue: a worker that panics mid-simulation cannot poison anything, so the
@@ -28,7 +47,8 @@ pub fn run_scenarios_parallel(scenarios: Vec<Scenario>, max_threads: usize) -> V
     if n == 0 {
         return Vec::new();
     }
-    let workers = max_threads.max(1).min(n);
+    let per_job = scenarios.iter().map(|s| s.threads.min(s.nodes).max(1)).max().unwrap_or(1);
+    let workers = thread_budget(max_threads, n, per_job);
     if workers == 1 {
         return scenarios.into_iter().map(|s| Simulation::new(s).run()).collect();
     }
@@ -97,6 +117,39 @@ mod tests {
     #[test]
     fn empty_sweep() {
         assert!(run_scenarios_parallel(vec![], 4).is_empty());
+    }
+
+    #[test]
+    fn budget_caps_at_job_count() {
+        assert_eq!(thread_budget(8, 3, 1), 3, "small sweeps spawn no idle workers");
+        assert_eq!(thread_budget(8, 100, 1), 8);
+        assert_eq!(thread_budget(0, 5, 1), 1, "degenerate budget still makes progress");
+        assert_eq!(thread_budget(8, 0, 1), 0);
+    }
+
+    #[test]
+    fn budget_leaves_room_for_intra_run_pools() {
+        assert_eq!(thread_budget(8, 100, 4), 2, "2 sweep workers × 4 intra threads = 8");
+        assert_eq!(thread_budget(8, 100, 16), 1, "an oversized pool still gets one worker");
+        assert_eq!(thread_budget(16, 3, 4), 3, "job cap still applies");
+    }
+
+    #[test]
+    fn sweep_of_threaded_scenarios_matches_serial() {
+        // Scenarios that bring their own intra-run pools must produce the
+        // same reports through the budgeted sweep as one at a time.
+        let build = || -> Vec<Scenario> {
+            (0..3)
+                .map(|i| quick(&format!("t{i}"), 30 + 10 * i).with_nodes(3).with_threads(2))
+                .collect()
+        };
+        let serial = run_scenarios_parallel(build(), 1);
+        let parallel = run_scenarios_parallel(build(), 4);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.avg_temp_c(), p.avg_temp_c());
+            assert_eq!(s.avg_node_power_w(), p.avg_node_power_w());
+        }
     }
 
     #[test]

@@ -136,7 +136,12 @@ pub enum DaemonEvent {
 }
 
 /// One control loop in the plane's pipeline.
-pub trait ControlDaemon {
+///
+/// `Send` is a supertrait so a whole pipeline (and the node that owns it)
+/// can migrate to a worker thread — the cluster's node-parallel tick loop
+/// shards nodes across a pool. Daemons are plain-data state machines, so
+/// the bound is free.
+pub trait ControlDaemon: Send {
     /// Short human-readable label (diagnostics).
     fn label(&self) -> String;
 

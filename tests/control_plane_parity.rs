@@ -9,6 +9,10 @@
 //!
 //! Regenerate snapshots (only when a behaviour change is *intended*) with:
 //! `UNITHERM_UPDATE_GOLDEN=1 cargo test --test control_plane_parity`
+//!
+//! `UNITHERM_GOLDEN_THREADS=N` runs every scenario through the intra-run
+//! worker pool at N threads; the snapshots must not move (CI regenerates
+//! with 4 threads and diffs against the committed serial traces).
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -125,7 +129,14 @@ fn base(name: &str) -> Scenario {
 }
 
 fn check_scenario(name: &str, scenario: Scenario) {
-    let report = Simulation::new(scenario).run();
+    // The sharded tick loop is bit-identical to the serial one, so golden
+    // traces hold at any thread count (tests/parallel_tick.rs pins the full
+    // report; this pins it against the committed serial snapshots too).
+    let threads: usize = std::env::var("UNITHERM_GOLDEN_THREADS")
+        .ok()
+        .map(|v| v.parse().expect("UNITHERM_GOLDEN_THREADS must be a thread count"))
+        .unwrap_or(1);
+    let report = Simulation::new(scenario.with_threads(threads)).run();
     assert_matches_golden(name, &fingerprint(&report));
 }
 
