@@ -11,6 +11,7 @@
 //! unitherm-bench [--quick] [--out PATH] [--min-time SECONDS] [--journal PATH]
 //!                [--threads N]
 //! unitherm-bench --check FILE [--baseline FILE] [--max-regression-pct N]
+//! unitherm-bench --replay-faults JOURNAL
 //! ```
 //!
 //! `--quick` shrinks the matrix and measurement window for CI smoke runs.
@@ -23,7 +24,13 @@
 //! JSONL event journal attached and writes it to PATH. `--check` validates
 //! a previously written report against the `unitherm-bench/v1` schema and,
 //! with `--baseline`, fails (exit 1) when any shared case regressed by more
-//! than `--max-regression-pct` percent (default 15).
+//! than `--max-regression-pct` percent (default 15). `--replay-faults`
+//! reads a journal recorded by a previous `--journal` run, derives a
+//! tick-addressed fault plan from its decision events
+//! (`unitherm_cluster::derive_fault_plan`), replays the reference scenario
+//! under those faults at 1, 2 and 4 threads, and fails (exit 1) unless all
+//! three reports are bit-identical — the determinism gate extended to the
+//! fault-injection path.
 
 use std::fs::File;
 use std::io::BufWriter;
@@ -31,6 +38,7 @@ use std::time::Instant;
 
 use serde::Serialize;
 use serde_json::Value;
+use unitherm_cluster::replay::{derive_fault_plan, ReplayOptions};
 use unitherm_cluster::scenario::{Scenario, WorkloadSpec};
 use unitherm_cluster::scheme::{FanScheme, SchemeSpec};
 use unitherm_cluster::sim::Simulation;
@@ -575,6 +583,67 @@ fn run_check(check_path: &str, baseline_path: Option<&str>, max_regression_pct: 
     0
 }
 
+/// `--replay-faults` entry point: derive a tick-addressed fault plan from a
+/// recorded journal, replay the reference scenario under it at 1, 2 and 4
+/// threads, and fail (exit 1) unless every report digest matches — the
+/// bit-identity gate extended to the fault-injection path. Returns the
+/// process exit code.
+fn run_replay_check(journal_path: &str) -> i32 {
+    let file = match File::open(journal_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("replay check failed: {journal_path}: {e}");
+            return 1;
+        }
+    };
+    let records = match read_journal(std::io::BufReader::new(file)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("replay check failed: {journal_path}: {e}");
+            return 1;
+        }
+    };
+    // The same 4-node burn case `--quick --journal` records from, bounded
+    // to a fixed horizon with full recording so the digest covers traces,
+    // counters and events.
+    let case = Case { nodes: 4, burn: true, scheme: Scheme::DynamicFan };
+    let base = case.scenario().with_recording(true).with_max_time(60.0);
+    let plan = derive_fault_plan(&records, &base, &ReplayOptions::default());
+    eprintln!(
+        "replay: {} journal event(s) -> {} derived fault window(s)",
+        records.len(),
+        plan.len()
+    );
+    if plan.is_empty() {
+        eprintln!(
+            "replay check failed: no decision events to derive faults from \
+             (journal too short, or not from the reference scenario?)"
+        );
+        return 1;
+    }
+
+    let mut digests: Vec<String> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let scenario = plan.apply(base.clone()).with_threads(threads);
+        let report = Simulation::new(scenario).run();
+        let faults_applied: usize = report.nodes.iter().map(|n| n.faults_applied.len()).sum();
+        let json = serde_json::to_string(&report).expect("report serializes");
+        let digest = format!("fnv1a64:{:016x}", fnv1a64(json.as_bytes()));
+        eprintln!(
+            "replay: {} @ {threads} thread(s): {faults_applied} fault(s) delivered -> {digest}",
+            case.name()
+        );
+        digests.push(digest);
+    }
+    if digests.windows(2).all(|w| w[0] == w[1]) {
+        eprintln!("replay: reports bit-identical across 1/2/4 threads");
+        0
+    } else {
+        eprintln!("replay check failed: faulted reports diverge across thread counts");
+        1
+    }
+}
+
 fn git_commit() -> String {
     std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
@@ -592,6 +661,7 @@ fn main() {
     let mut journal_path: Option<String> = None;
     let mut check_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
+    let mut replay_path: Option<String> = None;
     let mut max_regression_pct = 15.0;
     let mut threads = 1usize;
     let mut args = std::env::args().skip(1);
@@ -605,6 +675,9 @@ fn main() {
             }
             "--journal" => journal_path = Some(args.next().expect("--journal needs a path")),
             "--check" => check_path = Some(args.next().expect("--check needs a report file")),
+            "--replay-faults" => {
+                replay_path = Some(args.next().expect("--replay-faults needs a journal file"))
+            }
             "--baseline" => {
                 baseline_path = Some(args.next().expect("--baseline needs a report file"))
             }
@@ -629,12 +702,16 @@ fn main() {
                     "       unitherm-bench --check FILE [--baseline FILE] \
                      [--max-regression-pct N]"
                 );
+                eprintln!("       unitherm-bench --replay-faults JOURNAL");
                 std::process::exit(2);
             }
         }
     }
     if let Some(check) = check_path {
         std::process::exit(run_check(&check, baseline_path.as_deref(), max_regression_pct));
+    }
+    if let Some(journal) = replay_path {
+        std::process::exit(run_replay_check(&journal));
     }
     let min_wall_s = min_wall_s.unwrap_or(if quick { 0.02 } else { 0.5 });
 

@@ -29,6 +29,9 @@
 //!   persistent worker pool with bit-identical results;
 //! * [`report`] — structured run results (traces + the summary numbers the
 //!   paper's tables report);
+//! * [`replay`] — journal-driven fault injection: derive a tick-addressed
+//!   fault schedule from a recorded event journal so the faults land
+//!   exactly where an earlier run made interesting decisions;
 //! * [`sweep`] — parallel execution of independent scenarios (std
 //!   scoped threads, one per configuration), budgeted against the
 //!   intra-run thread counts so the two layers never oversubscribe.
@@ -36,6 +39,7 @@
 pub mod node_sim;
 pub(crate) mod pool;
 pub mod rack;
+pub mod replay;
 pub mod report;
 pub mod scenario;
 pub mod scheme;
@@ -43,6 +47,7 @@ pub mod sim;
 pub mod sweep;
 
 pub use rack::{RackConfig, RackModel};
+pub use replay::{derive_fault_plan, DerivedFault, ReplayOptions, ReplayPlan};
 pub use report::{NodeReport, RunReport};
 pub use scenario::{Scenario, ScenarioError, WorkloadSpec};
 pub use scheme::{DvfsScheme, FanScheme, SchemeSpec};

@@ -17,6 +17,7 @@ use unitherm_simnode::faults::FaultPlan;
 use unitherm_simnode::Node;
 use unitherm_workload::{WorkState, Workload};
 
+use crate::replay::classify_fault;
 use crate::scenario::Scenario;
 
 /// Recorded traces and counters for one node.
@@ -85,6 +86,9 @@ pub struct NodeSim {
     pub events: RingSink,
     /// Monotonic control-plane counters for this node.
     pub counters: Counters,
+    /// Watermark into `Node::fault_log`: entries before it have already
+    /// been emitted as `FaultInjected` events.
+    fault_log_seen: usize,
 }
 
 impl NodeSim {
@@ -99,6 +103,9 @@ impl NodeSim {
             .map(|(_, p)| p.clone())
             .unwrap_or_else(FaultPlan::none);
         let mut node = Node::with_faults(scenario.node_config_for(node_idx).clone(), seed, faults);
+        if let Some((_, schedule)) = scenario.tick_faults.iter().find(|(n, _)| *n == node_idx) {
+            node.set_tick_faults(schedule.clone());
+        }
         let workload = scenario.workload.instantiate(node_idx, scenario.seed);
 
         let spec = scenario.effective_scheme(node_idx);
@@ -129,6 +136,7 @@ impl NodeSim {
             index: node_idx as u32,
             events: RingSink::with_capacity(scenario.event_capacity),
             counters: Counters::default(),
+            fault_log_seen: 0,
         }
     }
 
@@ -148,10 +156,10 @@ impl NodeSim {
         &mut self,
         dt_s: f64,
         now_s: f64,
-        journal: Option<&mut (dyn EventSink + 'static)>,
+        mut journal: Option<&mut (dyn EventSink + 'static)>,
     ) {
         let util = self.node.utilization();
-        let applied = match journal {
+        let applied = match journal.as_deref_mut() {
             None => {
                 let mut obs =
                     Observer::new(&mut self.events, &mut self.counters, self.index, now_s);
@@ -179,6 +187,42 @@ impl NodeSim {
             }
         }
         self.node.tick(dt_s);
+        self.emit_fault_events(now_s, journal);
+    }
+
+    /// Emits a `FaultInjected` event for every fault the node's plans
+    /// delivered during the tick that just ran. Runs on both the serial and
+    /// sharded paths (the sharded journal scratch drains in node order), so
+    /// the journal stream stays thread-count invariant. No-op — and
+    /// allocation-free — on fault-free ticks.
+    fn emit_fault_events(&mut self, now_s: f64, journal: Option<&mut (dyn EventSink + 'static)>) {
+        let log = self.node.fault_log();
+        if self.fault_log_seen >= log.len() {
+            return;
+        }
+        let start = self.fault_log_seen;
+        self.fault_log_seen = log.len();
+        // The log slice borrows `self.node`; the observer borrows the
+        // disjoint `events`/`counters` fields, so both can be live at once.
+        let log = self.node.fault_log();
+        match journal {
+            None => {
+                let mut obs =
+                    Observer::new(&mut self.events, &mut self.counters, self.index, now_s);
+                for &(_, ev) in &log[start..] {
+                    let (kind, magnitude) = classify_fault(ev);
+                    obs.fault_injected(kind, magnitude);
+                }
+            }
+            Some(journal) => {
+                let mut tee = TeeSink::new(&mut self.events, journal);
+                let mut obs = Observer::new(&mut tee, &mut self.counters, self.index, now_s);
+                for &(_, ev) in &log[start..] {
+                    let (kind, magnitude) = classify_fault(ev);
+                    obs.fault_injected(kind, magnitude);
+                }
+            }
+        }
     }
 
     /// Runs the 4 Hz sampling path: read the sensor, hand the sample to the

@@ -1,0 +1,339 @@
+//! Journal-driven fault injection and deterministic replay.
+//!
+//! A recorded event journal (JSONL, one [`EventRecord`] per line — see
+//! `docs/FORMATS.md`) tells us exactly when a run made interesting
+//! decisions: a window level moved an actuator, tDVFS engaged because a
+//! capped fan could not hold the threshold, the failsafe tripped. Those
+//! moments are precisely where a long-lived control daemon is most
+//! vulnerable to lying sensors and seizing fans — a fault that lands mid
+//! decision exercises the recovery paths a random fault time usually
+//! misses.
+//!
+//! [`derive_fault_plan`] closes that loop: it walks a journal with a
+//! [`JournalCursor`] and pins faults to the *exact ticks* of the recorded
+//! decisions (`tick = round(time_s / dt_s)`; the simulation stamps events
+//! with `now_s = tick · dt_s`, so the mapping is exact):
+//!
+//! * a `ModeChange` gets a [`FaultEvent::SensorJitter`] burst — the
+//!   controller must re-make the decision through a degraded sensing path;
+//! * a `TdvfsEngage` gets a [`FaultEvent::PwmStuck`] window — in-band
+//!   control engages exactly while the out-of-band actuator is wedged;
+//! * a `FailsafeTrip` gets a [`FaultEvent::SensorDropout`] window — the
+//!   watchdog's stale-sensor path fires again under a true blackout.
+//!
+//! The derived [`ReplayPlan`] applies as `Scenario::tick_faults`, which
+//! [`crate::node_sim::NodeSim::build`] attaches to each node's
+//! `TickFaultSchedule`. Delivery happens inside `Node::tick` — per-node
+//! state only — so the replay inherits the sharded tick loop's bit-identical
+//! guarantee at any `threads` count (see `DESIGN.md` §12).
+
+use unitherm_obs::{Event, EventRecord, InjectedFault, JournalCursor};
+use unitherm_simnode::faults::{FaultEvent, TickFaultSchedule};
+
+use crate::scenario::Scenario;
+
+/// Maps a simulator fault onto the observability vocabulary: the event
+/// `kind` plus the variant-specific magnitude recorded with it.
+pub fn classify_fault(ev: FaultEvent) -> (InjectedFault, f64) {
+    match ev {
+        FaultEvent::FanFailure => (InjectedFault::FanFailure, 0.0),
+        FaultEvent::FanRepair => (InjectedFault::FanRepair, 0.0),
+        FaultEvent::SensorDropout => (InjectedFault::SensorDropout, 0.0),
+        FaultEvent::SensorRestore => (InjectedFault::SensorRestore, 0.0),
+        FaultEvent::I2cFailure => (InjectedFault::I2cFailure, 0.0),
+        FaultEvent::I2cRecovery => (InjectedFault::I2cRecovery, 0.0),
+        FaultEvent::AmbientStep(t) => (InjectedFault::AmbientStep, t),
+        FaultEvent::PwmStuck => (InjectedFault::PwmStuck, 0.0),
+        FaultEvent::PwmRelease => (InjectedFault::PwmRelease, 0.0),
+        FaultEvent::SensorJitter(std) => (InjectedFault::SensorJitter, std),
+    }
+}
+
+/// Tuning for [`derive_fault_plan`]. The defaults produce short, bounded
+/// fault windows sized for the 50 ms tick (a 40-tick jitter burst is 2 s of
+/// degraded sensing — eight 4 Hz samples).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReplayOptions {
+    /// Extra sensor noise injected at each recorded `ModeChange`, °C
+    /// std-dev.
+    #[serde(default = "default_jitter_std")]
+    pub jitter_std_c: f64,
+    /// Ticks a jitter burst lasts before it is cleared.
+    #[serde(default = "default_jitter_hold")]
+    pub jitter_hold_ticks: u64,
+    /// Ticks the fan PWM stays stuck after a recorded `TdvfsEngage`.
+    #[serde(default = "default_stuck_hold")]
+    pub stuck_hold_ticks: u64,
+    /// Ticks the sensors stay dropped out after a recorded `FailsafeTrip`.
+    #[serde(default = "default_dropout_hold")]
+    pub dropout_hold_ticks: u64,
+    /// Cap on injected fault *windows* (injection + recovery pair) per
+    /// node, so an event-dense journal cannot schedule unbounded faults.
+    #[serde(default = "default_max_per_node")]
+    pub max_faults_per_node: usize,
+}
+
+fn default_jitter_std() -> f64 {
+    0.75
+}
+fn default_jitter_hold() -> u64 {
+    40
+}
+fn default_stuck_hold() -> u64 {
+    200
+}
+fn default_dropout_hold() -> u64 {
+    100
+}
+fn default_max_per_node() -> usize {
+    8
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        Self {
+            jitter_std_c: default_jitter_std(),
+            jitter_hold_ticks: default_jitter_hold(),
+            stuck_hold_ticks: default_stuck_hold(),
+            dropout_hold_ticks: default_dropout_hold(),
+            max_faults_per_node: default_max_per_node(),
+        }
+    }
+}
+
+/// One fault window derived from a recorded decision: where it was pinned
+/// and which journal record triggered it.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DerivedFault {
+    /// Node the fault targets (the recorded event's node).
+    pub node: usize,
+    /// Tick the injection lands on (`round(time_s / dt_s)` of the trigger).
+    pub tick: u64,
+    /// The injected fault.
+    pub fault: FaultEvent,
+    /// Tick the paired recovery event lands on.
+    pub recovery_tick: u64,
+    /// Timestamp of the journal record that triggered the derivation, s.
+    pub trigger_time_s: f64,
+}
+
+/// A derived, tick-addressed fault plan ready to apply to a scenario.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReplayPlan {
+    /// Per-node schedules (injection + recovery events), keyed by node
+    /// index; the exact value [`ReplayPlan::apply`] installs as
+    /// `Scenario::tick_faults`.
+    pub schedules: Vec<(usize, TickFaultSchedule)>,
+    /// The fault windows, in journal order, with their triggers — for
+    /// reports and walkthroughs.
+    pub derived: Vec<DerivedFault>,
+}
+
+impl ReplayPlan {
+    /// Number of derived fault windows.
+    pub fn len(&self) -> usize {
+        self.derived.len()
+    }
+
+    /// True when the journal yielded nothing to replay against.
+    pub fn is_empty(&self) -> bool {
+        self.derived.is_empty()
+    }
+
+    /// Installs the derived schedules on a scenario (replacing any existing
+    /// `tick_faults`); the stochastic `faults` plans are left untouched and
+    /// compose with the replayed schedule.
+    pub fn apply(&self, mut scenario: Scenario) -> Scenario {
+        scenario.tick_faults = self.schedules.clone();
+        scenario
+    }
+}
+
+/// Per-node derivation state: open fault windows and the window budget.
+#[derive(Clone, Copy, Default)]
+struct NodeWindows {
+    jitter_until: u64,
+    stuck_until: u64,
+    dropout_until: u64,
+    windows: usize,
+}
+
+/// Derives a tick-addressed fault plan from a recorded journal.
+///
+/// `scenario` supplies the geometry the journal is replayed against: the
+/// tick width (`dt_s`, for the time → tick mapping), the node count
+/// (records for out-of-range nodes are skipped) and the run length
+/// (`max_time_s`; windows that would open after the end are skipped).
+/// Overlapping windows of the same kind on the same node are coalesced into
+/// the first one, so a recovery event can never cancel a later injection.
+pub fn derive_fault_plan(
+    records: &[EventRecord],
+    scenario: &Scenario,
+    opts: &ReplayOptions,
+) -> ReplayPlan {
+    let last_tick = (scenario.max_time_s / scenario.dt_s).round() as u64;
+    let mut windows = vec![NodeWindows::default(); scenario.nodes];
+    let mut schedules: Vec<TickFaultSchedule> = vec![TickFaultSchedule::none(); scenario.nodes];
+    let mut derived = Vec::new();
+
+    let mut cursor = JournalCursor::new(records);
+    while let Some(rec) = cursor.next() {
+        let node = rec.node as usize;
+        if node >= scenario.nodes {
+            continue;
+        }
+        let tick = (rec.time_s / scenario.dt_s).round() as u64;
+        if tick == 0 || tick > last_tick {
+            continue;
+        }
+        let w = &mut windows[node];
+        if w.windows >= opts.max_faults_per_node {
+            continue;
+        }
+        let (fault, recovery, hold, open_until) = match rec.event {
+            Event::ModeChange { .. } => (
+                FaultEvent::SensorJitter(opts.jitter_std_c),
+                FaultEvent::SensorJitter(0.0),
+                opts.jitter_hold_ticks,
+                &mut w.jitter_until,
+            ),
+            Event::TdvfsEngage { .. } => (
+                FaultEvent::PwmStuck,
+                FaultEvent::PwmRelease,
+                opts.stuck_hold_ticks,
+                &mut w.stuck_until,
+            ),
+            Event::FailsafeTrip { .. } => (
+                FaultEvent::SensorDropout,
+                FaultEvent::SensorRestore,
+                opts.dropout_hold_ticks,
+                &mut w.dropout_until,
+            ),
+            _ => continue,
+        };
+        if tick <= *open_until {
+            // A same-kind window is still open on this node; injecting
+            // again would let the earlier recovery land mid-window.
+            continue;
+        }
+        let recovery_tick = tick.saturating_add(hold.max(1));
+        *open_until = recovery_tick;
+        w.windows += 1;
+        schedules[node].schedule(tick, fault);
+        schedules[node].schedule(recovery_tick, recovery);
+        derived.push(DerivedFault { node, tick, fault, recovery_tick, trigger_time_s: rec.time_s });
+    }
+
+    let schedules = schedules.into_iter().enumerate().filter(|(_, s)| !s.is_empty()).collect();
+    ReplayPlan { schedules, derived }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unitherm_obs::{ActuatorKind, TripCause, WindowLevel};
+
+    fn rec(time_s: f64, node: u32, event: Event) -> EventRecord {
+        EventRecord { time_s, node, event }
+    }
+
+    fn mode_change() -> Event {
+        Event::ModeChange {
+            actuator: ActuatorKind::Fan,
+            from: 20,
+            to: 40,
+            window_level: WindowLevel::L1,
+        }
+    }
+
+    fn scenario() -> Scenario {
+        Scenario::new("replay-test").with_nodes(2).with_max_time(300.0)
+    }
+
+    #[test]
+    fn pins_each_decision_kind_to_its_exact_tick() {
+        let records = vec![
+            rec(5.0, 0, mode_change()),
+            rec(10.0, 1, Event::TdvfsEngage { from_mhz: 2400, to_mhz: 2200 }),
+            rec(20.0, 0, Event::FailsafeTrip { cause: TripCause::StaleSensor }),
+        ];
+        let plan = derive_fault_plan(&records, &scenario(), &ReplayOptions::default());
+        assert_eq!(plan.len(), 3);
+        // dt = 0.05, so t=5 s is tick 100.
+        assert_eq!(plan.derived[0].tick, 100);
+        assert_eq!(plan.derived[0].fault, FaultEvent::SensorJitter(0.75));
+        assert_eq!(plan.derived[0].recovery_tick, 140);
+        assert_eq!(plan.derived[1].node, 1);
+        assert_eq!(plan.derived[1].tick, 200);
+        assert_eq!(plan.derived[1].fault, FaultEvent::PwmStuck);
+        assert_eq!(plan.derived[2].tick, 400);
+        assert_eq!(plan.derived[2].fault, FaultEvent::SensorDropout);
+        // Node 0 carries jitter + dropout windows, node 1 the stuck window.
+        assert_eq!(plan.schedules.len(), 2);
+        assert_eq!(plan.schedules[0].1.len(), 4, "two windows = four events");
+        assert_eq!(plan.schedules[1].1.len(), 2);
+    }
+
+    #[test]
+    fn uninteresting_events_and_foreign_nodes_are_skipped() {
+        let records = vec![
+            rec(1.0, 0, Event::FailsafeRelease),
+            rec(2.0, 0, Event::TdvfsRelease { to_mhz: 2400 }),
+            rec(3.0, 9, mode_change()),   // node 9 does not exist
+            rec(500.0, 0, mode_change()), // past max_time_s
+        ];
+        let plan = derive_fault_plan(&records, &scenario(), &ReplayOptions::default());
+        assert!(plan.is_empty());
+        assert!(plan.schedules.is_empty());
+    }
+
+    #[test]
+    fn overlapping_same_kind_windows_coalesce() {
+        // Three mode changes inside one 40-tick (2 s) jitter window: only
+        // the first injects, so its recovery cannot land mid-window of a
+        // later injection.
+        let records = vec![
+            rec(5.0, 0, mode_change()),
+            rec(5.5, 0, mode_change()),
+            rec(6.0, 0, mode_change()),
+            rec(8.0, 0, mode_change()), // tick 160 > 140: new window
+        ];
+        let plan = derive_fault_plan(&records, &scenario(), &ReplayOptions::default());
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.derived[0].tick, 100);
+        assert_eq!(plan.derived[1].tick, 160);
+    }
+
+    #[test]
+    fn per_node_window_budget_is_enforced() {
+        let opts = ReplayOptions { max_faults_per_node: 2, ..ReplayOptions::default() };
+        // Far-apart mode changes: every one would open a window.
+        let records: Vec<EventRecord> =
+            (1..20).map(|i| rec(f64::from(i) * 10.0, 0, mode_change())).collect();
+        let plan = derive_fault_plan(&records, &scenario(), &opts);
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn apply_installs_tick_faults_and_keeps_stochastic_plans() {
+        use unitherm_simnode::faults::FaultPlan;
+        let records = vec![rec(5.0, 0, mode_change())];
+        let plan = derive_fault_plan(&records, &scenario(), &ReplayOptions::default());
+        let base = scenario().with_fault(1, FaultPlan::none().at(10.0, FaultEvent::FanFailure));
+        let replayed = plan.apply(base);
+        replayed.validate().unwrap();
+        assert_eq!(replayed.tick_faults.len(), 1);
+        assert_eq!(replayed.tick_faults[0].0, 0);
+        assert_eq!(replayed.faults.len(), 1, "stochastic plan untouched");
+    }
+
+    #[test]
+    fn options_round_trip_and_default_from_empty_json() {
+        let opts = ReplayOptions::default();
+        let json = serde_json::to_string(&opts).expect("serialize");
+        let back: ReplayOptions = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, opts);
+        let sparse: ReplayOptions = serde_json::from_str("{}").expect("defaults");
+        assert_eq!(sparse, opts);
+    }
+}

@@ -9,6 +9,7 @@ use unitherm_core::actuator::FreqMhz;
 use unitherm_metrics::stats::power_delay_product;
 use unitherm_metrics::{Summary, TimeSeries};
 use unitherm_obs::{Counters, EventRecord};
+use unitherm_simnode::faults::FaultEvent;
 
 /// Results for one node.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -55,6 +56,11 @@ pub struct NodeReport {
     /// in emission order.
     #[serde(default)]
     pub events: Vec<EventRecord>,
+    /// Faults delivered to this node's hardware, `(tick, fault)` in
+    /// delivery order — both stochastic (`FaultPlan`) and tick-addressed
+    /// replay (`TickFaultSchedule`) deliveries appear here.
+    #[serde(default)]
+    pub faults_applied: Vec<(u64, FaultEvent)>,
 }
 
 /// Results for one scenario run.
@@ -217,6 +223,7 @@ mod tests {
                 node: 0,
                 event: unitherm_obs::Event::TdvfsEngage { from_mhz: 2400, to_mhz: 2200 },
             }],
+            faults_applied: vec![(200, FaultEvent::FanFailure)],
         }
     }
 

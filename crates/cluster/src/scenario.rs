@@ -5,7 +5,7 @@
 //! duration bounds and the seed. Experiments construct scenarios; the
 //! [`crate::sim::Simulation`] executes them.
 
-use unitherm_simnode::faults::FaultPlan;
+use unitherm_simnode::faults::{FaultPlan, TickFaultSchedule};
 use unitherm_simnode::NodeConfig;
 use unitherm_workload::burn::BurnConfig;
 use unitherm_workload::{
@@ -205,6 +205,12 @@ pub struct Scenario {
     /// Fault plans keyed by node index.
     #[serde(default)]
     pub faults: Vec<(usize, FaultPlan)>,
+    /// Tick-addressed fault schedules keyed by node index (deterministic
+    /// replay: faults pinned to the exact ticks where a recorded run made
+    /// interesting decisions). Composes with `faults`; within a tick the
+    /// tick-addressed events deliver first. See `crate::replay`.
+    #[serde(default)]
+    pub tick_faults: Vec<(usize, TickFaultSchedule)>,
     /// Node hardware configuration.
     #[serde(default)]
     pub node_config: NodeConfig,
@@ -264,6 +270,7 @@ impl Scenario {
             scheme: None,
             workload: WorkloadSpec::CpuBurn,
             faults: Vec::new(),
+            tick_faults: Vec::new(),
             node_config: NodeConfig::default(),
             record_series: true,
             cooldown_s: 0.0,
@@ -322,6 +329,13 @@ impl Scenario {
     /// Builder: attach a fault plan to a node.
     pub fn with_fault(mut self, node: usize, plan: FaultPlan) -> Self {
         self.faults.push((node, plan));
+        self
+    }
+
+    /// Builder: attach a tick-addressed fault schedule to a node
+    /// (deterministic replay; composes with [`Scenario::with_fault`]).
+    pub fn with_tick_faults(mut self, node: usize, schedule: TickFaultSchedule) -> Self {
+        self.tick_faults.push((node, schedule));
         self
     }
 
@@ -443,6 +457,9 @@ impl Scenario {
         )?;
         for (node, _) in &self.faults {
             check(*node < self.nodes, format!("fault plan for nonexistent node {node}"))?;
+        }
+        for (node, _) in &self.tick_faults {
+            check(*node < self.nodes, format!("tick-fault schedule for nonexistent node {node}"))?;
         }
         for (node, _) in &self.fan_overrides {
             check(*node < self.nodes, format!("fan override for nonexistent node {node}"))?;
@@ -597,6 +614,16 @@ mod tests {
     #[should_panic(expected = "nonexistent node")]
     fn fault_for_missing_node_rejected() {
         Scenario::new("x").with_nodes(2).with_fault(5, FaultPlan::none()).validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent node")]
+    fn tick_faults_for_missing_node_rejected() {
+        Scenario::new("x")
+            .with_nodes(2)
+            .with_tick_faults(3, TickFaultSchedule::none())
+            .validate()
+            .unwrap();
     }
 
     #[test]

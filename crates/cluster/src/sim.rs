@@ -149,7 +149,7 @@ impl Simulation {
     /// heap allocation in steady state — the barrier reduction folds into
     /// pass A instead of collecting per-rank states into a scratch `Vec`.
     /// With `Scenario::threads > 1` both passes (and the sampling pass) run
-    /// shard-parallel on the persistent [`crate::pool::WorkerPool`] with
+    /// shard-parallel on the persistent `pool::WorkerPool` with
     /// bit-identical results; the default runs the serial loop unchanged.
     pub fn tick(&mut self) {
         if self.pool.is_some() {
@@ -371,6 +371,7 @@ impl Simulation {
                 counters: ns.counters,
                 events_dropped: ns.events.dropped(),
                 events: ns.events.to_vec(),
+                faults_applied: ns.node.fault_log().to_vec(),
             })
             .collect();
 

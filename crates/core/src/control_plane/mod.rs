@@ -281,6 +281,74 @@ pub struct PlaneOutcome {
 }
 
 /// The ordered daemon pipeline plus the failsafe supervisor.
+///
+/// Build one from a serializable [`SchemeSpec`] (the single
+/// scheme-to-daemons factory), bind it to an [`Actuators`] implementation,
+/// and feed it 4 Hz [`SensorSample`]s:
+///
+/// ```
+/// use unitherm_core::control_array::Policy;
+/// use unitherm_core::control_plane::{
+///     Actuators, BuildContext, ControlPlane, DvfsScheme, FanScheme, SchemeSpec, SensorSample,
+/// };
+/// use unitherm_core::acpi::SleepState;
+/// use unitherm_core::actuator::{FanDuty, FreqMhz};
+///
+/// /// A toy actuation surface; real ones live in the platform binding.
+/// #[derive(Default)]
+/// struct Bench {
+///     duty: FanDuty,
+/// }
+///
+/// impl Actuators for Bench {
+///     fn set_fan_duty(&mut self, duty: FanDuty) -> bool {
+///         self.duty = duty;
+///         true
+///     }
+///     fn last_commanded_duty(&self) -> FanDuty {
+///         self.duty
+///     }
+///     fn restore_fan_auto(&mut self) -> bool {
+///         true
+///     }
+///     fn set_frequency_mhz(&mut self, _mhz: FreqMhz) -> bool {
+///         true
+///     }
+///     fn restore_frequency_mhz(&mut self, _mhz: FreqMhz) -> bool {
+///         true
+///     }
+///     fn restore_max_frequency(&mut self) -> bool {
+///         true
+///     }
+///     fn force_max_cooling(&mut self) -> (FanDuty, FreqMhz) {
+///         self.duty = 100;
+///         (100, 2000)
+///     }
+///     fn set_sleep_state(&mut self, _state: SleepState) -> bool {
+///         true
+///     }
+/// }
+///
+/// // Dynamic out-of-band fan control only, moderate aggressiveness.
+/// let spec = SchemeSpec::split(FanScheme::dynamic(Policy::MODERATE, 100), DvfsScheme::None);
+/// let ctx = BuildContext { available_mhz: vec![2400, 2200, 2000] };
+/// let mut plane = ControlPlane::new(spec.build(&ctx), None);
+///
+/// let mut act = Bench::default();
+/// let sample = |now_s: f64, temp_c: f64| SensorSample {
+///     now_s,
+///     fresh_temp_c: Some(temp_c),
+///     temp_c: Some(temp_c),
+///     utilization: 1.0,
+///     die_temp_c: temp_c,
+/// };
+/// plane.attach(&sample(0.0, 45.0), &mut act);
+/// for i in 1..=20 {
+///     // A hot plateau: the window fills, the mode index climbs.
+///     plane.on_sample(&sample(f64::from(i) * 0.25, 70.0), &mut act);
+/// }
+/// assert!(act.last_commanded_duty() > 0, "sustained heat must spin the fan up");
+/// ```
 pub struct ControlPlane {
     daemons: Vec<Box<dyn ControlDaemon>>,
     failsafe: Option<Failsafe>,

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--fast] [--csv DIR]
-//! repro run-scenario <file.json>
+//! repro run-scenario <file.json> [--journal OUT.jsonl] [--replay-faults IN.jsonl]
 //!
 //! experiments:
 //!   fig1 fig2 fig5 fig6 fig7 fig8 fig9 fig10 table1
@@ -11,7 +11,13 @@
 //!   all            run everything
 //!
 //! `run-scenario` executes a JSON scenario file (see examples/scenarios/)
-//! and prints its report.
+//! and prints its report. `--journal OUT.jsonl` streams every control-plane
+//! event to a JSONL journal as the run executes; `--replay-faults IN.jsonl`
+//! reads a journal recorded by an earlier run and injects faults at the
+//! exact ticks where that run made interesting decisions (see
+//! docs/FORMATS.md and DESIGN.md §12 for the record → derive → replay
+//! workflow). The two flags compose: replay a faulted run while recording
+//! its journal to diff fault delivery against the plan.
 //! ```
 //!
 //! Exit code 0 when every run experiment reproduces the paper's shape; 1 on
@@ -48,7 +54,7 @@ const ALL: &[&str] = &[
 
 fn usage() -> String {
     format!(
-        "usage: repro <experiment> [--fast] [--csv DIR]\n       repro run-scenario <file.json>\n       experiments: {} all",
+        "usage: repro <experiment> [--fast] [--csv DIR]\n       repro run-scenario <file.json> [--journal OUT.jsonl] [--replay-faults IN.jsonl]\n       experiments: {} all",
         ALL.join(" ")
     )
 }
@@ -85,15 +91,62 @@ fn main() -> ExitCode {
             eprintln!("run-scenario requires a file\n{}", usage());
             return ExitCode::FAILURE;
         };
-        let scenario = match scenario_file::load(path) {
+        let mut journal_out: Option<PathBuf> = None;
+        let mut replay_in: Option<PathBuf> = None;
+        let mut it = args.iter().skip(2);
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--journal" => match it.next() {
+                    Some(p) => journal_out = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("--journal requires a path\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                },
+                "--replay-faults" => match it.next() {
+                    Some(p) => replay_in = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("--replay-faults requires a path\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                },
+                other => {
+                    eprintln!("unexpected argument {other:?}\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let mut scenario = match scenario_file::load(path) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
         };
+        if let Some(journal) = &replay_in {
+            match scenario_file::apply_replay(scenario, journal) {
+                Ok((faulted, desc)) => {
+                    eprint!("{desc}");
+                    scenario = faulted;
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         eprintln!("== running scenario {:?} from {path} ==", scenario.name);
-        let (report, text) = scenario_file::run_and_render(scenario);
+        let (report, text) =
+            match scenario_file::run_and_render_with_journal(scenario, journal_out.as_deref()) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+        if let Some(out) = &journal_out {
+            eprintln!("journal written to {}", out.display());
+        }
         println!("{text}");
         return if report.any_shutdown() {
             eprintln!("a node shut down during the run");

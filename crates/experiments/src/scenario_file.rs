@@ -8,8 +8,11 @@
 
 use std::path::Path;
 
-use unitherm_cluster::{RunReport, Scenario, ScenarioError, Simulation};
+use unitherm_cluster::{
+    derive_fault_plan, ReplayOptions, RunReport, Scenario, ScenarioError, Simulation,
+};
 use unitherm_metrics::AsciiPlot;
+use unitherm_obs::{read_journal, JournalWriter};
 
 /// Errors loading or validating a scenario file.
 #[derive(Debug)]
@@ -20,6 +23,8 @@ pub enum ScenarioFileError {
     Parse(serde_json::Error),
     /// The scenario parsed but cannot be run as described.
     Invalid(ScenarioError),
+    /// An event journal could not be read or written.
+    Journal(std::io::Error),
 }
 
 impl std::fmt::Display for ScenarioFileError {
@@ -28,6 +33,7 @@ impl std::fmt::Display for ScenarioFileError {
             ScenarioFileError::Io(e) => write!(f, "cannot read scenario file: {e}"),
             ScenarioFileError::Parse(e) => write!(f, "invalid scenario JSON: {e}"),
             ScenarioFileError::Invalid(e) => write!(f, "unusable scenario: {e}"),
+            ScenarioFileError::Journal(e) => write!(f, "cannot access event journal: {e}"),
         }
     }
 }
@@ -48,10 +54,55 @@ pub fn to_json(scenario: &Scenario) -> String {
     serde_json::to_string_pretty(scenario).expect("scenarios always serialize")
 }
 
+/// Reads a JSONL event journal and derives a tick-addressed fault plan for
+/// `scenario` (see `unitherm_cluster::replay`), returning the faulted
+/// scenario and a one-line-per-window description of the derived plan.
+pub fn apply_replay(
+    scenario: Scenario,
+    journal_path: impl AsRef<Path>,
+) -> Result<(Scenario, String), ScenarioFileError> {
+    let file = std::fs::File::open(journal_path).map_err(ScenarioFileError::Journal)?;
+    let records =
+        read_journal(std::io::BufReader::new(file)).map_err(ScenarioFileError::Journal)?;
+    let plan = derive_fault_plan(&records, &scenario, &ReplayOptions::default());
+    let mut desc = format!(
+        "derived {} fault window(s) from {} journal event(s):\n",
+        plan.len(),
+        records.len()
+    );
+    for d in &plan.derived {
+        desc.push_str(&format!(
+            "  node {} tick {} (t={:.2} s): {:?} until tick {}\n",
+            d.node, d.tick, d.trigger_time_s, d.fault, d.recovery_tick
+        ));
+    }
+    Ok((plan.apply(scenario), desc))
+}
+
+/// Runs a loaded scenario and renders a human-readable report: summary
+/// line, per-node statistics, temperature plot. When `journal_out` is
+/// given, every control-plane event is also streamed to that path as JSONL
+/// (one [`unitherm_obs::EventRecord`] per line — see `docs/FORMATS.md`).
+pub fn run_and_render_with_journal(
+    scenario: Scenario,
+    journal_out: Option<&Path>,
+) -> Result<(RunReport, String), ScenarioFileError> {
+    let mut sim = Simulation::new(scenario);
+    if let Some(path) = journal_out {
+        let file = std::fs::File::create(path).map_err(ScenarioFileError::Journal)?;
+        sim.attach_journal(Box::new(JournalWriter::new(std::io::BufWriter::new(file))));
+    }
+    Ok(render(sim.run()))
+}
+
 /// Runs a loaded scenario and renders a human-readable report: summary
 /// line, per-node statistics, temperature plot.
 pub fn run_and_render(scenario: Scenario) -> (RunReport, String) {
     let report = Simulation::new(scenario).run();
+    render(report)
+}
+
+fn render(report: RunReport) -> (RunReport, String) {
     let mut out = String::new();
     out.push_str(&report.summary_line());
     out.push('\n');

@@ -9,6 +9,24 @@ use std::fmt::Write as _;
 /// The block is `Copy` so reports can embed a snapshot, and fields are all
 /// `u64` with `serde(default)`-friendly zero defaults so old journal/report
 /// files keep parsing as the set grows.
+///
+/// # Example
+///
+/// Aggregate per-node blocks and export them:
+///
+/// ```
+/// use unitherm_obs::{prometheus_text, Counters};
+///
+/// let node0 = Counters { samples: 400, l2_fallbacks: 3, ..Counters::default() };
+/// let node1 = Counters { samples: 400, tdvfs_engagements: 1, ..Counters::default() };
+/// let mut cluster = Counters::default();
+/// cluster.merge(&node0);
+/// cluster.merge(&node1);
+/// assert_eq!(cluster.samples, 800);
+///
+/// let text = prometheus_text(&cluster, "scenario=\"burn\"");
+/// assert!(text.contains("unitherm_samples_total{scenario=\"burn\"} 800"));
+/// ```
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Counters {
     /// Sensor samples pushed through the control plane.
@@ -47,6 +65,10 @@ pub struct Counters {
     /// Failsafe watchdog trips.
     #[serde(default)]
     pub failsafe_trips: u64,
+    /// Faults delivered to the node's hardware by a fault plan (stochastic
+    /// or tick-addressed replay schedule).
+    #[serde(default)]
+    pub faults_injected: u64,
 }
 
 impl Counters {
@@ -64,11 +86,12 @@ impl Counters {
         self.tdvfs_engagements += other.tdvfs_engagements;
         self.tdvfs_releases += other.tdvfs_releases;
         self.failsafe_trips += other.failsafe_trips;
+        self.faults_injected += other.faults_injected;
     }
 
     /// The `(metric name, help text, value)` triples behind the Prometheus
     /// exporter, in a stable order.
-    pub fn metrics(&self) -> [(&'static str, &'static str, u64); 11] {
+    pub fn metrics(&self) -> [(&'static str, &'static str, u64); 12] {
         [
             (
                 "unitherm_samples_total",
@@ -109,6 +132,11 @@ impl Counters {
             ("unitherm_tdvfs_engage_total", "tDVFS scale-down engagements", self.tdvfs_engagements),
             ("unitherm_tdvfs_release_total", "tDVFS frequency restorations", self.tdvfs_releases),
             ("unitherm_failsafe_trips_total", "Failsafe watchdog trips", self.failsafe_trips),
+            (
+                "unitherm_faults_injected_total",
+                "Faults delivered by fault plans",
+                self.faults_injected,
+            ),
         ]
     }
 }

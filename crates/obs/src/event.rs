@@ -50,6 +50,37 @@ pub enum TripCause {
     OverTemperature,
 }
 
+/// The kind of fault a fault plan delivered to a node.
+///
+/// Mirrors the simulator's fault vocabulary (`unitherm-simnode`'s
+/// `FaultEvent`) without depending on it — this crate sits at the bottom of
+/// the dependency graph, so the cluster layer maps between the two when it
+/// emits [`Event::FaultInjected`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InjectedFault {
+    /// The fan rotor seized.
+    FanFailure,
+    /// The fan was repaired.
+    FanRepair,
+    /// The thermal sensors stopped responding.
+    SensorDropout,
+    /// The thermal sensors recovered.
+    SensorRestore,
+    /// The i2c fan controller started NACKing transactions.
+    I2cFailure,
+    /// The i2c fan controller recovered.
+    I2cRecovery,
+    /// The intake-air temperature stepped (magnitude = new °C).
+    AmbientStep,
+    /// The fan PWM line latched at its current duty.
+    PwmStuck,
+    /// The stuck PWM line released.
+    PwmRelease,
+    /// Extra gaussian noise was added to every sensor (magnitude = extra
+    /// standard deviation in °C; 0 clears it).
+    SensorJitter,
+}
+
 /// One structured control-plane event.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Event {
@@ -102,6 +133,16 @@ pub enum Event {
         /// Predicted temperature delta the controller acted on, °C.
         predicted_delta_c: f64,
     },
+    /// A fault plan delivered a fault to the node's hardware this tick
+    /// (fault injection / deterministic replay).
+    FaultInjected {
+        /// What was injected.
+        kind: InjectedFault,
+        /// Variant-specific magnitude: the new ambient °C for
+        /// [`InjectedFault::AmbientStep`], the extra noise std-dev for
+        /// [`InjectedFault::SensorJitter`], 0 otherwise.
+        magnitude: f64,
+    },
 }
 
 /// An [`Event`] stamped with when and where it happened.
@@ -144,6 +185,20 @@ mod tests {
         let json = serde_json::to_string(&rec).expect("serialize");
         assert!(json.contains("\"ModeChange\""), "{json}");
         assert!(json.contains("\"node\":3"), "{json}");
+        let back: EventRecord = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn fault_injection_events_round_trip() {
+        let rec = EventRecord {
+            time_s: 42.0,
+            node: 1,
+            event: Event::FaultInjected { kind: InjectedFault::SensorJitter, magnitude: 0.75 },
+        };
+        let json = serde_json::to_string(&rec).expect("serialize");
+        assert!(json.contains("\"FaultInjected\""), "{json}");
+        assert!(json.contains("\"SensorJitter\""), "{json}");
         let back: EventRecord = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back, rec);
     }

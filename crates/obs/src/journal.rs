@@ -63,6 +63,67 @@ impl<W: Write> EventSink for JournalWriter<W> {
     }
 }
 
+/// A forward-only cursor over a parsed journal.
+///
+/// Replay tooling walks a recorded event stream in order, peeking at the
+/// next record to decide whether it is "interesting" (a mode change, a
+/// tDVFS engagement, a failsafe trip) before consuming it. The cursor keeps
+/// that walk allocation-free and position-aware; [`JournalCursor::seek_time`]
+/// skips ahead without consuming interesting records.
+pub struct JournalCursor<'a> {
+    records: &'a [EventRecord],
+    pos: usize,
+}
+
+impl<'a> JournalCursor<'a> {
+    /// Starts a cursor at the beginning of `records` (as returned by
+    /// [`read_journal`]).
+    pub fn new(records: &'a [EventRecord]) -> Self {
+        Self { records, pos: 0 }
+    }
+
+    /// The next record without consuming it.
+    pub fn peek(&self) -> Option<&'a EventRecord> {
+        self.records.get(self.pos)
+    }
+
+    /// Consumes and returns the next record.
+    #[allow(clippy::should_implement_trait)] // iterator-style by design; Iterator impl below
+    pub fn next(&mut self) -> Option<&'a EventRecord> {
+        let rec = self.records.get(self.pos)?;
+        self.pos += 1;
+        Some(rec)
+    }
+
+    /// Advances past every record stamped strictly before `time_s`.
+    /// Returns how many records were skipped.
+    pub fn seek_time(&mut self, time_s: f64) -> usize {
+        let start = self.pos;
+        while self.records.get(self.pos).is_some_and(|r| r.time_s < time_s) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+
+    /// Records not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.records.len() - self.pos
+    }
+
+    /// Index of the next record within the journal.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+impl<'a> Iterator for JournalCursor<'a> {
+    type Item = &'a EventRecord;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        JournalCursor::next(self)
+    }
+}
+
 /// Parses a JSONL journal back into records. Blank lines are skipped;
 /// a malformed line is an `InvalidData` error naming its line number.
 pub fn read_journal<R: BufRead>(reader: R) -> io::Result<Vec<EventRecord>> {
@@ -121,6 +182,26 @@ mod tests {
         let bad = format!("{good}\nnot json\n");
         let err = read_journal(bad.as_bytes()).expect_err("malformed");
         assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn cursor_walks_peeks_and_seeks() {
+        let records: Vec<EventRecord> = (0..5)
+            .map(|i| EventRecord { time_s: f64::from(i), node: 0, event: Event::FailsafeRelease })
+            .collect();
+        let mut cur = JournalCursor::new(&records);
+        assert_eq!(cur.remaining(), 5);
+        assert_eq!(cur.peek().unwrap().time_s, 0.0);
+        assert_eq!(cur.next().unwrap().time_s, 0.0);
+        assert_eq!(cur.seek_time(3.0), 2, "skips records before t=3");
+        assert_eq!(cur.position(), 3);
+        assert_eq!(cur.peek().unwrap().time_s, 3.0);
+        // The cursor is an iterator over what remains.
+        assert_eq!(cur.count(), 2);
+
+        let mut empty = JournalCursor::new(&[]);
+        assert_eq!(empty.seek_time(10.0), 0);
+        assert!(empty.next().is_none());
     }
 
     #[test]

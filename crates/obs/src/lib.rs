@@ -32,7 +32,9 @@ pub mod ring;
 pub mod sink;
 
 pub use counters::{prometheus_text, Counters};
-pub use event::{ActuatorKind, CrossDirection, Event, EventRecord, TripCause, WindowLevel};
-pub use journal::{read_journal, JournalWriter};
+pub use event::{
+    ActuatorKind, CrossDirection, Event, EventRecord, InjectedFault, TripCause, WindowLevel,
+};
+pub use journal::{read_journal, JournalCursor, JournalWriter};
 pub use ring::RingSink;
 pub use sink::{EventSink, NullSink, Observer, TeeSink, VecSink};

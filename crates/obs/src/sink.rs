@@ -1,7 +1,7 @@
 //! The pluggable event-recording trait and the emission context.
 
 use crate::counters::Counters;
-use crate::event::{ActuatorKind, Event, EventRecord, TripCause, WindowLevel};
+use crate::event::{ActuatorKind, Event, EventRecord, InjectedFault, TripCause, WindowLevel};
 
 /// Where emitted events go.
 ///
@@ -9,6 +9,19 @@ use crate::event::{ActuatorKind, Event, EventRecord, TripCause, WindowLevel};
 /// `record` — the counting-allocator regression test in `unitherm-cluster`
 /// enforces this for [`crate::RingSink`]. Offline sinks (the JSONL
 /// [`crate::JournalWriter`]) may allocate freely.
+///
+/// # Example
+///
+/// A custom sink is one method; [`VecSink`] is the simplest built-in:
+///
+/// ```
+/// use unitherm_obs::{Event, EventRecord, EventSink, VecSink};
+///
+/// let mut sink = VecSink::default();
+/// sink.record(&EventRecord { time_s: 1.5, node: 0, event: Event::FailsafeRelease });
+/// assert_eq!(sink.records.len(), 1);
+/// assert_eq!(sink.records[0].time_s, 1.5);
+/// ```
 pub trait EventSink {
     /// Records one event. The record is borrowed — hot-path sinks copy it
     /// into pre-reserved storage.
@@ -132,6 +145,12 @@ impl<'a> Observer<'a> {
     pub fn failsafe_trip(&mut self, cause: TripCause) {
         self.counters.failsafe_trips += 1;
         self.emit(Event::FailsafeTrip { cause });
+    }
+
+    /// Emits a [`Event::FaultInjected`] and bumps its counter.
+    pub fn fault_injected(&mut self, kind: InjectedFault, magnitude: f64) {
+        self.counters.faults_injected += 1;
+        self.emit(Event::FaultInjected { kind, magnitude });
     }
 }
 

@@ -18,6 +18,7 @@ pub struct Fan {
     duty: DutyCycle,
     rpm: f64,
     failed: bool,
+    pwm_stuck: bool,
     /// Memoized `(dt_s, alpha)` for the lag update below. The simulator calls
     /// `step` with a fixed `dt`, so the `exp()` only runs when `dt` changes;
     /// the exact-match key keeps results bit-identical to the uncached path.
@@ -27,7 +28,14 @@ pub struct Fan {
 impl Fan {
     /// Creates a fan at rest with 0 % duty.
     pub fn new(cfg: FanConfig) -> Self {
-        Self { cfg, duty: DutyCycle::OFF, rpm: 0.0, failed: false, lag_cache: (f64::NAN, 0.0) }
+        Self {
+            cfg,
+            duty: DutyCycle::OFF,
+            rpm: 0.0,
+            failed: false,
+            pwm_stuck: false,
+            lag_cache: (f64::NAN, 0.0),
+        }
     }
 
     /// Creates a fan already spinning at the equilibrium speed for `duty`.
@@ -44,8 +52,12 @@ impl Fan {
     }
 
     /// Sets the commanded duty cycle. The rotor approaches the new target
-    /// speed over the spin-up time constant.
+    /// speed over the spin-up time constant. Ignored while the PWM line is
+    /// stuck ([`Fan::stick_pwm`]).
     pub fn set_duty(&mut self, duty: DutyCycle) {
+        if self.pwm_stuck {
+            return;
+        }
         self.duty = duty;
     }
 
@@ -83,6 +95,23 @@ impl Fan {
     /// Repairs a failed rotor (it will spin back up toward the duty target).
     pub fn repair(&mut self) {
         self.failed = false;
+    }
+
+    /// Latches the PWM line at the current duty: the rotor keeps spinning,
+    /// but [`Fan::set_duty`] is ignored until [`Fan::release_pwm`]. Models a
+    /// wedged controller output stage (vs. [`Fan::fail`], a seized rotor).
+    pub fn stick_pwm(&mut self) {
+        self.pwm_stuck = true;
+    }
+
+    /// Releases a stuck PWM line; duty commands take effect again.
+    pub fn release_pwm(&mut self) {
+        self.pwm_stuck = false;
+    }
+
+    /// True while the PWM line is stuck.
+    pub fn is_pwm_stuck(&self) -> bool {
+        self.pwm_stuck
     }
 
     /// Steady-state RPM for the current duty command.
@@ -207,6 +236,26 @@ mod tests {
             f.step(0.1);
         }
         assert!((f.rpm() - 3440.0).abs() < 5.0, "repaired fan resumes, rpm {}", f.rpm());
+    }
+
+    #[test]
+    fn stuck_pwm_freezes_duty_until_release() {
+        let mut f = Fan::new_at_duty(FanConfig::default(), DutyCycle::new(40));
+        f.stick_pwm();
+        assert!(f.is_pwm_stuck());
+        f.set_duty(DutyCycle::new(100));
+        assert_eq!(f.duty().percent(), 40, "stuck PWM ignores commands");
+        for _ in 0..100 {
+            f.step(0.1);
+        }
+        assert!((f.rpm() - 0.4 * 4300.0).abs() < 5.0, "rotor holds the latched duty");
+        f.release_pwm();
+        f.set_duty(DutyCycle::new(100));
+        assert_eq!(f.duty().percent(), 100);
+        for _ in 0..200 {
+            f.step(0.1);
+        }
+        assert!((f.rpm() - 4300.0).abs() < 10.0, "released fan tracks commands again");
     }
 
     #[test]

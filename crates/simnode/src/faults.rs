@@ -5,6 +5,12 @@
 //! failure scenarios the paper's related work reacts to (fan failure, per
 //! Choi et al. \[10\] and Heath et al. \[7\]), plus sensor dropouts and ambient
 //! (machine-room) temperature excursions.
+//!
+//! A [`TickFaultSchedule`] is the replay-oriented sibling: the same events,
+//! addressed by integer tick number instead of seconds. Replay tooling
+//! derives one from a recorded event journal so a fault lands on *exactly*
+//! the tick where an earlier run made an interesting decision, independent
+//! of floating-point time accumulation.
 
 use serde::{Deserialize, Serialize};
 
@@ -26,6 +32,16 @@ pub enum FaultEvent {
     /// The intake air temperature changes to the given value (°C) —
     /// models an HVAC event or a hot spot forming in the rack.
     AmbientStep(f64),
+    /// The fan's PWM line latches at its current duty: the rotor keeps
+    /// spinning, but duty commands are ignored until [`FaultEvent::PwmRelease`].
+    /// Models a wedged fan controller output stage.
+    PwmStuck,
+    /// The stuck PWM line releases; duty commands take effect again.
+    PwmRelease,
+    /// Adds the given extra gaussian standard deviation (°C) to every
+    /// thermal-sensor reading; `0.0` clears it. Models a degraded sensing
+    /// path (electrical noise, marginal diode).
+    SensorJitter(f64),
 }
 
 /// A time-ordered script of fault events.
@@ -87,6 +103,86 @@ impl FaultPlan {
     }
 }
 
+/// A tick-addressed script of fault events, for deterministic replay.
+///
+/// Where [`FaultPlan`] schedules in seconds (natural for hand-written
+/// resilience scenarios), this schedules by tick number — the unit replay
+/// derivation works in, since recorded journal events map exactly onto
+/// ticks (`tick = round(time_s / dt_s)`). A node can carry both; tick
+/// faults are delivered first within a tick.
+///
+/// Delivery is cursor-based and allocation-free: [`TickFaultSchedule::pop_due`]
+/// hands out one event at a time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TickFaultSchedule {
+    events: Vec<(u64, FaultEvent)>,
+    #[serde(skip)]
+    cursor: usize,
+}
+
+impl TickFaultSchedule {
+    /// An empty schedule (no faults).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style: schedules an event at tick `tick` (ticks are 1-based;
+    /// the first `Node::tick` call is tick 1).
+    ///
+    /// Events may be added in any order; the schedule keeps them sorted.
+    ///
+    /// # Panics
+    /// Panics if called after delivery has started or with tick 0.
+    pub fn at_tick(mut self, tick: u64, event: FaultEvent) -> Self {
+        self.schedule(tick, event);
+        self
+    }
+
+    /// Non-consuming form of [`TickFaultSchedule::at_tick`], for callers
+    /// building schedules in a loop.
+    ///
+    /// # Panics
+    /// Panics if called after delivery has started or with tick 0.
+    pub fn schedule(&mut self, tick: u64, event: FaultEvent) {
+        assert!(tick >= 1, "tick faults are 1-based (delivered at the start of that tick)");
+        assert_eq!(self.cursor, 0, "cannot extend a fault schedule after delivery started");
+        let idx = self.events.partition_point(|(t, _)| *t <= tick);
+        self.events.insert(idx, (tick, event));
+    }
+
+    /// Number of scheduled events (delivered or not).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The full schedule, sorted by tick.
+    pub fn events(&self) -> &[(u64, FaultEvent)] {
+        &self.events
+    }
+
+    /// Pops the next event due at or before `tick`, if any. Call in a loop
+    /// to drain a tick's events without allocating.
+    pub fn pop_due(&mut self, tick: u64) -> Option<FaultEvent> {
+        let &(t, ev) = self.events.get(self.cursor)?;
+        if t <= tick {
+            self.cursor += 1;
+            Some(ev)
+        } else {
+            None
+        }
+    }
+
+    /// Remaining undelivered events.
+    pub fn pending(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +229,49 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn rejects_negative_time() {
         let _ = FaultPlan::none().at(-1.0, FaultEvent::FanFailure);
+    }
+
+    #[test]
+    fn tick_schedule_delivers_in_order_one_at_a_time() {
+        let mut sched = TickFaultSchedule::none()
+            .at_tick(200, FaultEvent::PwmRelease)
+            .at_tick(40, FaultEvent::PwmStuck)
+            .at_tick(40, FaultEvent::SensorJitter(0.5));
+        assert_eq!(sched.len(), 3);
+        assert_eq!(sched.pop_due(39), None);
+        assert_eq!(sched.pop_due(40), Some(FaultEvent::PwmStuck));
+        assert_eq!(sched.pop_due(40), Some(FaultEvent::SensorJitter(0.5)));
+        assert_eq!(sched.pop_due(40), None);
+        assert_eq!(sched.pending(), 1);
+        assert_eq!(sched.pop_due(1000), Some(FaultEvent::PwmRelease));
+        assert_eq!(sched.pop_due(1000), None);
+        assert_eq!(sched.pending(), 0);
+    }
+
+    #[test]
+    fn tick_schedule_round_trips_and_resets_cursor() {
+        let sched = TickFaultSchedule::none()
+            .at_tick(10, FaultEvent::SensorDropout)
+            .at_tick(110, FaultEvent::SensorRestore);
+        let json = serde_json::to_string(&sched).expect("serialize");
+        let mut back: TickFaultSchedule = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, sched);
+        // The cursor is serde(skip): a deserialized schedule delivers from
+        // the start, which is what replay needs.
+        assert_eq!(back.pop_due(10), Some(FaultEvent::SensorDropout));
+    }
+
+    #[test]
+    #[should_panic(expected = "after delivery started")]
+    fn tick_schedule_cannot_extend_after_delivery() {
+        let mut sched = TickFaultSchedule::none().at_tick(1, FaultEvent::FanFailure);
+        let _ = sched.pop_due(5);
+        sched.schedule(9, FaultEvent::FanRepair);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn tick_schedule_rejects_tick_zero() {
+        let _ = TickFaultSchedule::none().at_tick(0, FaultEvent::FanFailure);
     }
 }

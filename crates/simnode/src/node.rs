@@ -22,7 +22,7 @@ use crate::adt7467::Adt7467;
 use crate::config::NodeConfig;
 use crate::cpu::{Cpu, InvalidFrequency, ThermalCondition};
 use crate::fan::Fan;
-use crate::faults::{FaultEvent, FaultPlan};
+use crate::faults::{FaultEvent, FaultPlan, TickFaultSchedule};
 use crate::i2c::{I2cBus, I2cError};
 use crate::power::PowerMeter;
 use crate::sensor::{SensorDropout, ThermalSensor};
@@ -72,7 +72,15 @@ pub struct Node {
     bus: I2cBus,
     meter: PowerMeter,
     faults: FaultPlan,
+    /// Tick-addressed faults (deterministic replay); delivered before the
+    /// time-addressed plan within a tick.
+    tick_faults: TickFaultSchedule,
+    /// Every fault actually delivered, with the tick it landed on.
+    /// Pre-reserved to the total scheduled count so steady-state ticks
+    /// never allocate.
+    fault_log: Vec<(u64, FaultEvent)>,
     time_s: f64,
+    ticks: u64,
 }
 
 impl Node {
@@ -126,12 +134,48 @@ impl Node {
             .collect();
         let meter = PowerMeter::new(cfg.board.psu_efficiency, METER_PERIOD_S);
 
-        Self { cfg, cpu, fan, thermal, sensors, bus, meter, faults, time_s: 0.0 }
+        let fault_log = Vec::with_capacity(faults.len());
+        Self {
+            cfg,
+            cpu,
+            fan,
+            thermal,
+            sensors,
+            bus,
+            meter,
+            faults,
+            tick_faults: TickFaultSchedule::none(),
+            fault_log,
+            time_s: 0.0,
+            ticks: 0,
+        }
+    }
+
+    /// Attaches a tick-addressed fault schedule (deterministic replay).
+    /// Within a tick these deliver before the time-addressed plan.
+    ///
+    /// # Panics
+    /// Panics if the node has already ticked — a schedule attached
+    /// mid-flight would not replay deterministically.
+    pub fn set_tick_faults(&mut self, schedule: TickFaultSchedule) {
+        assert_eq!(self.ticks, 0, "tick faults must be attached before the first tick");
+        self.fault_log.reserve(schedule.len());
+        self.tick_faults = schedule;
     }
 
     /// Simulation time in seconds.
     pub fn time_s(&self) -> f64 {
         self.time_s
+    }
+
+    /// Ticks elapsed (the first [`Node::tick`] call is tick 1).
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Every fault delivered so far, with the tick each landed on.
+    pub fn fault_log(&self) -> &[(u64, FaultEvent)] {
+        &self.fault_log
     }
 
     /// Configuration the node was built from.
@@ -147,8 +191,12 @@ impl Node {
     /// monitor → power metering.
     pub fn tick(&mut self, dt_s: f64) {
         assert!(dt_s > 0.0, "time step must be positive");
+        self.ticks += 1;
         self.time_s += dt_s;
 
+        while let Some(ev) = self.tick_faults.pop_due(self.ticks) {
+            self.apply_fault(ev);
+        }
         for ev in self.faults.due(self.time_s) {
             self.apply_fault(ev);
         }
@@ -170,6 +218,7 @@ impl Node {
     }
 
     fn apply_fault(&mut self, ev: FaultEvent) {
+        self.fault_log.push((self.ticks, ev));
         match ev {
             FaultEvent::FanFailure => self.fan.fail(),
             FaultEvent::FanRepair => self.fan.repair(),
@@ -180,6 +229,11 @@ impl Node {
             FaultEvent::I2cFailure => self.bus.inject_nack(ADT7467_ADDR, true),
             FaultEvent::I2cRecovery => self.bus.inject_nack(ADT7467_ADDR, false),
             FaultEvent::AmbientStep(t) => self.thermal.set_ambient_c(t),
+            FaultEvent::PwmStuck => self.fan.stick_pwm(),
+            FaultEvent::PwmRelease => self.fan.release_pwm(),
+            FaultEvent::SensorJitter(std) => {
+                self.sensors.iter_mut().for_each(|s| s.set_extra_jitter(std));
+            }
         }
     }
 
@@ -503,6 +557,84 @@ mod tests {
         let before = n.die_temp_c();
         run(&mut n, 600.0);
         assert!(n.die_temp_c() > before + 5.0, "{} → {}", before, n.die_temp_c());
+    }
+
+    #[test]
+    fn tick_faults_land_on_their_exact_tick_and_are_logged() {
+        let mut n = node();
+        n.set_tick_faults(
+            TickFaultSchedule::none()
+                .at_tick(10, FaultEvent::PwmStuck)
+                .at_tick(20, FaultEvent::SensorJitter(1.5))
+                .at_tick(30, FaultEvent::PwmRelease),
+        );
+        for _ in 0..9 {
+            n.tick(0.05);
+        }
+        assert!(!n.fan().is_pwm_stuck(), "nothing delivered before tick 10");
+        assert!(n.fault_log().is_empty());
+        n.tick(0.05);
+        assert!(n.fan().is_pwm_stuck(), "PwmStuck delivered on tick 10 exactly");
+        assert_eq!(n.fault_log(), &[(10, FaultEvent::PwmStuck)]);
+        for _ in 0..20 {
+            n.tick(0.05);
+        }
+        assert!(!n.fan().is_pwm_stuck(), "released on tick 30");
+        assert_eq!(n.ticks(), 30);
+        assert_eq!(
+            n.fault_log(),
+            &[
+                (10, FaultEvent::PwmStuck),
+                (20, FaultEvent::SensorJitter(1.5)),
+                (30, FaultEvent::PwmRelease),
+            ]
+        );
+    }
+
+    #[test]
+    fn tick_faults_deliver_before_time_faults_within_a_tick() {
+        // Both address the same tick (tick 5 = 0.25 s); the log shows the
+        // tick-addressed event first.
+        let faults = FaultPlan::none().at(0.25, FaultEvent::FanFailure);
+        let mut n = Node::with_faults(NodeConfig::default(), 3, faults);
+        n.set_tick_faults(TickFaultSchedule::none().at_tick(5, FaultEvent::SensorDropout));
+        for _ in 0..5 {
+            n.tick(0.05);
+        }
+        assert_eq!(n.fault_log(), &[(5, FaultEvent::SensorDropout), (5, FaultEvent::FanFailure)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first tick")]
+    fn tick_faults_rejected_after_first_tick() {
+        let mut n = node();
+        n.tick(0.05);
+        n.set_tick_faults(TickFaultSchedule::none().at_tick(2, FaultEvent::FanFailure));
+    }
+
+    #[test]
+    fn sensor_jitter_fault_degrades_then_recovers_readings() {
+        let mut a = node();
+        let mut b = node();
+        b.set_tick_faults(
+            TickFaultSchedule::none()
+                .at_tick(1, FaultEvent::SensorJitter(5.0))
+                .at_tick(50, FaultEvent::SensorJitter(0.0)),
+        );
+        let mut diverged = false;
+        for _ in 0..49 {
+            a.tick(0.05);
+            b.tick(0.05);
+            if a.read_sensor() != b.read_sensor() {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "5 °C jitter must perturb readings");
+        a.tick(0.05);
+        b.tick(0.05);
+        // Same seed, same draw count per read: once the jitter clears the
+        // two nodes read identically again.
+        assert_eq!(a.read_sensor(), b.read_sensor());
     }
 
     #[test]

@@ -34,6 +34,8 @@ pub struct ThermalSensor {
     dropped_out: bool,
     last_reading: Option<MilliCelsius>,
     reads: u64,
+    /// Extra noise std-dev injected by fault plans (`SensorJitter`), °C.
+    extra_jitter_std_c: f64,
 }
 
 impl ThermalSensor {
@@ -45,6 +47,7 @@ impl ThermalSensor {
             dropped_out: false,
             last_reading: None,
             reads: 0,
+            extra_jitter_std_c: 0.0,
         }
     }
 
@@ -57,7 +60,11 @@ impl ThermalSensor {
             return Err(SensorDropout);
         }
         self.reads += 1;
-        let noisy = true_temp_c + self.cfg.offset_c + self.gaussian() * self.cfg.noise_std_c;
+        // The injected jitter shares the per-read gaussian draw, so turning
+        // it on or off never changes how many variates a read consumes —
+        // the PRNG stream structure stays identical across fault schedules.
+        let std = self.cfg.noise_std_c + self.extra_jitter_std_c;
+        let noisy = true_temp_c + self.cfg.offset_c + self.gaussian() * std;
         let quantized = if self.cfg.quantization_c > 0.0 {
             (noisy / self.cfg.quantization_c).round() * self.cfg.quantization_c
         } else {
@@ -91,6 +98,19 @@ impl ThermalSensor {
     /// True while the sensor is failed.
     pub fn is_dropped_out(&self) -> bool {
         self.dropped_out
+    }
+
+    /// Sets the extra gaussian noise std-dev (°C) added on top of the
+    /// configured `noise_std_c`; `0.0` clears it. Driven by the
+    /// `SensorJitter` fault.
+    pub fn set_extra_jitter(&mut self, std_c: f64) {
+        assert!(std_c.is_finite() && std_c >= 0.0, "jitter std must be finite and non-negative");
+        self.extra_jitter_std_c = std_c;
+    }
+
+    /// The currently injected extra noise std-dev, °C.
+    pub fn extra_jitter(&self) -> f64 {
+        self.extra_jitter_std_c
     }
 
     /// Standard normal variate via Box–Muller (two uniforms per call keeps
@@ -169,6 +189,34 @@ mod tests {
         s.restore();
         assert!(s.read(50.0).is_ok());
         assert_eq!(s.read_count(), 2);
+    }
+
+    #[test]
+    fn extra_jitter_widens_spread_without_consuming_extra_variates() {
+        // Two sensors with the same seed, one jittered: their RNG streams
+        // stay aligned (same draw count per read), so clearing the jitter
+        // makes them agree again from that read on.
+        let mut clean = sensor(9);
+        let mut jittered = sensor(9);
+        jittered.set_extra_jitter(2.0);
+        assert_eq!(jittered.extra_jitter(), 2.0);
+        let mut diverged = false;
+        for _ in 0..50 {
+            if clean.read(50.0) != jittered.read(50.0) {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "2 °C of extra noise must be visible");
+        jittered.set_extra_jitter(0.0);
+        for _ in 0..50 {
+            assert_eq!(clean.read(50.0), jittered.read(50.0), "streams realign after clearing");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_jitter() {
+        sensor(1).set_extra_jitter(-1.0);
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub struct Bencher {
 
 impl Bencher {
     /// Times `f`, first calibrating an iteration count so the measured loop
-    /// runs for roughly [`Criterion::MEASURE_BUDGET`].
+    /// runs for roughly the fixed per-benchmark measurement budget.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warm-up + calibration: double the count until the loop is long
         // enough to time meaningfully.

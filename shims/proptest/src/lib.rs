@@ -251,7 +251,7 @@ pub mod prop {
             }
         }
 
-        /// The strategy returned by [`vec`].
+        /// The strategy returned by [`vec()`].
         pub struct VecStrategy<S, R> {
             element: S,
             size: R,
