@@ -12,6 +12,7 @@
 //!                [--threads N]
 //! unitherm-bench --check FILE [--baseline FILE] [--max-regression-pct N]
 //! unitherm-bench --replay-faults JOURNAL
+//! unitherm-bench --chaos-smoke SCENARIO.json
 //! ```
 //!
 //! `--quick` shrinks the matrix and measurement window for CI smoke runs.
@@ -30,7 +31,12 @@
 //! (`unitherm_cluster::derive_fault_plan`), replays the reference scenario
 //! under those faults at 1, 2 and 4 threads, and fails (exit 1) unless all
 //! three reports are bit-identical — the determinism gate extended to the
-//! fault-injection path.
+//! fault-injection path. `--chaos-smoke` runs a small-budget adversarial
+//! chaos search (`unitherm_cluster::chaos`) over the given scenario file
+//! and fails (exit 1) unless the search finds a counterexample, the corpus
+//! is byte-identical when the search reruns on one evaluation thread, and
+//! the cheapest counterexample replays bit-identically at 1, 2 and 4
+//! threads — the determinism gate extended to the search layer.
 
 use std::fs::File;
 use std::io::BufWriter;
@@ -38,13 +44,14 @@ use std::time::Instant;
 
 use serde::Serialize;
 use serde_json::Value;
+use unitherm_cluster::chaos::{chaos_search, report_digest, ChaosConfig, OutcomePredicate};
 use unitherm_cluster::replay::{derive_fault_plan, ReplayOptions};
 use unitherm_cluster::scenario::{Scenario, WorkloadSpec};
 use unitherm_cluster::scheme::{FanScheme, SchemeSpec};
 use unitherm_cluster::sim::Simulation;
 use unitherm_cluster::sweep::run_scenarios_parallel;
 use unitherm_core::control_array::Policy;
-use unitherm_obs::{read_journal, JournalWriter};
+use unitherm_obs::{read_journal, JournalWriter, NullSink};
 use unitherm_workload::{NpbBenchmark, NpbClass};
 
 /// Pre-PR tick throughput of the 16-node cpu-burn / dynamic-fan case,
@@ -608,7 +615,13 @@ fn run_replay_check(journal_path: &str) -> i32 {
     // counters and events.
     let case = Case { nodes: 4, burn: true, scheme: Scheme::DynamicFan };
     let base = case.scenario().with_recording(true).with_max_time(60.0);
-    let plan = derive_fault_plan(&records, &base, &ReplayOptions::default());
+    let plan = match derive_fault_plan(&records, &base, &ReplayOptions::default()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("replay check failed: {journal_path}: {e}");
+            return 1;
+        }
+    };
     eprintln!(
         "replay: {} journal event(s) -> {} derived fault window(s)",
         records.len(),
@@ -644,6 +657,112 @@ fn run_replay_check(journal_path: &str) -> i32 {
     }
 }
 
+/// `--chaos-smoke` entry point: run a small-budget adversarial search over
+/// `scenario_path` and gate on the chaos layer's contracts — a flip is
+/// found, the corpus is a pure function of its seed, and the cheapest
+/// counterexample replays bit-identically at 1, 2 and 4 threads. Returns
+/// the process exit code.
+fn run_chaos_smoke(scenario_path: &str) -> i32 {
+    let text = match std::fs::read_to_string(scenario_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("chaos smoke failed: {scenario_path}: {e}");
+            return 1;
+        }
+    };
+    let mut scenario: Scenario = match serde_json::from_str(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("chaos smoke failed: {scenario_path}: invalid scenario JSON: {e}");
+            return 1;
+        }
+    };
+    if let Err(e) = scenario.validate() {
+        eprintln!("chaos smoke failed: {scenario_path}: {e}");
+        return 1;
+    }
+    // Bound the horizon so each candidate evaluation stays cheap; the
+    // search is deterministic for any fixed horizon.
+    scenario.max_time_s = scenario.max_time_s.min(60.0);
+    let cfg = ChaosConfig {
+        seed: 42,
+        predicate: OutcomePredicate::FailsafeTrip,
+        max_evaluations: 40,
+        batch: 8,
+        ..ChaosConfig::default()
+    };
+    let corpus = match chaos_search(&scenario, &cfg, &mut NullSink) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("chaos smoke failed: {e}");
+            return 1;
+        }
+    };
+    eprintln!(
+        "chaos: {} evaluation(s), {} counterexample(s), baseline holds: {}",
+        corpus.evaluations,
+        corpus.counterexamples.len(),
+        corpus.baseline_holds
+    );
+    let Some(best) = corpus.counterexamples.first() else {
+        eprintln!(
+            "chaos smoke failed: no counterexample found within {} evaluations",
+            cfg.max_evaluations
+        );
+        return 1;
+    };
+    eprintln!(
+        "chaos: cheapest flip costs {} ({} faulted tick(s), {} window(s)) -> {}",
+        best.cost,
+        best.faulted_ticks,
+        best.windows.len(),
+        best.report_digest
+    );
+
+    // Seed purity: rerunning the search on a single evaluation thread must
+    // reproduce the corpus byte for byte.
+    let single = ChaosConfig { threads: 1, ..cfg };
+    let rerun = match chaos_search(&scenario, &single, &mut NullSink) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("chaos smoke failed on rerun: {e}");
+            return 1;
+        }
+    };
+    let a = serde_json::to_string_pretty(&corpus).expect("corpus serializes");
+    let b = serde_json::to_string_pretty(&rerun).expect("corpus serializes");
+    if a != b {
+        eprintln!("chaos smoke failed: corpus differs between evaluation thread budgets");
+        return 1;
+    }
+    eprintln!("chaos: corpus byte-identical across evaluation thread budgets");
+
+    // Replay fidelity: the cheapest counterexample re-executes to the
+    // recorded digest at every intra-run thread count.
+    for threads in [1usize, 2, 4] {
+        let faulted = match corpus.apply(scenario.clone(), 0) {
+            Some(s) => s.with_threads(threads),
+            None => {
+                eprintln!("chaos smoke failed: corpus entry 0 vanished");
+                return 1;
+            }
+        };
+        let report = Simulation::new(faulted).run();
+        let digest = report_digest(&report);
+        eprintln!("chaos: replay @ {threads} thread(s) -> {digest}");
+        if digest != best.report_digest {
+            eprintln!(
+                "chaos smoke failed: replay at {threads} thread(s) produced {digest}, \
+                 corpus recorded {}",
+                best.report_digest
+            );
+            return 1;
+        }
+    }
+    eprintln!("chaos: counterexample replays bit-identically across 1/2/4 threads");
+    0
+}
+
 fn git_commit() -> String {
     std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
@@ -662,6 +781,7 @@ fn main() {
     let mut check_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut replay_path: Option<String> = None;
+    let mut chaos_path: Option<String> = None;
     let mut max_regression_pct = 15.0;
     let mut threads = 1usize;
     let mut args = std::env::args().skip(1);
@@ -677,6 +797,9 @@ fn main() {
             "--check" => check_path = Some(args.next().expect("--check needs a report file")),
             "--replay-faults" => {
                 replay_path = Some(args.next().expect("--replay-faults needs a journal file"))
+            }
+            "--chaos-smoke" => {
+                chaos_path = Some(args.next().expect("--chaos-smoke needs a scenario file"))
             }
             "--baseline" => {
                 baseline_path = Some(args.next().expect("--baseline needs a report file"))
@@ -703,6 +826,7 @@ fn main() {
                      [--max-regression-pct N]"
                 );
                 eprintln!("       unitherm-bench --replay-faults JOURNAL");
+                eprintln!("       unitherm-bench --chaos-smoke SCENARIO.json");
                 std::process::exit(2);
             }
         }
@@ -712,6 +836,9 @@ fn main() {
     }
     if let Some(journal) = replay_path {
         std::process::exit(run_replay_check(&journal));
+    }
+    if let Some(scenario) = chaos_path {
+        std::process::exit(run_chaos_smoke(&scenario));
     }
     let min_wall_s = min_wall_s.unwrap_or(if quick { 0.02 } else { 0.5 });
 

@@ -34,8 +34,13 @@
 //!   exactly where an earlier run made interesting decisions;
 //! * [`sweep`] — parallel execution of independent scenarios (std
 //!   scoped threads, one per configuration), budgeted against the
-//!   intra-run thread counts so the two layers never oversubscribe.
+//!   intra-run thread counts so the two layers never oversubscribe;
+//! * [`chaos`] — adversarial search over tick-addressed fault windows:
+//!   finds the cheapest fault sequence that flips a scenario outcome
+//!   (failsafe trip, thermal limit, SLA miss) and emits a replayable
+//!   counterexample corpus.
 
+pub mod chaos;
 pub mod node_sim;
 pub(crate) mod pool;
 pub mod rack;
@@ -46,10 +51,14 @@ pub mod scheme;
 pub mod sim;
 pub mod sweep;
 
+pub use chaos::{
+    chaos_search, report_digest, AttackKind, ChaosConfig, ChaosCorpus, ChaosError, Counterexample,
+    FaultWindow, OutcomePredicate, OutcomeSummary, CHAOS_SCHEMA,
+};
 pub use rack::{RackConfig, RackModel};
-pub use replay::{derive_fault_plan, DerivedFault, ReplayOptions, ReplayPlan};
+pub use replay::{derive_fault_plan, DerivedFault, ReplayError, ReplayOptions, ReplayPlan};
 pub use report::{NodeReport, RunReport};
 pub use scenario::{Scenario, ScenarioError, WorkloadSpec};
 pub use scheme::{DvfsScheme, FanScheme, SchemeSpec};
 pub use sim::Simulation;
-pub use sweep::{run_scenarios_parallel, thread_budget};
+pub use sweep::{run_scenarios_parallel, thread_budget, try_run_scenarios_parallel, SweepError};

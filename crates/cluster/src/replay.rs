@@ -149,6 +149,59 @@ impl ReplayPlan {
     }
 }
 
+/// A journal record [`derive_fault_plan`] cannot map onto the scenario —
+/// the replay analogue of `std::io::ErrorKind::InvalidData`. Each variant
+/// identifies the offending record by its position in the journal, so a
+/// corrupt line in a multi-megabyte JSONL file can be found and excised.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReplayError {
+    /// A record's `time_s` is NaN, infinite, or negative: it has no tick.
+    /// (Before this check, NaN and negative times silently rounded to tick
+    /// 0 and were dropped as "before the run".)
+    InvalidTime {
+        /// Zero-based record index within the journal.
+        index: usize,
+        /// The record's node field.
+        node: u32,
+        /// The offending timestamp.
+        time_s: f64,
+    },
+    /// A record names a node the scenario does not have.
+    NodeOutOfRange {
+        /// Zero-based record index within the journal.
+        index: usize,
+        /// The record's node field.
+        node: u32,
+        /// The scenario's fleet size; valid nodes are `0..nodes`.
+        nodes: usize,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::InvalidTime { index, node, time_s } => write!(
+                f,
+                "journal record {index} (node {node}): time_s {time_s} is not a finite, \
+                 non-negative timestamp"
+            ),
+            ReplayError::NodeOutOfRange { index, node, nodes } => write!(
+                f,
+                "journal record {index}: node {node} is outside the scenario's fleet \
+                 (valid nodes are 0..{nodes})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<ReplayError> for std::io::Error {
+    fn from(e: ReplayError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
 /// Per-node derivation state: open fault windows and the window budget.
 #[derive(Clone, Copy, Default)]
 struct NodeWindows {
@@ -161,26 +214,46 @@ struct NodeWindows {
 /// Derives a tick-addressed fault plan from a recorded journal.
 ///
 /// `scenario` supplies the geometry the journal is replayed against: the
-/// tick width (`dt_s`, for the time → tick mapping), the node count
-/// (records for out-of-range nodes are skipped) and the run length
-/// (`max_time_s`; windows that would open after the end are skipped).
-/// Overlapping windows of the same kind on the same node are coalesced into
-/// the first one, so a recovery event can never cancel a later injection.
+/// tick width (`dt_s`, for the time → tick mapping), the node count and the
+/// run length (`max_time_s`; windows that would open after the end are
+/// skipped). Overlapping windows of the same kind on the same node are
+/// coalesced into the first one, so a recovery event can never cancel a
+/// later injection.
+///
+/// # Errors
+/// Returns a [`ReplayError`] identifying the offending record when the
+/// journal is corrupt: a non-finite or negative `time_s`, or a `node` the
+/// scenario does not have. A corrupt journal is a corrupt *recording* — the
+/// derivation refuses to guess which faults it meant.
 pub fn derive_fault_plan(
     records: &[EventRecord],
     scenario: &Scenario,
     opts: &ReplayOptions,
-) -> ReplayPlan {
+) -> Result<ReplayPlan, ReplayError> {
     let last_tick = (scenario.max_time_s / scenario.dt_s).round() as u64;
     let mut windows = vec![NodeWindows::default(); scenario.nodes];
     let mut schedules: Vec<TickFaultSchedule> = vec![TickFaultSchedule::none(); scenario.nodes];
     let mut derived = Vec::new();
 
+    let mut index = 0usize;
     let mut cursor = JournalCursor::new(records);
     while let Some(rec) = cursor.next() {
+        let rec_index = index;
+        index += 1;
+        if !rec.time_s.is_finite() || rec.time_s < 0.0 {
+            return Err(ReplayError::InvalidTime {
+                index: rec_index,
+                node: rec.node,
+                time_s: rec.time_s,
+            });
+        }
         let node = rec.node as usize;
         if node >= scenario.nodes {
-            continue;
+            return Err(ReplayError::NodeOutOfRange {
+                index: rec_index,
+                node: rec.node,
+                nodes: scenario.nodes,
+            });
         }
         let tick = (rec.time_s / scenario.dt_s).round() as u64;
         if tick == 0 || tick > last_tick {
@@ -225,7 +298,7 @@ pub fn derive_fault_plan(
     }
 
     let schedules = schedules.into_iter().enumerate().filter(|(_, s)| !s.is_empty()).collect();
-    ReplayPlan { schedules, derived }
+    Ok(ReplayPlan { schedules, derived })
 }
 
 #[cfg(test)]
@@ -257,7 +330,8 @@ mod tests {
             rec(10.0, 1, Event::TdvfsEngage { from_mhz: 2400, to_mhz: 2200 }),
             rec(20.0, 0, Event::FailsafeTrip { cause: TripCause::StaleSensor }),
         ];
-        let plan = derive_fault_plan(&records, &scenario(), &ReplayOptions::default());
+        let plan = derive_fault_plan(&records, &scenario(), &ReplayOptions::default())
+            .expect("clean journal derives");
         assert_eq!(plan.len(), 3);
         // dt = 0.05, so t=5 s is tick 100.
         assert_eq!(plan.derived[0].tick, 100);
@@ -275,16 +349,51 @@ mod tests {
     }
 
     #[test]
-    fn uninteresting_events_and_foreign_nodes_are_skipped() {
+    fn uninteresting_and_out_of_window_events_are_skipped() {
         let records = vec![
             rec(1.0, 0, Event::FailsafeRelease),
             rec(2.0, 0, Event::TdvfsRelease { to_mhz: 2400 }),
-            rec(3.0, 9, mode_change()),   // node 9 does not exist
             rec(500.0, 0, mode_change()), // past max_time_s
         ];
-        let plan = derive_fault_plan(&records, &scenario(), &ReplayOptions::default());
+        let plan = derive_fault_plan(&records, &scenario(), &ReplayOptions::default())
+            .expect("skippable records are not errors");
         assert!(plan.is_empty());
         assert!(plan.schedules.is_empty());
+    }
+
+    #[test]
+    fn foreign_node_is_a_named_error() {
+        // Regression: a record for a node outside the fleet used to be
+        // silently dropped, masking journals recorded against a different
+        // scenario geometry.
+        let records = vec![rec(1.0, 0, mode_change()), rec(3.0, 9, mode_change())];
+        let err = derive_fault_plan(&records, &scenario(), &ReplayOptions::default())
+            .expect_err("node 9 does not exist in a 2-node scenario");
+        assert_eq!(err, ReplayError::NodeOutOfRange { index: 1, node: 9, nodes: 2 });
+        let msg = err.to_string();
+        assert!(msg.contains("record 1") && msg.contains("node 9"), "{msg}");
+        let io: std::io::Error = err.into();
+        assert_eq!(io.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn non_finite_or_negative_time_is_a_named_error() {
+        // Regression: NaN and negative times rounded to tick 0 and were
+        // silently dropped as "before the run started".
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            let records = vec![rec(1.0, 0, mode_change()), rec(bad, 1, mode_change())];
+            let err = derive_fault_plan(&records, &scenario(), &ReplayOptions::default())
+                .expect_err("corrupt timestamp must not derive");
+            match err {
+                ReplayError::InvalidTime { index, node, time_s } => {
+                    assert_eq!(index, 1);
+                    assert_eq!(node, 1);
+                    assert!(time_s.is_nan() == bad.is_nan() && (bad.is_nan() || time_s == bad));
+                }
+                other => panic!("wrong error for {bad}: {other:?}"),
+            }
+            assert!(err.to_string().contains("record 1"), "{err}");
+        }
     }
 
     #[test]
@@ -298,7 +407,8 @@ mod tests {
             rec(6.0, 0, mode_change()),
             rec(8.0, 0, mode_change()), // tick 160 > 140: new window
         ];
-        let plan = derive_fault_plan(&records, &scenario(), &ReplayOptions::default());
+        let plan =
+            derive_fault_plan(&records, &scenario(), &ReplayOptions::default()).expect("derive");
         assert_eq!(plan.len(), 2);
         assert_eq!(plan.derived[0].tick, 100);
         assert_eq!(plan.derived[1].tick, 160);
@@ -310,7 +420,7 @@ mod tests {
         // Far-apart mode changes: every one would open a window.
         let records: Vec<EventRecord> =
             (1..20).map(|i| rec(f64::from(i) * 10.0, 0, mode_change())).collect();
-        let plan = derive_fault_plan(&records, &scenario(), &opts);
+        let plan = derive_fault_plan(&records, &scenario(), &opts).expect("derive");
         assert_eq!(plan.len(), 2);
     }
 
@@ -318,7 +428,8 @@ mod tests {
     fn apply_installs_tick_faults_and_keeps_stochastic_plans() {
         use unitherm_simnode::faults::FaultPlan;
         let records = vec![rec(5.0, 0, mode_change())];
-        let plan = derive_fault_plan(&records, &scenario(), &ReplayOptions::default());
+        let plan =
+            derive_fault_plan(&records, &scenario(), &ReplayOptions::default()).expect("derive");
         let base = scenario().with_fault(1, FaultPlan::none().at(10.0, FaultEvent::FanFailure));
         let replayed = plan.apply(base);
         replayed.validate().unwrap();

@@ -87,34 +87,50 @@ pub struct RunReport {
     pub rack_air: Option<TimeSeries>,
 }
 
+/// Mean of the finite values in `values`, or 0.0 when none are finite.
+///
+/// Faulted runs (sensor dropout, jitter) can leave NaN or ±inf in per-node
+/// summaries; one poisoned node must not turn every cluster aggregate into
+/// NaN, so non-finite contributions are skipped rather than propagated.
+fn finite_mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0u64);
+    for v in values.filter(|v| v.is_finite()) {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
 impl RunReport {
-    /// Average per-node wall power across the cluster, W.
+    /// Average per-node wall power across the cluster, W. Non-finite
+    /// per-node values (faulted runs) are skipped.
     pub fn avg_node_power_w(&self) -> f64 {
-        if self.nodes.is_empty() {
-            return 0.0;
-        }
-        self.nodes.iter().map(|n| n.avg_wall_power_w).sum::<f64>() / self.nodes.len() as f64
+        finite_mean(self.nodes.iter().map(|n| n.avg_wall_power_w))
     }
 
-    /// Mean of per-node average temperatures, °C.
+    /// Mean of per-node average temperatures, °C. Non-finite per-node means
+    /// (empty or NaN-poisoned summaries) are skipped.
     pub fn avg_temp_c(&self) -> f64 {
-        if self.nodes.is_empty() {
-            return 0.0;
-        }
-        self.nodes.iter().map(|n| n.temp_summary.mean).sum::<f64>() / self.nodes.len() as f64
+        finite_mean(self.nodes.iter().map(|n| n.temp_summary.mean))
     }
 
-    /// Hottest temperature seen on any node, °C.
+    /// Hottest temperature seen on any node, °C. NaN maxima are ignored;
+    /// returns `-inf` when no node recorded a sample (the empty-summary
+    /// sentinel).
     pub fn max_temp_c(&self) -> f64 {
+        // f64::max is NaN-ignoring as long as the accumulator stays non-NaN,
+        // which the NEG_INFINITY seed guarantees.
         self.nodes.iter().map(|n| n.temp_summary.max).fold(f64::NEG_INFINITY, f64::max)
     }
 
-    /// Mean of per-node average commanded duty, %.
+    /// Mean of per-node average commanded duty, %. Non-finite per-node
+    /// means are skipped.
     pub fn avg_duty_pct(&self) -> f64 {
-        if self.nodes.is_empty() {
-            return 0.0;
-        }
-        self.nodes.iter().map(|n| n.duty_summary.mean).sum::<f64>() / self.nodes.len() as f64
+        finite_mean(self.nodes.iter().map(|n| n.duty_summary.mean))
     }
 
     /// Total hardware frequency transitions across the cluster (Table 1's
@@ -140,12 +156,14 @@ impl RunReport {
     }
 
     /// Earliest DVFS scale-down event across the cluster (Figure 10's
-    /// trigger time), if any.
+    /// trigger time), if any. Events with non-finite timestamps (possible
+    /// in reports assembled from faulted or corrupt inputs) are skipped.
     pub fn first_dvfs_event_time_s(&self) -> Option<f64> {
         self.nodes
             .iter()
             .filter_map(|n| n.freq_events.first().map(|(t, _)| *t))
-            .min_by(|a, b| a.partial_cmp(b).expect("times are finite"))
+            .filter(|t| t.is_finite())
+            .min_by(f64::total_cmp)
     }
 
     /// Lowest frequency any node was ever commanded to, MHz.
@@ -287,6 +305,42 @@ mod tests {
         assert_eq!(r.avg_temp_c(), 0.0);
         assert_eq!(r.first_dvfs_event_time_s(), None);
         assert_eq!(r.min_commanded_freq_mhz(), None);
+    }
+
+    #[test]
+    fn nan_sample_times_and_values_do_not_panic_aggregation() {
+        // Regression: `first_dvfs_event_time_s` used
+        // `partial_cmp(..).expect("times are finite")` and panicked the
+        // moment a NaN timestamp reached a report; NaN summary means also
+        // poisoned every cluster average.
+        let mut r = report();
+        r.nodes[0].freq_events = vec![(f64::NAN, 2200)];
+        r.nodes[0].temp_summary.mean = f64::NAN;
+        r.nodes[0].temp_summary.max = f64::NAN;
+        r.nodes[0].duty_summary.mean = f64::NAN;
+        r.nodes[0].avg_wall_power_w = f64::NAN;
+        // The NaN-timestamped event is skipped; node 1's finite event wins.
+        assert_eq!(r.first_dvfs_event_time_s(), Some(10.0));
+        // Node 0's poisoned summaries are skipped, node 1 still counts.
+        assert_eq!(r.avg_temp_c(), 54.0);
+        assert_eq!(r.avg_duty_pct(), 50.0);
+        assert_eq!(r.avg_node_power_w(), 96.0);
+        assert_eq!(r.max_temp_c(), 59.0);
+        let line = r.summary_line();
+        assert!(!line.contains("NaN"), "NaN leaked into summary line: {line}");
+    }
+
+    #[test]
+    fn all_nan_events_yield_none_and_zeroed_aggregates() {
+        let mut r = report();
+        for n in &mut r.nodes {
+            n.freq_events = vec![(f64::NAN, 2000)];
+            n.temp_summary.mean = f64::NAN;
+            n.avg_wall_power_w = f64::INFINITY;
+        }
+        assert_eq!(r.first_dvfs_event_time_s(), None);
+        assert_eq!(r.avg_temp_c(), 0.0);
+        assert_eq!(r.avg_node_power_w(), 0.0);
     }
 
     #[test]

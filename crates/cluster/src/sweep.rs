@@ -10,8 +10,31 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 use crate::report::RunReport;
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, ScenarioError};
 use crate::sim::Simulation;
+
+/// A sweep job that could not run: its scenario failed validation. Carries
+/// the scenario name, so one bad configuration deep inside a generated
+/// sweep identifies itself instead of panicking an anonymous worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepError {
+    /// Name of the scenario whose job failed.
+    pub scenario: String,
+    /// The underlying validation error.
+    pub error: ScenarioError,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sweep job \"{}\" failed: {}", self.scenario, self.error)
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
 
 /// The sweep's worker budget: how many scenario-level workers to run so
 /// that `workers × threads_per_job` never exceeds `max_threads` (and no
@@ -41,8 +64,40 @@ pub fn thread_budget(max_threads: usize, jobs: usize, threads_per_job: usize) ->
 /// payload propagates from the scope join untouched.
 ///
 /// # Panics
-/// Propagates panics from worker threads (a panicking simulation is a bug).
+/// Propagates panics from worker threads (a panicking simulation is a bug),
+/// and panics with the failed job's [`SweepError`] message — scenario name
+/// included — when a scenario fails validation. Callers that must survive
+/// invalid jobs (the chaos search evaluating generated candidates) use
+/// [`try_run_scenarios_parallel`] instead.
 pub fn run_scenarios_parallel(scenarios: Vec<Scenario>, max_threads: usize) -> Vec<RunReport> {
+    try_run_scenarios_parallel(scenarios, max_threads)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+        .collect()
+}
+
+/// Fallible form of [`run_scenarios_parallel`]: every scenario produces
+/// either its report or a [`SweepError`] naming it, in input order.
+///
+/// A scenario that fails validation becomes a job failure — the worker
+/// moves on to the next claim — so one corrupt configuration (or one
+/// pathological search candidate) cannot take down a whole sweep.
+///
+/// # Panics
+/// Still propagates *panics* from worker threads: a simulation that
+/// validated and then panicked mid-run is a bug, not a job failure.
+pub fn try_run_scenarios_parallel(
+    scenarios: Vec<Scenario>,
+    max_threads: usize,
+) -> Vec<Result<RunReport, SweepError>> {
+    let run_one = |scenario: Scenario| -> Result<RunReport, SweepError> {
+        let name = scenario.name.clone();
+        match Simulation::try_new(scenario) {
+            Ok(sim) => Ok(sim.run()),
+            Err(error) => Err(SweepError { scenario: name, error }),
+        }
+    };
+
     let n = scenarios.len();
     if n == 0 {
         return Vec::new();
@@ -50,11 +105,11 @@ pub fn run_scenarios_parallel(scenarios: Vec<Scenario>, max_threads: usize) -> V
     let per_job = scenarios.iter().map(|s| s.threads.min(s.nodes).max(1)).max().unwrap_or(1);
     let workers = thread_budget(max_threads, n, per_job);
     if workers == 1 {
-        return scenarios.into_iter().map(|s| Simulation::new(s).run()).collect();
+        return scenarios.into_iter().map(run_one).collect();
     }
 
     let next = AtomicUsize::new(0);
-    let (result_tx, result_rx) = mpsc::channel::<(usize, RunReport)>();
+    let (result_tx, result_rx) = mpsc::channel::<(usize, Result<RunReport, SweepError>)>();
 
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -62,14 +117,15 @@ pub fn run_scenarios_parallel(scenarios: Vec<Scenario>, max_threads: usize) -> V
                 let next = &next;
                 let scenarios = &scenarios;
                 let result_tx = result_tx.clone();
+                let run_one = &run_one;
                 scope.spawn(move || loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     let Some(scenario) = scenarios.get(idx) else { break };
-                    let report = Simulation::new(scenario.clone()).run();
+                    let result = run_one(scenario.clone());
                     // Ignore a closed channel: it only closes early when a
                     // sibling panicked — dying here would mask the original
                     // message.
-                    let _ = result_tx.send((idx, report));
+                    let _ = result_tx.send((idx, result));
                 })
             })
             .collect();
@@ -84,11 +140,11 @@ pub fn run_scenarios_parallel(scenarios: Vec<Scenario>, max_threads: usize) -> V
         }
     });
 
-    let mut results: Vec<Option<RunReport>> = (0..n).map(|_| None).collect();
-    while let Ok((idx, report)) = result_rx.recv() {
-        results[idx] = Some(report);
+    let mut results: Vec<Option<Result<RunReport, SweepError>>> = (0..n).map(|_| None).collect();
+    while let Ok((idx, result)) = result_rx.recv() {
+        results[idx] = Some(result);
     }
-    results.into_iter().map(|r| r.expect("every scenario produced a report")).collect()
+    results.into_iter().map(|r| r.expect("every scenario produced a result")).collect()
 }
 
 /// Runs every scenario with one worker per available CPU (capped at the
@@ -193,12 +249,13 @@ mod tests {
 
     #[test]
     fn worker_panic_propagates_with_original_message() {
-        // A scenario invalid enough to panic inside a worker (validate runs
-        // in Simulation::new on the worker thread) must surface its own
-        // panic message from the sweep — not a secondary "queue lock
-        // poisoned" / "result channel open" panic from a sibling worker.
+        // Regression: an invalid scenario used to panic inside the worker
+        // thread (Simulation::new → validate), with nothing identifying
+        // *which* job died. The failure now travels back as a SweepError
+        // and the infallible entry point panics with the scenario name AND
+        // the original validation message.
         let mut bad = quick("bad", 50);
-        bad.nodes = 0; // validate() panics: "need at least one node"
+        bad.nodes = 0; // validate() fails: "need at least one node"
         let scenarios = vec![quick("a", 25), bad, quick("b", 75), quick("c", 60)];
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_scenarios_parallel(scenarios, 2)
@@ -209,6 +266,34 @@ mod tests {
             .cloned()
             .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
             .unwrap_or_default();
-        assert!(msg.contains("need at least one node"), "original panic lost: {msg:?}");
+        assert!(msg.contains("need at least one node"), "original message lost: {msg:?}");
+        assert!(msg.contains("\"bad\""), "scenario name lost: {msg:?}");
+    }
+
+    #[test]
+    fn invalid_scenario_is_a_named_job_failure_not_a_worker_panic() {
+        // The fallible sweep keeps the surviving jobs: the bad job comes
+        // back as Err naming its scenario, every other job still reports.
+        let mut bad = quick("bad", 50);
+        bad.nodes = 0;
+        let scenarios = vec![quick("a", 25), bad, quick("b", 75)];
+        let results = try_run_scenarios_parallel(scenarios, 2);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].as_ref().expect("job a runs").name, "a");
+        assert_eq!(results[2].as_ref().expect("job b runs").name, "b");
+        let err = results[1].as_ref().expect_err("job 'bad' must fail");
+        assert_eq!(err.scenario, "bad");
+        assert_eq!(err.error.message(), "need at least one node");
+        assert!(err.to_string().contains("\"bad\""), "{err}");
+    }
+
+    #[test]
+    fn fallible_sweep_matches_serial_for_single_worker() {
+        let mut bad = quick("bad", 50);
+        bad.nodes = 0;
+        // max_threads = 1 exercises the serial fast path.
+        let results = try_run_scenarios_parallel(vec![quick("a", 25), bad], 1);
+        assert!(results[0].is_ok());
+        assert_eq!(results[1].as_ref().expect_err("bad fails serially").scenario, "bad");
     }
 }

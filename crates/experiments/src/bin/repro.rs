@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! repro <experiment> [--fast] [--csv DIR]
-//! repro run-scenario <file.json> [--journal OUT.jsonl] [--replay-faults IN.jsonl]
+//! repro run-scenario <file.json> [--journal OUT.jsonl] [--replay-faults IN]
+//! repro chaos-search <file.json> [--out CORPUS.json] [--seed N] [--budget N]
+//!                    [--batch N] [--threads N] [--predicate P]
 //!
 //! experiments:
 //!   fig1 fig2 fig5 fig6 fig7 fig8 fig9 fig10 table1
@@ -12,12 +14,21 @@
 //!
 //! `run-scenario` executes a JSON scenario file (see examples/scenarios/)
 //! and prints its report. `--journal OUT.jsonl` streams every control-plane
-//! event to a JSONL journal as the run executes; `--replay-faults IN.jsonl`
-//! reads a journal recorded by an earlier run and injects faults at the
-//! exact ticks where that run made interesting decisions (see
-//! docs/FORMATS.md and DESIGN.md §12 for the record → derive → replay
-//! workflow). The two flags compose: replay a faulted run while recording
-//! its journal to diff fault delivery against the plan.
+//! event to a JSONL journal as the run executes; `--replay-faults IN` reads
+//! either a journal recorded by an earlier run (faults land at the exact
+//! ticks where that run made interesting decisions) or a chaos-search
+//! counterexample corpus (entry 0's fault windows are installed and the
+//! resulting report digest is checked against the corpus) — see
+//! docs/FORMATS.md and DESIGN.md §12–§13. The two flags compose: replay a
+//! faulted run while recording its journal to diff fault delivery against
+//! the plan.
+//!
+//! `chaos-search` runs the seeded adversarial search (DESIGN.md §13) over a
+//! scenario, hunting the cheapest fault sequence that flips the outcome
+//! predicate P (one of `failsafe-trip`, `thermal-limit:<°C>`, `shutdown`,
+//! `completion-miss`, `sla-miss:<seconds>`; default `failsafe-trip`). The
+//! ranked counterexample corpus is written to `--out` (default
+//! `chaos_corpus.json`); exit code 1 when no counterexample was found.
 //! ```
 //!
 //! Exit code 0 when every run experiment reproduces the paper's shape; 1 on
@@ -26,10 +37,12 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use unitherm_cluster::chaos::{chaos_search, report_digest, ChaosConfig, OutcomePredicate};
 use unitherm_experiments::{
     ablations, fig1, fig10, fig2, fig5, fig6, fig7, fig8, fig9, rack, scaling, scenario_file,
     straggler, table1, Experiment, Scale,
 };
+use unitherm_obs::{Event, EventRecord, EventSink};
 
 const ALL: &[&str] = &[
     "fig1",
@@ -54,9 +67,156 @@ const ALL: &[&str] = &[
 
 fn usage() -> String {
     format!(
-        "usage: repro <experiment> [--fast] [--csv DIR]\n       repro run-scenario <file.json> [--journal OUT.jsonl] [--replay-faults IN.jsonl]\n       experiments: {} all",
+        "usage: repro <experiment> [--fast] [--csv DIR]\n       repro run-scenario <file.json> [--journal OUT.jsonl] [--replay-faults IN.jsonl|CORPUS.json]\n       repro chaos-search <file.json> [--out CORPUS.json] [--seed N] [--budget N] [--batch N] [--threads N] [--predicate failsafe-trip|thermal-limit:<C>|shutdown|completion-miss|sla-miss:<S>]\n       experiments: {} all",
         ALL.join(" ")
     )
+}
+
+/// Parses a `--predicate` string into an [`OutcomePredicate`].
+fn parse_predicate(s: &str) -> Result<OutcomePredicate, String> {
+    match s {
+        "failsafe-trip" => Ok(OutcomePredicate::FailsafeTrip),
+        "shutdown" => Ok(OutcomePredicate::Shutdown),
+        "completion-miss" => Ok(OutcomePredicate::CompletionMiss),
+        _ => {
+            if let Some(v) = s.strip_prefix("thermal-limit:") {
+                let limit_c: f64 =
+                    v.parse().map_err(|_| format!("thermal-limit wants a °C number, got {v:?}"))?;
+                Ok(OutcomePredicate::ThermalLimit { limit_c })
+            } else if let Some(v) = s.strip_prefix("sla-miss:") {
+                let max_exec_time_s: f64 =
+                    v.parse().map_err(|_| format!("sla-miss wants seconds, got {v:?}"))?;
+                Ok(OutcomePredicate::SlaMiss { max_exec_time_s })
+            } else {
+                Err(format!(
+                    "unknown predicate {s:?} (want failsafe-trip, thermal-limit:<C>, shutdown, completion-miss, or sla-miss:<S>)"
+                ))
+            }
+        }
+    }
+}
+
+/// Streams chaos-search progress lines to stderr as they arrive.
+struct StderrProgress;
+
+impl EventSink for StderrProgress {
+    fn record(&mut self, rec: &EventRecord) {
+        if let Event::SearchProgress { phase, evaluated, counterexamples, best_cost } = rec.event {
+            let best = if best_cost == u64::MAX { "-".to_string() } else { best_cost.to_string() };
+            eprintln!(
+                "  [{phase:?}] evaluated={evaluated} counterexamples={counterexamples} best_cost={best}"
+            );
+        }
+    }
+}
+
+/// The `chaos-search` subcommand: adversarial search for the cheapest
+/// outcome-flipping fault sequence, written out as a replayable corpus.
+fn chaos_search_mode(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("chaos-search requires a scenario file\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let mut cfg = ChaosConfig::default();
+    let mut out = PathBuf::from("chaos_corpus.json");
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        let mut take = |flag: &str| -> Result<String, ExitCode> {
+            it.next().cloned().ok_or_else(|| {
+                eprintln!("{flag} requires a value\n{}", usage());
+                ExitCode::FAILURE
+            })
+        };
+        let result = match arg.as_str() {
+            "--out" => take("--out").map(|v| out = PathBuf::from(v)),
+            "--seed" => take("--seed").and_then(|v| {
+                v.parse().map(|n| cfg.seed = n).map_err(|_| {
+                    eprintln!("--seed wants an integer, got {v:?}");
+                    ExitCode::FAILURE
+                })
+            }),
+            "--budget" => take("--budget").and_then(|v| {
+                v.parse().map(|n| cfg.max_evaluations = n).map_err(|_| {
+                    eprintln!("--budget wants an integer, got {v:?}");
+                    ExitCode::FAILURE
+                })
+            }),
+            "--batch" => take("--batch").and_then(|v| {
+                v.parse().map(|n| cfg.batch = n).map_err(|_| {
+                    eprintln!("--batch wants an integer, got {v:?}");
+                    ExitCode::FAILURE
+                })
+            }),
+            "--threads" => take("--threads").and_then(|v| {
+                v.parse().map(|n| cfg.threads = n).map_err(|_| {
+                    eprintln!("--threads wants an integer, got {v:?}");
+                    ExitCode::FAILURE
+                })
+            }),
+            "--predicate" => take("--predicate").and_then(|v| {
+                parse_predicate(&v).map(|p| cfg.predicate = p).map_err(|e| {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                })
+            }),
+            other => {
+                eprintln!("unexpected argument {other:?}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(code) = result {
+            return code;
+        }
+    }
+    let scenario = match scenario_file::load(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "== chaos-search over scenario {:?} (seed {}, budget {}, predicate {:?}) ==",
+        scenario.name, cfg.seed, cfg.max_evaluations, cfg.predicate
+    );
+    let corpus = match chaos_search(&scenario, &cfg, &mut StderrProgress) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("chaos search failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = match serde_json::to_string_pretty(&corpus) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot serialize corpus: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("cannot write corpus to {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "evaluated {} run(s); baseline predicate holds: {}",
+        corpus.evaluations, corpus.baseline_holds
+    );
+    for (i, ce) in corpus.counterexamples.iter().enumerate() {
+        println!(
+            "  #{i}: cost={} ({} faulted tick(s), {} window(s)) digest={}",
+            ce.cost,
+            ce.faulted_ticks,
+            ce.windows.len(),
+            ce.report_digest
+        );
+    }
+    println!("corpus written to {}", out.display());
+    if corpus.counterexamples.is_empty() {
+        eprintln!("no counterexample found within the evaluation budget");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn run_one(id: &str, scale: Scale) -> Option<Box<dyn Experiment>> {
@@ -85,6 +245,10 @@ fn run_one(id: &str, scale: Scale) -> Option<Box<dyn Experiment>> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `chaos-search <file>` is its own mode.
+    if args.first().map(String::as_str) == Some("chaos-search") {
+        return chaos_search_mode(&args[1..]);
+    }
     // `run-scenario <file>` is its own mode.
     if args.first().map(String::as_str) == Some("run-scenario") {
         let Some(path) = args.get(1) else {
@@ -123,15 +287,35 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        if let Some(journal) = &replay_in {
-            match scenario_file::apply_replay(scenario, journal) {
-                Ok((faulted, desc)) => {
-                    eprint!("{desc}");
-                    scenario = faulted;
+        // `--replay-faults` accepts either a JSONL journal or a chaos
+        // corpus; for a corpus, the resulting report must reproduce the
+        // digest the corpus recorded for the entry, bit for bit.
+        let mut expected_digest: Option<String> = None;
+        if let Some(input) = &replay_in {
+            if scenario_file::is_chaos_corpus(input) {
+                let result = scenario_file::load_corpus(input)
+                    .and_then(|corpus| scenario_file::apply_corpus(scenario.clone(), &corpus, 0));
+                match result {
+                    Ok((faulted, desc, digest)) => {
+                        eprint!("{desc}");
+                        scenario = faulted;
+                        expected_digest = Some(digest);
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
-                Err(e) => {
-                    eprintln!("{e}");
-                    return ExitCode::FAILURE;
+            } else {
+                match scenario_file::apply_replay(scenario, input) {
+                    Ok((faulted, desc)) => {
+                        eprint!("{desc}");
+                        scenario = faulted;
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
         }
@@ -148,6 +332,17 @@ fn main() -> ExitCode {
             eprintln!("journal written to {}", out.display());
         }
         println!("{text}");
+        if let Some(expected) = &expected_digest {
+            let actual = report_digest(&report);
+            if actual == *expected {
+                eprintln!("report digest matches the corpus: {actual}");
+            } else {
+                eprintln!(
+                    "report digest mismatch: corpus recorded {expected}, this run produced {actual}"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
         return if report.any_shutdown() {
             eprintln!("a node shut down during the run");
             ExitCode::FAILURE

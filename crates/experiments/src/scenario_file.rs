@@ -9,7 +9,8 @@
 use std::path::Path;
 
 use unitherm_cluster::{
-    derive_fault_plan, ReplayOptions, RunReport, Scenario, ScenarioError, Simulation,
+    derive_fault_plan, ChaosCorpus, ReplayError, ReplayOptions, RunReport, Scenario, ScenarioError,
+    Simulation, CHAOS_SCHEMA,
 };
 use unitherm_metrics::AsciiPlot;
 use unitherm_obs::{read_journal, JournalWriter};
@@ -25,6 +26,12 @@ pub enum ScenarioFileError {
     Invalid(ScenarioError),
     /// An event journal could not be read or written.
     Journal(std::io::Error),
+    /// The journal read cleanly but cannot be replayed against the
+    /// scenario (corrupt timestamp or out-of-range node).
+    Replay(ReplayError),
+    /// A chaos counterexample corpus could not be used as requested
+    /// (wrong schema tag, or a counterexample index out of range).
+    Corpus(String),
 }
 
 impl std::fmt::Display for ScenarioFileError {
@@ -34,6 +41,8 @@ impl std::fmt::Display for ScenarioFileError {
             ScenarioFileError::Parse(e) => write!(f, "invalid scenario JSON: {e}"),
             ScenarioFileError::Invalid(e) => write!(f, "unusable scenario: {e}"),
             ScenarioFileError::Journal(e) => write!(f, "cannot access event journal: {e}"),
+            ScenarioFileError::Replay(e) => write!(f, "cannot replay event journal: {e}"),
+            ScenarioFileError::Corpus(msg) => write!(f, "cannot use chaos corpus: {msg}"),
         }
     }
 }
@@ -64,7 +73,8 @@ pub fn apply_replay(
     let file = std::fs::File::open(journal_path).map_err(ScenarioFileError::Journal)?;
     let records =
         read_journal(std::io::BufReader::new(file)).map_err(ScenarioFileError::Journal)?;
-    let plan = derive_fault_plan(&records, &scenario, &ReplayOptions::default());
+    let plan = derive_fault_plan(&records, &scenario, &ReplayOptions::default())
+        .map_err(ScenarioFileError::Replay)?;
     let mut desc = format!(
         "derived {} fault window(s) from {} journal event(s):\n",
         plan.len(),
@@ -77,6 +87,72 @@ pub fn apply_replay(
         ));
     }
     Ok((plan.apply(scenario), desc))
+}
+
+/// True when the file at `path` looks like a chaos counterexample corpus
+/// (a JSON object carrying the `unitherm-chaos` schema tag) rather than a
+/// JSONL event journal. Used by `--replay-faults` to accept either format.
+pub fn is_chaos_corpus(path: impl AsRef<Path>) -> bool {
+    match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let t = text.trim_start();
+            // Match the schema family, not the exact version: a corpus from
+            // a future/wrong version should fail with a named schema error
+            // from `load_corpus`, not fall through to the journal parser.
+            t.starts_with('{') && t.contains("unitherm-chaos")
+        }
+        Err(_) => false,
+    }
+}
+
+/// Loads a chaos counterexample corpus from JSON and checks its schema tag.
+pub fn load_corpus(path: impl AsRef<Path>) -> Result<ChaosCorpus, ScenarioFileError> {
+    let text = std::fs::read_to_string(path).map_err(ScenarioFileError::Io)?;
+    let corpus: ChaosCorpus = serde_json::from_str(&text).map_err(ScenarioFileError::Parse)?;
+    if corpus.schema != CHAOS_SCHEMA {
+        return Err(ScenarioFileError::Corpus(format!(
+            "unknown schema {:?} (expected {CHAOS_SCHEMA:?})",
+            corpus.schema
+        )));
+    }
+    Ok(corpus)
+}
+
+/// Installs corpus counterexample `entry` on a scenario, returning the
+/// faulted scenario, a human-readable description, and the report digest
+/// the corpus recorded for the entry (re-executions must reproduce it
+/// bit-identically).
+pub fn apply_corpus(
+    scenario: Scenario,
+    corpus: &ChaosCorpus,
+    entry: usize,
+) -> Result<(Scenario, String, String), ScenarioFileError> {
+    let ce = corpus.counterexamples.get(entry).ok_or_else(|| {
+        ScenarioFileError::Corpus(format!(
+            "corpus has {} counterexample(s); entry {entry} does not exist",
+            corpus.counterexamples.len()
+        ))
+    })?;
+    let mut desc = format!(
+        "corpus {} (seed {}): installing counterexample {entry} (cost {}, {} window(s)):\n",
+        corpus.scenario,
+        corpus.seed,
+        ce.cost,
+        ce.windows.len()
+    );
+    for w in &ce.windows {
+        desc.push_str(&format!(
+            "  node {} tick {}..{}: {:?} (magnitude {})\n",
+            w.node,
+            w.start_tick,
+            w.start_tick + w.hold_ticks,
+            w.kind,
+            w.magnitude
+        ));
+    }
+    desc.push_str(&format!("  expected report digest: {}\n", ce.report_digest));
+    let faulted = corpus.apply(scenario, entry).expect("entry existence checked above");
+    Ok((faulted, desc, ce.report_digest.clone()))
 }
 
 /// Runs a loaded scenario and renders a human-readable report: summary

@@ -19,6 +19,11 @@ pub struct Histogram {
     /// Values at or above `hi`.
     overflow: u64,
     count: u64,
+    /// Non-finite samples (NaN/±inf) that were offered to [`Histogram::record`]
+    /// and dropped. Not included in `count`. `serde(default)` keeps
+    /// histograms serialized before this field existed loadable.
+    #[serde(default)]
+    dropped_non_finite: u64,
 }
 
 impl Histogram {
@@ -29,7 +34,15 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
         assert!(lo < hi, "histogram range must be non-empty");
         assert!(buckets >= 1, "histogram needs at least one bucket");
-        Self { lo, hi, buckets: vec![0; buckets], underflow: 0, overflow: 0, count: 0 }
+        Self {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            dropped_non_finite: 0,
+        }
     }
 
     /// A histogram suited to die temperatures on this platform:
@@ -38,9 +51,14 @@ impl Histogram {
         Self::new(20.0, 100.0, 160)
     }
 
-    /// Records one value.
+    /// Records one value. Non-finite values (NaN/±inf) — which faulted
+    /// sensor paths can legitimately produce — are dropped and tallied in
+    /// [`Histogram::dropped_non_finite`] rather than poisoning the buckets.
     pub fn record(&mut self, v: f64) {
-        assert!(v.is_finite(), "histogram values must be finite");
+        if !v.is_finite() {
+            self.dropped_non_finite += 1;
+            return;
+        }
         self.count += 1;
         if v < self.lo {
             self.underflow += 1;
@@ -62,6 +80,11 @@ impl Histogram {
     /// Values that fell outside the range, `(under, over)`.
     pub fn out_of_range(&self) -> (u64, u64) {
         (self.underflow, self.overflow)
+    }
+
+    /// Non-finite samples dropped by [`Histogram::record`].
+    pub fn dropped_non_finite(&self) -> u64 {
+        self.dropped_non_finite
     }
 
     /// The q-th quantile (`q ∈ [0, 100]`) estimated from bucket midpoints.
@@ -102,12 +125,31 @@ impl Histogram {
         self.underflow += other.underflow;
         self.overflow += other.overflow;
         self.count += other.count;
+        self.dropped_non_finite += other.dropped_non_finite;
     }
 
     /// Bucket boundaries and counts, for export: `(bucket_lo, count)`.
     pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
         let width = (self.hi - self.lo) / self.buckets.len() as f64;
         self.buckets.iter().enumerate().map(move |(i, &c)| (self.lo + i as f64 * width, c))
+    }
+
+    /// One-line stats summary for logs: count, median/p95, out-of-range and
+    /// dropped non-finite tallies.
+    pub fn stats_line(&self) -> String {
+        let fmt_q = |q: f64| match self.quantile(q) {
+            Some(v) => format!("{v:.2}"),
+            None => "-".to_string(),
+        };
+        format!(
+            "count={} p50={} p95={} under={} over={} dropped_non_finite={}",
+            self.count,
+            fmt_q(50.0),
+            fmt_q(95.0),
+            self.underflow,
+            self.overflow,
+            self.dropped_non_finite,
+        )
     }
 }
 
@@ -200,5 +242,50 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_range_rejected() {
         let _ = Histogram::new(5.0, 5.0, 10);
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped_and_counted() {
+        // Regression: `record` used to assert on non-finite values, so a
+        // single NaN from a faulted sensor path killed the whole pipeline.
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        h.record(5.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.dropped_non_finite(), 3);
+        assert_eq!(h.out_of_range(), (0, 0));
+        assert_eq!(h.quantile(50.0), Some(5.5));
+        assert!(h.stats_line().contains("dropped_non_finite=3"), "{}", h.stats_line());
+    }
+
+    #[test]
+    fn merge_accumulates_dropped_non_finite() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        let mut b = Histogram::new(0.0, 10.0, 10);
+        a.record(f64::NAN);
+        b.record(f64::NAN);
+        b.record(1.0);
+        a.merge(&b);
+        assert_eq!(a.dropped_non_finite(), 2);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn dropped_counter_survives_serde_and_defaults_when_absent() {
+        let mut h = Histogram::new(0.0, 10.0, 4);
+        h.record(f64::NAN);
+        h.record(2.0);
+        let json = serde_json::to_string(&h).expect("serialize");
+        let back: Histogram = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, h);
+        assert_eq!(back.dropped_non_finite(), 1);
+        // Histograms serialized before the field existed must still load.
+        let legacy = json.replace(",\"dropped_non_finite\":1", "");
+        assert!(!legacy.contains("dropped_non_finite"), "replace failed: {legacy}");
+        let old: Histogram = serde_json::from_str(&legacy).expect("legacy deserialize");
+        assert_eq!(old.dropped_non_finite(), 0);
+        assert_eq!(old.count(), 1);
     }
 }

@@ -81,6 +81,17 @@ pub enum InjectedFault {
     SensorJitter,
 }
 
+/// Which phase of the chaos search emitted a [`Event::SearchProgress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SearchPhase {
+    /// Seeded random sampling over the candidate space.
+    Sample,
+    /// Greedy hold/magnitude mutation of the best candidates.
+    Mutate,
+    /// Window bisection: dropping and shrinking windows to minimize cost.
+    Bisect,
+}
+
 /// One structured control-plane event.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Event {
@@ -143,6 +154,20 @@ pub enum Event {
         /// [`InjectedFault::SensorJitter`], 0 otherwise.
         magnitude: f64,
     },
+    /// Progress from the adversarial chaos search (the record's `time_s`
+    /// carries the simulated seconds evaluated so far, not wall-clock; the
+    /// search itself has no clock so reruns stay bit-identical).
+    SearchProgress {
+        /// Which phase of the search emitted this.
+        phase: SearchPhase,
+        /// Candidate evaluations completed so far.
+        evaluated: u32,
+        /// Outcome-flipping counterexamples found so far.
+        counterexamples: u32,
+        /// Cost of the cheapest counterexample so far (`u64::MAX` until one
+        /// is found); cost = total faulted ticks + window count.
+        best_cost: u64,
+    },
 }
 
 /// An [`Event`] stamped with when and where it happened.
@@ -185,6 +210,25 @@ mod tests {
         let json = serde_json::to_string(&rec).expect("serialize");
         assert!(json.contains("\"ModeChange\""), "{json}");
         assert!(json.contains("\"node\":3"), "{json}");
+        let back: EventRecord = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn search_progress_events_round_trip() {
+        let rec = EventRecord {
+            time_s: 720.0,
+            node: 0,
+            event: Event::SearchProgress {
+                phase: SearchPhase::Mutate,
+                evaluated: 24,
+                counterexamples: 3,
+                best_cost: 141,
+            },
+        };
+        let json = serde_json::to_string(&rec).expect("serialize");
+        assert!(json.contains("\"SearchProgress\""), "{json}");
+        assert!(json.contains("\"Mutate\""), "{json}");
         let back: EventRecord = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back, rec);
     }

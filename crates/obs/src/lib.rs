@@ -33,7 +33,8 @@ pub mod sink;
 
 pub use counters::{prometheus_text, Counters};
 pub use event::{
-    ActuatorKind, CrossDirection, Event, EventRecord, InjectedFault, TripCause, WindowLevel,
+    ActuatorKind, CrossDirection, Event, EventRecord, InjectedFault, SearchPhase, TripCause,
+    WindowLevel,
 };
 pub use journal::{read_journal, JournalCursor, JournalWriter};
 pub use ring::RingSink;

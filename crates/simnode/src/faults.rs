@@ -181,6 +181,41 @@ impl TickFaultSchedule {
     pub fn pending(&self) -> usize {
         self.events.len() - self.cursor
     }
+
+    /// Builds a single injection/recovery window: `inject` lands at
+    /// `start_tick`, `recover` at `start_tick + hold_ticks` (hold is
+    /// clamped to at least one tick, so the pair never collapses onto the
+    /// same tick in the wrong order).
+    ///
+    /// This is the unit the chaos search mutates: a candidate fault
+    /// sequence is a set of windows, each built here and combined with
+    /// [`TickFaultSchedule::merge`].
+    ///
+    /// # Panics
+    /// Panics when `start_tick` is 0 (ticks are 1-based).
+    pub fn window(
+        start_tick: u64,
+        hold_ticks: u64,
+        inject: FaultEvent,
+        recover: FaultEvent,
+    ) -> Self {
+        Self::none()
+            .at_tick(start_tick, inject)
+            .at_tick(start_tick.saturating_add(hold_ticks.max(1)), recover)
+    }
+
+    /// Merges another schedule's events into this one, keeping tick order
+    /// (equal ticks keep `self`'s events first, then `other`'s — a stable,
+    /// deterministic interleave).
+    ///
+    /// # Panics
+    /// Panics if delivery has started on either schedule.
+    pub fn merge(&mut self, other: &TickFaultSchedule) {
+        assert_eq!(other.cursor, 0, "cannot merge a schedule after its delivery started");
+        for &(tick, ev) in &other.events {
+            self.schedule(tick, ev);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -273,5 +308,54 @@ mod tests {
     #[should_panic(expected = "1-based")]
     fn tick_schedule_rejects_tick_zero() {
         let _ = TickFaultSchedule::none().at_tick(0, FaultEvent::FanFailure);
+    }
+
+    #[test]
+    fn window_builds_an_injection_recovery_pair() {
+        let w = TickFaultSchedule::window(
+            100,
+            50,
+            FaultEvent::SensorDropout,
+            FaultEvent::SensorRestore,
+        );
+        assert_eq!(
+            w.events(),
+            &[(100, FaultEvent::SensorDropout), (150, FaultEvent::SensorRestore)]
+        );
+        // A zero hold is clamped so recovery still lands after injection.
+        let z = TickFaultSchedule::window(7, 0, FaultEvent::PwmStuck, FaultEvent::PwmRelease);
+        assert_eq!(z.events(), &[(7, FaultEvent::PwmStuck), (8, FaultEvent::PwmRelease)]);
+    }
+
+    #[test]
+    fn merge_interleaves_in_tick_order() {
+        let mut a = TickFaultSchedule::window(10, 30, FaultEvent::PwmStuck, FaultEvent::PwmRelease);
+        let b = TickFaultSchedule::window(
+            20,
+            5,
+            FaultEvent::SensorJitter(2.0),
+            FaultEvent::SensorJitter(0.0),
+        );
+        a.merge(&b);
+        assert_eq!(
+            a.events(),
+            &[
+                (10, FaultEvent::PwmStuck),
+                (20, FaultEvent::SensorJitter(2.0)),
+                (25, FaultEvent::SensorJitter(0.0)),
+                (40, FaultEvent::PwmRelease),
+            ]
+        );
+        // Merged schedules deliver like any other.
+        assert_eq!(a.pop_due(10), Some(FaultEvent::PwmStuck));
+    }
+
+    #[test]
+    #[should_panic(expected = "after its delivery started")]
+    fn merge_rejects_consumed_source() {
+        let mut a = TickFaultSchedule::none();
+        let mut b = TickFaultSchedule::window(5, 5, FaultEvent::FanFailure, FaultEvent::FanRepair);
+        let _ = b.pop_due(5);
+        a.merge(&b);
     }
 }

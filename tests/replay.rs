@@ -65,7 +65,7 @@ fn journal_round_trip_replays_bit_identically_with_pinned_faults() {
     // Derive: fault windows pinned to the recorded decisions.
     let base = base_scenario();
     let opts = ReplayOptions::default();
-    let plan = derive_fault_plan(&recorded, &base, &opts);
+    let plan = derive_fault_plan(&recorded, &base, &opts).expect("clean journal derives");
     assert!(!plan.is_empty(), "hybrid burn makes decisions to derive faults from");
     let dt = base.dt_s;
 
@@ -118,8 +118,10 @@ fn journal_round_trip_replays_bit_identically_with_pinned_faults() {
 #[test]
 fn derivation_is_a_pure_function_of_the_journal() {
     let (_, recorded) = run_with_journal(base_scenario());
-    let a = derive_fault_plan(&recorded, &base_scenario(), &ReplayOptions::default());
-    let b = derive_fault_plan(&recorded, &base_scenario(), &ReplayOptions::default());
+    let a = derive_fault_plan(&recorded, &base_scenario(), &ReplayOptions::default())
+        .expect("derive a");
+    let b = derive_fault_plan(&recorded, &base_scenario(), &ReplayOptions::default())
+        .expect("derive b");
     assert_eq!(a, b);
     assert!(!a.is_empty());
 }
@@ -135,7 +137,8 @@ fn committed_replay_example_derives_a_nonempty_plan() {
         .expect("committed journal exists");
     let records = read_journal(std::io::BufReader::new(file)).expect("journal parses");
     assert!(!records.is_empty());
-    let plan = derive_fault_plan(&records, &scenario, &ReplayOptions::default());
+    let plan = derive_fault_plan(&records, &scenario, &ReplayOptions::default())
+        .expect("committed journal derives");
     assert!(!plan.is_empty(), "the committed journal must derive fault windows");
     let report = Simulation::new(plan.apply(scenario)).run();
     assert!(!report.any_shutdown(), "the example replay must survive its faults");
