@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! unitherm-bench [--quick] [--out PATH] [--min-time SECONDS] [--journal PATH]
-//!                [--threads N]
+//!                [--journal-format jsonl|bjl] [--threads N]
 //! unitherm-bench --check FILE [--baseline FILE] [--max-regression-pct N]
 //! unitherm-bench --replay-faults JOURNAL
 //! unitherm-bench --chaos-smoke SCENARIO.json
@@ -21,12 +21,17 @@
 //! setting, an `intra_run_scaling` section measures the largest burn case
 //! at 1/2/4/8 threads and a `determinism` section records a digest of the
 //! reference scenario's full report, which must not move with the thread
-//! count. `--journal PATH` additionally runs the reference scenario with a
-//! JSONL event journal attached and writes it to PATH. `--check` validates
+//! count. `--journal PATH` additionally runs the reference scenario with an
+//! event journal attached and writes it to PATH — JSONL by default,
+//! `--journal-format bjl` for the `unitherm-bjl/v1` binary encoding. Every
+//! bench run also measures both encodings' bytes/event and write throughput
+//! on the reference case's event stream (the `journal_formats` report
+//! section). `--check` validates
 //! a previously written report against the `unitherm-bench/v1` schema and,
 //! with `--baseline`, fails (exit 1) when any shared case regressed by more
 //! than `--max-regression-pct` percent (default 15). `--replay-faults`
-//! reads a journal recorded by a previous `--journal` run, derives a
+//! reads a journal recorded by a previous `--journal` run (either encoding,
+//! sniffed from the file), derives a
 //! tick-addressed fault plan from its decision events
 //! (`unitherm_cluster::derive_fault_plan`), replays the reference scenario
 //! under those faults at 1, 2 and 4 threads, and fails (exit 1) unless all
@@ -45,13 +50,18 @@ use std::time::Instant;
 use serde::Serialize;
 use serde_json::Value;
 use unitherm_cluster::chaos::{chaos_search, report_digest, ChaosConfig, OutcomePredicate};
-use unitherm_cluster::replay::{derive_fault_plan, ReplayOptions};
+use unitherm_cluster::replay::{
+    derive_fault_plan, derive_fault_plan_from_cursor, ReplayOptions, ReplayPlan,
+};
 use unitherm_cluster::scenario::{Scenario, WorkloadSpec};
 use unitherm_cluster::scheme::{FanScheme, SchemeSpec};
 use unitherm_cluster::sim::Simulation;
 use unitherm_cluster::sweep::run_scenarios_parallel;
 use unitherm_core::control_array::Policy;
-use unitherm_obs::{read_journal, JournalWriter, NullSink};
+use unitherm_obs::{
+    read_journal, BinaryJournalReader, BinaryJournalWriter, EventRecord, EventSink, JournalCursor,
+    JournalFormat, JournalWriter, NullSink, BJL_HEADER_LEN,
+};
 use unitherm_workload::{NpbBenchmark, NpbClass};
 
 /// Pre-PR tick throughput of the 16-node cpu-burn / dynamic-fan case,
@@ -184,6 +194,32 @@ struct Determinism {
     digest: String,
 }
 
+/// Serialization cost of one journal encoding over the reference case's
+/// recorded event stream: size on the wire and write throughput.
+#[derive(Serialize)]
+struct JournalFormatResult {
+    format: String,
+    events: u64,
+    total_bytes: u64,
+    /// Marginal per-event cost (the fixed file header, 16 bytes for bjl, is
+    /// excluded — it amortizes to nothing over a real trace).
+    bytes_per_event: f64,
+    events_per_s: f64,
+}
+
+/// The `journal_formats` report section: both encodings measured over the
+/// identical event stream, interleaved medians like the observability
+/// probe. `bjl_speedup` is binary write throughput over JSONL's — the
+/// acceptance number for the compact-journal work.
+#[derive(Serialize)]
+struct JournalFormats {
+    scenario: String,
+    rounds: usize,
+    jsonl: JournalFormatResult,
+    bjl: JournalFormatResult,
+    bjl_speedup: f64,
+}
+
 #[derive(Serialize)]
 struct BenchReport {
     schema: String,
@@ -194,6 +230,7 @@ struct BenchReport {
     sweep: SweepResult,
     comparison: Comparison,
     observability: Observability,
+    journal_formats: JournalFormats,
     intra_run_scaling: IntraRunScaling,
     determinism: Determinism,
 }
@@ -369,21 +406,123 @@ fn measure_determinism(case: Case, threads: usize) -> Determinism {
     }
 }
 
-/// Runs the reference scenario for a bounded stretch with a JSONL journal
-/// attached and writes every event to `path`.
-fn write_journal(case: Case, path: &str) {
+/// Runs the reference scenario for a bounded stretch with a journal
+/// attached and writes every event to `path` in the requested encoding.
+fn write_journal(case: Case, path: &str, format: JournalFormat) {
     const JOURNAL_TICKS: u32 = 4000;
     let file = File::create(path).unwrap_or_else(|e| panic!("create {path}: {e}"));
-    let mut sim = Simulation::new(case.scenario());
-    sim.attach_journal(Box::new(JournalWriter::new(BufWriter::new(file))));
+    let scenario = case.scenario();
+    let dt_s = scenario.dt_s;
+    let mut sim = Simulation::new(scenario);
+    match format {
+        JournalFormat::Jsonl => {
+            sim.attach_journal(Box::new(JournalWriter::new(BufWriter::new(file))))
+        }
+        JournalFormat::Bjl => {
+            sim.attach_journal(Box::new(BinaryJournalWriter::new(BufWriter::new(file), dt_s)))
+        }
+    }
     for _ in 0..JOURNAL_TICKS {
         sim.tick();
     }
     // The journal flushes when the simulation (and its boxed sink) drops.
     drop(sim.into_report());
-    let reader = std::io::BufReader::new(File::open(path).expect("reopen journal"));
-    let events = read_journal(reader).expect("journal must round-trip");
-    eprintln!("journal: {} events over {JOURNAL_TICKS} ticks -> {path}", events.len());
+    let bytes = std::fs::read(path).expect("reopen journal");
+    let events = match format {
+        JournalFormat::Jsonl => read_journal(bytes.as_slice()).expect("journal must round-trip"),
+        JournalFormat::Bjl => {
+            unitherm_obs::bjl_to_records(&bytes).expect("journal must round-trip")
+        }
+    };
+    eprintln!("journal: {} events over {JOURNAL_TICKS} ticks -> {path} ({format})", events.len());
+}
+
+/// A sink that shares its backing store with the caller, so the event
+/// stream a simulation emits can be captured and then re-encoded through
+/// each journal writer under a timer.
+struct CaptureSink(std::rc::Rc<std::cell::RefCell<Vec<EventRecord>>>);
+
+impl EventSink for CaptureSink {
+    fn record(&mut self, rec: &EventRecord) {
+        self.0.borrow_mut().push(*rec);
+    }
+}
+
+/// Measures both journal encodings over the identical event stream: record
+/// the reference case's events once, then repeatedly serialize the stream
+/// through each writer into a pre-grown memory buffer. Arms are
+/// interleaved and medians compared, like the observability probe, so
+/// scheduler drift hits both encodings equally.
+fn measure_journal_formats(case: Case) -> JournalFormats {
+    const CAPTURE_TICKS: u32 = 4000;
+    const ROUNDS: usize = 5;
+
+    let records = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let scenario = case.scenario();
+    let dt_s = scenario.dt_s;
+    let mut sim = Simulation::new(scenario);
+    sim.attach_journal(Box::new(CaptureSink(records.clone())));
+    for _ in 0..CAPTURE_TICKS {
+        sim.tick();
+    }
+    drop(sim.into_report());
+    let records = records.borrow();
+    let events = records.len() as u64;
+    assert!(events > 0, "reference case must emit events to measure");
+
+    let time_jsonl = |buf: &mut Vec<u8>| {
+        buf.clear();
+        let mut writer = JournalWriter::new(std::mem::take(buf));
+        let t0 = Instant::now();
+        for rec in records.iter() {
+            writer.record(rec);
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        *buf = writer.finish().expect("in-memory journal write");
+        elapsed
+    };
+    let time_bjl = |buf: &mut Vec<u8>| {
+        buf.clear();
+        let mut writer = BinaryJournalWriter::new(std::mem::take(buf), dt_s);
+        let t0 = Instant::now();
+        for rec in records.iter() {
+            writer.record(rec);
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        *buf = writer.finish().expect("in-memory journal write");
+        elapsed
+    };
+
+    let (mut jsonl_buf, mut bjl_buf) = (Vec::new(), Vec::new());
+    let (mut jsonl_s, mut bjl_s) = (Vec::with_capacity(ROUNDS), Vec::with_capacity(ROUNDS));
+    for round in 0..ROUNDS {
+        if round % 2 == 0 {
+            jsonl_s.push(time_jsonl(&mut jsonl_buf));
+            bjl_s.push(time_bjl(&mut bjl_buf));
+        } else {
+            bjl_s.push(time_bjl(&mut bjl_buf));
+            jsonl_s.push(time_jsonl(&mut jsonl_buf));
+        }
+    }
+    let jsonl_median_s = median(&mut jsonl_s);
+    let bjl_median_s = median(&mut bjl_s);
+
+    let jsonl = JournalFormatResult {
+        format: "jsonl".to_string(),
+        events,
+        total_bytes: jsonl_buf.len() as u64,
+        bytes_per_event: jsonl_buf.len() as f64 / events as f64,
+        events_per_s: events as f64 / jsonl_median_s,
+    };
+    let bjl = JournalFormatResult {
+        format: "bjl".to_string(),
+        events,
+        total_bytes: bjl_buf.len() as u64,
+        bytes_per_event: (bjl_buf.len() - BJL_HEADER_LEN) as f64 / events as f64,
+        events_per_s: events as f64 / bjl_median_s,
+    };
+    let bjl_speedup = jsonl_median_s / bjl_median_s;
+    JournalFormats { scenario: case.name(), rounds: ROUNDS, jsonl, bjl, bjl_speedup }
 }
 
 /// Times a parallel sweep over short versions of every matrix scenario.
@@ -478,6 +617,29 @@ fn validate_report(v: &Value, path: &str) -> Result<(), String> {
                 Some(t) if t.is_finite() && t >= 0.0 => {}
                 _ => return err("`observability.noise_floor_pct` must be finite and >= 0"),
             }
+        }
+    }
+    // `journal_formats` arrived with the unitherm-bjl/v1 binary journal;
+    // when present both encodings must carry real measurements.
+    if let Some(formats) = v.get("journal_formats") {
+        for encoding in ["jsonl", "bjl"] {
+            let Some(section) = formats.get(encoding) else {
+                return err(&format!("`journal_formats` missing object field `{encoding}`"));
+            };
+            for field in ["bytes_per_event", "events_per_s"] {
+                match section.get(field).and_then(Value::as_f64) {
+                    Some(t) if t.is_finite() && t > 0.0 => {}
+                    _ => {
+                        return err(&format!(
+                            "`journal_formats.{encoding}.{field}` must be finite and positive"
+                        ))
+                    }
+                }
+            }
+        }
+        match formats.get("bjl_speedup").and_then(Value::as_f64) {
+            Some(t) if t.is_finite() && t > 0.0 => {}
+            _ => return err("`journal_formats.bjl_speedup` must be finite and positive"),
         }
     }
     // `intra_run_scaling` / `determinism` arrived with the node-parallel
@@ -596,15 +758,8 @@ fn run_check(check_path: &str, baseline_path: Option<&str>, max_regression_pct: 
 /// bit-identity gate extended to the fault-injection path. Returns the
 /// process exit code.
 fn run_replay_check(journal_path: &str) -> i32 {
-    let file = match File::open(journal_path) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("replay check failed: {journal_path}: {e}");
-            return 1;
-        }
-    };
-    let records = match read_journal(std::io::BufReader::new(file)) {
-        Ok(r) => r,
+    let bytes = match std::fs::read(journal_path) {
+        Ok(b) => b,
         Err(e) => {
             eprintln!("replay check failed: {journal_path}: {e}");
             return 1;
@@ -615,16 +770,35 @@ fn run_replay_check(journal_path: &str) -> i32 {
     // counters and events.
     let case = Case { nodes: 4, burn: true, scheme: Scheme::DynamicFan };
     let base = case.scenario().with_recording(true).with_max_time(60.0);
-    let plan = match derive_fault_plan(&records, &base, &ReplayOptions::default()) {
-        Ok(p) => p,
+    // Either journal encoding is accepted, sniffed from the file; the
+    // binary path derives through a seek-by-tick cursor instead of a scan.
+    let opts = ReplayOptions::default();
+    let derivation: Result<(ReplayPlan, usize, JournalFormat), String> =
+        match JournalFormat::sniff(&bytes) {
+            JournalFormat::Bjl => {
+                BinaryJournalReader::new(&bytes).map_err(|e| e.to_string()).and_then(|reader| {
+                    derive_fault_plan_from_cursor(JournalCursor::from_binary(&reader), &base, &opts)
+                        .map(|plan| (plan, reader.len(), JournalFormat::Bjl))
+                        .map_err(|e| e.to_string())
+                })
+            }
+            JournalFormat::Jsonl => {
+                read_journal(bytes.as_slice()).map_err(|e| e.to_string()).and_then(|records| {
+                    derive_fault_plan(&records, &base, &opts)
+                        .map(|plan| (plan, records.len(), JournalFormat::Jsonl))
+                        .map_err(|e| e.to_string())
+                })
+            }
+        };
+    let (plan, events, format) = match derivation {
+        Ok(d) => d,
         Err(e) => {
             eprintln!("replay check failed: {journal_path}: {e}");
             return 1;
         }
     };
     eprintln!(
-        "replay: {} journal event(s) -> {} derived fault window(s)",
-        records.len(),
+        "replay: {events} journal event(s) ({format}) -> {} derived fault window(s)",
         plan.len()
     );
     if plan.is_empty() {
@@ -778,6 +952,7 @@ fn main() {
     let mut out_path = "BENCH_cluster.json".to_string();
     let mut min_wall_s: Option<f64> = None;
     let mut journal_path: Option<String> = None;
+    let mut journal_format = JournalFormat::Jsonl;
     let mut check_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut replay_path: Option<String> = None;
@@ -794,6 +969,11 @@ fn main() {
                     Some(args.next().expect("--min-time needs seconds").parse().expect("number"))
             }
             "--journal" => journal_path = Some(args.next().expect("--journal needs a path")),
+            "--journal-format" => {
+                let raw = args.next().expect("--journal-format needs jsonl|bjl");
+                journal_format = JournalFormat::parse(&raw)
+                    .unwrap_or_else(|| panic!("--journal-format must be jsonl or bjl, got {raw}"));
+            }
             "--check" => check_path = Some(args.next().expect("--check needs a report file")),
             "--replay-faults" => {
                 replay_path = Some(args.next().expect("--replay-faults needs a journal file"))
@@ -819,7 +999,7 @@ fn main() {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: unitherm-bench [--quick] [--out PATH] [--min-time SECONDS] \
-                     [--journal PATH] [--threads N]"
+                     [--journal PATH] [--journal-format jsonl|bjl] [--threads N]"
                 );
                 eprintln!(
                     "       unitherm-bench --check FILE [--baseline FILE] \
@@ -902,8 +1082,20 @@ fn main() {
     );
 
     if let Some(path) = &journal_path {
-        write_journal(probe_case, path);
+        write_journal(probe_case, path, journal_format);
     }
+
+    let journal_formats = measure_journal_formats(probe_case);
+    eprintln!(
+        "journal formats: {} — jsonl {:.1} B/event {:.0} events/s, bjl {:.1} B/event \
+         {:.0} events/s ({:.2}x)",
+        journal_formats.scenario,
+        journal_formats.jsonl.bytes_per_event,
+        journal_formats.jsonl.events_per_s,
+        journal_formats.bjl.bytes_per_event,
+        journal_formats.bjl.events_per_s,
+        journal_formats.bjl_speedup
+    );
 
     let reference = "16x-burn-dynamic-fan";
     let current =
@@ -935,6 +1127,7 @@ fn main() {
             improvement_pct,
         },
         observability,
+        journal_formats,
         intra_run_scaling,
         determinism,
     };

@@ -824,6 +824,7 @@ mod tests {
             completed,
             exec_time_s: exec,
             rack_air: None,
+            journal_warning: None,
         };
         let scenario = Scenario::new("t").with_max_time(1.0).with_recording(false);
         let node = Simulation::new(scenario).run().nodes.remove(0);

@@ -56,7 +56,10 @@ pub use chaos::{
     FaultWindow, OutcomePredicate, OutcomeSummary, CHAOS_SCHEMA,
 };
 pub use rack::{RackConfig, RackModel};
-pub use replay::{derive_fault_plan, DerivedFault, ReplayError, ReplayOptions, ReplayPlan};
+pub use replay::{
+    derive_fault_plan, derive_fault_plan_from_cursor, DerivedFault, ReplayError, ReplayOptions,
+    ReplayPlan,
+};
 pub use report::{NodeReport, RunReport};
 pub use scenario::{Scenario, ScenarioError, WorkloadSpec};
 pub use scheme::{DvfsScheme, FanScheme, SchemeSpec};

@@ -27,7 +27,7 @@
 //! state only — so the replay inherits the sharded tick loop's bit-identical
 //! guarantee at any `threads` count (see `DESIGN.md` §12).
 
-use unitherm_obs::{Event, EventRecord, InjectedFault, JournalCursor};
+use unitherm_obs::{record_tick, Event, EventRecord, InjectedFault, JournalCursor};
 use unitherm_simnode::faults::{FaultEvent, TickFaultSchedule};
 
 use crate::scenario::Scenario;
@@ -230,22 +230,52 @@ pub fn derive_fault_plan(
     scenario: &Scenario,
     opts: &ReplayOptions,
 ) -> Result<ReplayPlan, ReplayError> {
+    derive_fault_plan_from_cursor(JournalCursor::new(records), scenario, opts)
+}
+
+/// [`derive_fault_plan`] over any journal encoding: the cursor abstracts
+/// whether records come from parsed JSONL or a `unitherm-bjl/v1`
+/// [`unitherm_obs::BinaryJournalReader`]
+/// (via [`JournalCursor::from_binary`]), and the derivation is identical —
+/// the same journal in either encoding yields the same [`ReplayPlan`].
+///
+/// The walk exploits the journal ordering contract (`time_s` never
+/// decreases — `docs/FORMATS.md` §2): it opens by seeking to tick 1, which
+/// on a binary source is an `O(log n)` search instead of a scan, and stops
+/// at the first record past the scenario horizon rather than draining the
+/// tail.
+///
+/// # Errors
+/// See [`derive_fault_plan`]. Record indices in errors are positions
+/// within the whole journal, not relative to the seek.
+pub fn derive_fault_plan_from_cursor(
+    mut cursor: JournalCursor<'_>,
+    scenario: &Scenario,
+    opts: &ReplayOptions,
+) -> Result<ReplayPlan, ReplayError> {
     let last_tick = (scenario.max_time_s / scenario.dt_s).round() as u64;
     let mut windows = vec![NodeWindows::default(); scenario.nodes];
     let mut schedules: Vec<TickFaultSchedule> = vec![TickFaultSchedule::none(); scenario.nodes];
     let mut derived = Vec::new();
 
-    let mut index = 0usize;
-    let mut cursor = JournalCursor::new(records);
-    while let Some(rec) = cursor.next() {
-        let rec_index = index;
-        index += 1;
-        if !rec.time_s.is_finite() || rec.time_s < 0.0 {
+    // Tick-0 records can never open a window; skipping them by tick is the
+    // seekable-format fast path. Records with invalid timestamps have no
+    // tick and are never skipped, so the validation below still sees them.
+    cursor.seek_tick(1, scenario.dt_s);
+    loop {
+        let rec_index = cursor.position();
+        let Some(rec) = cursor.next() else { break };
+        let Some(tick) = record_tick(rec.time_s, scenario.dt_s) else {
             return Err(ReplayError::InvalidTime {
                 index: rec_index,
                 node: rec.node,
                 time_s: rec.time_s,
             });
+        };
+        if tick > last_tick {
+            // Journals are tick-ordered; everything after this record is
+            // past the scenario horizon too.
+            break;
         }
         let node = rec.node as usize;
         if node >= scenario.nodes {
@@ -255,8 +285,7 @@ pub fn derive_fault_plan(
                 nodes: scenario.nodes,
             });
         }
-        let tick = (rec.time_s / scenario.dt_s).round() as u64;
-        if tick == 0 || tick > last_tick {
+        if tick == 0 {
             continue;
         }
         let w = &mut windows[node];
@@ -422,6 +451,50 @@ mod tests {
             (1..20).map(|i| rec(f64::from(i) * 10.0, 0, mode_change())).collect();
         let plan = derive_fault_plan(&records, &scenario(), &opts).expect("derive");
         assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn both_encodings_derive_identical_plans() {
+        let records = vec![
+            rec(0.0, 0, mode_change()), // tick 0: seeked past in both
+            rec(5.0, 0, mode_change()),
+            rec(5.5, 0, mode_change()), // coalesces into the t=5 window
+            rec(10.0, 1, Event::TdvfsEngage { from_mhz: 2400, to_mhz: 2200 }),
+            rec(20.0, 0, Event::FailsafeTrip { cause: TripCause::StaleSensor }),
+        ];
+        let scenario = scenario();
+        let from_jsonl = derive_fault_plan(&records, &scenario, &ReplayOptions::default())
+            .expect("jsonl derives");
+        let bytes = unitherm_obs::records_to_bjl(&records, scenario.dt_s);
+        let reader = unitherm_obs::BinaryJournalReader::new(&bytes).expect("open");
+        let from_bjl = derive_fault_plan_from_cursor(
+            JournalCursor::from_binary(&reader),
+            &scenario,
+            &ReplayOptions::default(),
+        )
+        .expect("bjl derives");
+        assert_eq!(from_jsonl, from_bjl);
+        assert_eq!(from_jsonl.len(), 3);
+    }
+
+    #[test]
+    fn binary_cursor_reports_absolute_record_indices_in_errors() {
+        // The foreign-node record sits after the seek point; its index must
+        // still be its position within the whole journal.
+        let records = vec![
+            rec(0.0, 0, mode_change()),
+            rec(1.0, 0, mode_change()),
+            rec(3.0, 9, mode_change()),
+        ];
+        let bytes = unitherm_obs::records_to_bjl(&records, scenario().dt_s);
+        let reader = unitherm_obs::BinaryJournalReader::new(&bytes).expect("open");
+        let err = derive_fault_plan_from_cursor(
+            JournalCursor::from_binary(&reader),
+            &scenario(),
+            &ReplayOptions::default(),
+        )
+        .expect_err("node 9 does not exist");
+        assert_eq!(err, ReplayError::NodeOutOfRange { index: 2, node: 9, nodes: 2 });
     }
 
     #[test]

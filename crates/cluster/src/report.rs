@@ -85,6 +85,11 @@ pub struct RunReport {
     pub exec_time_s: f64,
     /// Rack intake-air trace when rack coupling was enabled.
     pub rack_air: Option<TimeSeries>,
+    /// Set when an attached journal sink latched an I/O error mid-run: the
+    /// journal on disk is incomplete even though the simulation finished.
+    /// `None` when no journal was attached or it wrote cleanly.
+    #[serde(default)]
+    pub journal_warning: Option<String>,
 }
 
 /// Mean of the finite values in `values`, or 0.0 when none are finite.
@@ -256,6 +261,7 @@ mod tests {
             completed: true,
             exec_time_s: 100.0,
             rack_air: None,
+            journal_warning: None,
         }
     }
 
@@ -300,6 +306,7 @@ mod tests {
             completed: false,
             exec_time_s: 0.0,
             rack_air: None,
+            journal_warning: None,
         };
         assert_eq!(r.avg_node_power_w(), 0.0);
         assert_eq!(r.avg_temp_c(), 0.0);
@@ -372,9 +379,11 @@ mod tests {
         let mut r = report();
         r.nodes[0].temp_summary = Summary::default();
         r.nodes[0].duty_summary = Summary::default();
-        // `rack_air: None` legitimately serializes as `null`; pin it to a
-        // value so the no-null assertion isolates the Summary encoding.
+        // `rack_air: None` and `journal_warning: None` legitimately
+        // serialize as `null`; pin them to values so the no-null assertion
+        // isolates the Summary encoding.
         r.rack_air = Some(TimeSeries::new("rack", "°C"));
+        r.journal_warning = Some("journal sink failed: disk full".to_string());
         let json = serde_json::to_string_pretty(&r).expect("serialize");
         assert!(!json.contains("null"), "±inf sentinel leaked as null:\n{json}");
         let back: RunReport = serde_json::from_str(&json).expect("reparse");

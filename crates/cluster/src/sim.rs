@@ -115,6 +115,10 @@ impl Simulation {
     /// The sink sees records in tick order (node order within a tick) at
     /// every thread count.
     pub fn attach_journal(&mut self, sink: Box<dyn EventSink>) {
+        // If a journal sink hits an I/O error mid-run it latches the error
+        // and stops writing; `into_report` surfaces it as
+        // `RunReport::journal_warning` so a truncated journal is visible in
+        // the report instead of only on `finish()`.
         self.journal = Some(sink);
         if let Some(pool) = &self.pool {
             // One pre-reserved scratch per shard; a tick rarely emits more
@@ -130,6 +134,16 @@ impl Simulation {
                 })
                 .collect();
         }
+    }
+
+    /// Attaches a cluster-wide `unitherm-bjl/v1` binary event journal (see
+    /// `docs/FORMATS.md` §5): the compact, seekable sibling of the JSONL
+    /// [`Simulation::attach_journal`] path. The header is stamped with the
+    /// scenario's tick width, so replay tooling can seek the file by tick.
+    /// Callers wanting buffering should pass a `BufWriter`.
+    pub fn attach_binary_journal<W: std::io::Write + 'static>(&mut self, out: W) {
+        let dt_s = self.scenario.dt_s;
+        self.attach_journal(Box::new(unitherm_obs::BinaryJournalWriter::new(out, dt_s)));
     }
 
     /// Current simulated time.
@@ -349,6 +363,8 @@ impl Simulation {
             self.time_s
         };
 
+        let journal_warning = self.journal.as_ref().and_then(|j| j.sink_error());
+
         let nodes = self
             .nodes
             .into_iter()
@@ -385,6 +401,7 @@ impl Simulation {
             completed,
             exec_time_s,
             rack_air: if self.rack.is_some() { Some(self.rack_air) } else { None },
+            journal_warning,
         }
     }
 }
@@ -410,6 +427,43 @@ mod tests {
         assert!((report.wall_time_s - 30.0).abs() < 0.1);
         assert!(report.avg_temp_c() < 45.0, "idle temp {}", report.avg_temp_c());
         assert_eq!(report.total_freq_transitions(), 0);
+    }
+
+    #[test]
+    fn failed_journal_sink_surfaces_as_report_warning() {
+        struct Failing;
+        impl std::io::Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let scenario = Scenario::new("burn")
+            .with_nodes(1)
+            .with_workload(WorkloadSpec::CpuBurn)
+            .with_fan(FanScheme::dynamic(Policy::MODERATE, 60))
+            .with_max_time(30.0);
+
+        // JSONL sink: first event write fails, and the report says so.
+        let mut sim = Simulation::new(scenario.clone());
+        sim.attach_journal(Box::new(unitherm_obs::JournalWriter::new(Failing)));
+        let report = sim.run();
+        let warning = report.journal_warning.expect("failed sink must be surfaced");
+        assert!(warning.contains("disk full"), "{warning}");
+
+        // Binary sink: the header write already fails.
+        let mut sim = Simulation::new(scenario.clone());
+        sim.attach_binary_journal(Failing);
+        let report = sim.run();
+        assert!(report.journal_warning.is_some(), "binary sink failure must be surfaced");
+
+        // A healthy sink leaves the warning empty.
+        let mut sim = Simulation::new(scenario);
+        sim.attach_binary_journal(Vec::new());
+        let report = sim.run();
+        assert_eq!(report.journal_warning, None);
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! repro <experiment> [--fast] [--csv DIR]
-//! repro run-scenario <file.json> [--journal OUT.jsonl] [--replay-faults IN]
+//! repro run-scenario <file.json> [--journal OUT] [--journal-format jsonl|bjl]
+//!                    [--replay-faults IN]
+//! repro journal convert <IN> <OUT> [--dt S]
 //! repro chaos-search <file.json> [--out CORPUS.json] [--seed N] [--budget N]
 //!                    [--batch N] [--threads N] [--predicate P]
 //!
@@ -13,15 +15,23 @@
 //!   all            run everything
 //!
 //! `run-scenario` executes a JSON scenario file (see examples/scenarios/)
-//! and prints its report. `--journal OUT.jsonl` streams every control-plane
-//! event to a JSONL journal as the run executes; `--replay-faults IN` reads
-//! either a journal recorded by an earlier run (faults land at the exact
-//! ticks where that run made interesting decisions) or a chaos-search
-//! counterexample corpus (entry 0's fault windows are installed and the
-//! resulting report digest is checked against the corpus) — see
-//! docs/FORMATS.md and DESIGN.md §12–§13. The two flags compose: replay a
-//! faulted run while recording its journal to diff fault delivery against
-//! the plan.
+//! and prints its report. `--journal OUT` streams every control-plane
+//! event to a journal as the run executes — JSONL by default,
+//! `--journal-format bjl` for the compact seekable `unitherm-bjl/v1`
+//! binary encoding; `--replay-faults IN` reads either a journal recorded by
+//! an earlier run in either encoding, sniffed from the file (faults land at
+//! the exact ticks where that run made interesting decisions), or a
+//! chaos-search counterexample corpus (entry 0's fault windows are
+//! installed and the resulting report digest is checked against the corpus)
+//! — see docs/FORMATS.md and DESIGN.md §12–§13. The two flags compose:
+//! replay a faulted run while recording its journal to diff fault delivery
+//! against the plan.
+//!
+//! `journal convert` translates a journal between the JSONL and binary
+//! encodings (direction inferred from the input's magic bytes); `--dt S`
+//! sets the tick width stamped into the binary header on the jsonl→bjl
+//! direction (default 0.05, the standard scenario tick). The conversion is
+//! lossless and round-trips byte-identically.
 //!
 //! `chaos-search` runs the seeded adversarial search (DESIGN.md §13) over a
 //! scenario, hunting the cheapest fault sequence that flips the outcome
@@ -67,9 +77,47 @@ const ALL: &[&str] = &[
 
 fn usage() -> String {
     format!(
-        "usage: repro <experiment> [--fast] [--csv DIR]\n       repro run-scenario <file.json> [--journal OUT.jsonl] [--replay-faults IN.jsonl|CORPUS.json]\n       repro chaos-search <file.json> [--out CORPUS.json] [--seed N] [--budget N] [--batch N] [--threads N] [--predicate failsafe-trip|thermal-limit:<C>|shutdown|completion-miss|sla-miss:<S>]\n       experiments: {} all",
+        "usage: repro <experiment> [--fast] [--csv DIR]\n       repro run-scenario <file.json> [--journal OUT] [--journal-format jsonl|bjl] [--replay-faults IN.jsonl|IN.bjl|CORPUS.json]\n       repro journal convert <IN> <OUT> [--dt S]\n       repro chaos-search <file.json> [--out CORPUS.json] [--seed N] [--budget N] [--batch N] [--threads N] [--predicate failsafe-trip|thermal-limit:<C>|shutdown|completion-miss|sla-miss:<S>]\n       experiments: {} all",
         ALL.join(" ")
     )
+}
+
+/// The `journal convert <IN> <OUT> [--dt S]` subcommand: lossless
+/// translation between the JSONL and `unitherm-bjl/v1` journal encodings,
+/// direction inferred from the input's magic bytes.
+fn journal_convert_mode(args: &[String]) -> ExitCode {
+    let (Some(input), Some(output)) = (args.first(), args.get(1)) else {
+        eprintln!("journal convert requires <IN> and <OUT> paths\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let mut dt_s = 0.05f64;
+    let mut it = args.iter().skip(2);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dt" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v.is_finite() && v > 0.0 => dt_s = v,
+                _ => {
+                    eprintln!("--dt wants a positive tick width in seconds\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unexpected argument {other:?}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match scenario_file::convert_journal(input, output, dt_s) {
+        Ok(desc) => {
+            eprint!("{desc}");
+            eprintln!("written to {output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Parses a `--predicate` string into an [`OutcomePredicate`].
@@ -249,6 +297,14 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("chaos-search") {
         return chaos_search_mode(&args[1..]);
     }
+    // `journal convert <IN> <OUT>` is its own mode.
+    if args.first().map(String::as_str) == Some("journal") {
+        if args.get(1).map(String::as_str) != Some("convert") {
+            eprintln!("the journal subcommand is `journal convert`\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+        return journal_convert_mode(&args[2..]);
+    }
     // `run-scenario <file>` is its own mode.
     if args.first().map(String::as_str) == Some("run-scenario") {
         let Some(path) = args.get(1) else {
@@ -256,6 +312,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         };
         let mut journal_out: Option<PathBuf> = None;
+        let mut journal_format = unitherm_obs::JournalFormat::Jsonl;
         let mut replay_in: Option<PathBuf> = None;
         let mut it = args.iter().skip(2);
         while let Some(arg) = it.next() {
@@ -267,6 +324,15 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 },
+                "--journal-format" => {
+                    match it.next().and_then(|v| unitherm_obs::JournalFormat::parse(v)) {
+                        Some(f) => journal_format = f,
+                        None => {
+                            eprintln!("--journal-format wants jsonl or bjl\n{}", usage());
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
                 "--replay-faults" => match it.next() {
                     Some(p) => replay_in = Some(PathBuf::from(p)),
                     None => {
@@ -320,16 +386,19 @@ fn main() -> ExitCode {
             }
         }
         eprintln!("== running scenario {:?} from {path} ==", scenario.name);
-        let (report, text) =
-            match scenario_file::run_and_render_with_journal(scenario, journal_out.as_deref()) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("{e}");
-                    return ExitCode::FAILURE;
-                }
-            };
+        let (report, text) = match scenario_file::run_and_render_with_journal(
+            scenario,
+            journal_out.as_deref(),
+            journal_format,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
         if let Some(out) = &journal_out {
-            eprintln!("journal written to {}", out.display());
+            eprintln!("journal written to {} ({journal_format})", out.display());
         }
         println!("{text}");
         if let Some(expected) = &expected_digest {

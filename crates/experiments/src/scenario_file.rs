@@ -8,12 +8,16 @@
 
 use std::path::Path;
 
+use unitherm_cluster::derive_fault_plan_from_cursor;
 use unitherm_cluster::{
     derive_fault_plan, ChaosCorpus, ReplayError, ReplayOptions, RunReport, Scenario, ScenarioError,
     Simulation, CHAOS_SCHEMA,
 };
 use unitherm_metrics::AsciiPlot;
-use unitherm_obs::{read_journal, JournalWriter};
+use unitherm_obs::{
+    read_journal, records_to_bjl, BinaryJournalReader, EventRecord, JournalCursor, JournalFormat,
+    JournalWriter,
+};
 
 /// Errors loading or validating a scenario file.
 #[derive(Debug)]
@@ -63,22 +67,61 @@ pub fn to_json(scenario: &Scenario) -> String {
     serde_json::to_string_pretty(scenario).expect("scenarios always serialize")
 }
 
-/// Reads a JSONL event journal and derives a tick-addressed fault plan for
-/// `scenario` (see `unitherm_cluster::replay`), returning the faulted
-/// scenario and a one-line-per-window description of the derived plan.
+/// Reads an event journal in either encoding, sniffing the format from the
+/// file's first bytes (`unitherm-bjl` opens with the `UBJL` magic, JSONL
+/// with `{`). Returns the records and the detected format.
+pub fn read_any_journal(
+    path: impl AsRef<Path>,
+) -> Result<(Vec<EventRecord>, JournalFormat), ScenarioFileError> {
+    let bytes = std::fs::read(path).map_err(ScenarioFileError::Journal)?;
+    match JournalFormat::sniff(&bytes) {
+        JournalFormat::Bjl => {
+            let records = unitherm_obs::bjl_to_records(&bytes)
+                .map_err(|e| ScenarioFileError::Journal(e.into()))?;
+            Ok((records, JournalFormat::Bjl))
+        }
+        JournalFormat::Jsonl => {
+            let records = read_journal(bytes.as_slice()).map_err(ScenarioFileError::Journal)?;
+            Ok((records, JournalFormat::Jsonl))
+        }
+    }
+}
+
+/// Reads an event journal (JSONL or `unitherm-bjl/v1`, sniffed from the
+/// file) and derives a tick-addressed fault plan for `scenario` (see
+/// `unitherm_cluster::replay`), returning the faulted scenario and a
+/// one-line-per-window description of the derived plan. The binary path
+/// seeks the journal by tick instead of scanning it; both encodings of the
+/// same journal derive the identical plan.
 pub fn apply_replay(
     scenario: Scenario,
     journal_path: impl AsRef<Path>,
 ) -> Result<(Scenario, String), ScenarioFileError> {
-    let file = std::fs::File::open(journal_path).map_err(ScenarioFileError::Journal)?;
-    let records =
-        read_journal(std::io::BufReader::new(file)).map_err(ScenarioFileError::Journal)?;
-    let plan = derive_fault_plan(&records, &scenario, &ReplayOptions::default())
-        .map_err(ScenarioFileError::Replay)?;
+    let bytes = std::fs::read(journal_path).map_err(ScenarioFileError::Journal)?;
+    let opts = ReplayOptions::default();
+    let (plan, events, format) = match JournalFormat::sniff(&bytes) {
+        JournalFormat::Bjl => {
+            let reader = BinaryJournalReader::new(&bytes)
+                .map_err(|e| ScenarioFileError::Journal(e.into()))?;
+            let plan = derive_fault_plan_from_cursor(
+                JournalCursor::from_binary(&reader),
+                &scenario,
+                &opts,
+            )
+            .map_err(ScenarioFileError::Replay)?;
+            (plan, reader.len(), JournalFormat::Bjl)
+        }
+        JournalFormat::Jsonl => {
+            let records = read_journal(bytes.as_slice()).map_err(ScenarioFileError::Journal)?;
+            let plan =
+                derive_fault_plan(&records, &scenario, &opts).map_err(ScenarioFileError::Replay)?;
+            (plan, records.len(), JournalFormat::Jsonl)
+        }
+    };
     let mut desc = format!(
-        "derived {} fault window(s) from {} journal event(s):\n",
+        "derived {} fault window(s) from {} journal event(s) ({format}):\n",
         plan.len(),
-        records.len()
+        events
     );
     for d in &plan.derived {
         desc.push_str(&format!(
@@ -87,6 +130,41 @@ pub fn apply_replay(
         ));
     }
     Ok((plan.apply(scenario), desc))
+}
+
+/// Converts an event journal between the JSONL and `unitherm-bjl/v1`
+/// encodings; the direction is inferred from the input's magic bytes.
+/// `dt_s` stamps the binary header on the JSONL→bjl direction (pass the
+/// scenario tick width the journal was recorded under; it is ignored
+/// bjl→JSONL, where the header already carries it). Returns a one-line
+/// description of what was converted. The conversion is lossless: `time_s`
+/// round-trips through raw IEEE-754 bits, so converting back reproduces a
+/// `JournalWriter`-produced JSONL file byte for byte.
+pub fn convert_journal(
+    input: impl AsRef<Path>,
+    output: impl AsRef<Path>,
+    dt_s: f64,
+) -> Result<String, ScenarioFileError> {
+    let bytes = std::fs::read(&input).map_err(ScenarioFileError::Journal)?;
+    match JournalFormat::sniff(&bytes) {
+        JournalFormat::Bjl => {
+            let records = unitherm_obs::bjl_to_records(&bytes)
+                .map_err(|e| ScenarioFileError::Journal(e.into()))?;
+            let mut writer = JournalWriter::new(Vec::new());
+            for rec in &records {
+                unitherm_obs::EventSink::record(&mut writer, rec);
+            }
+            let out = writer.finish().map_err(ScenarioFileError::Journal)?;
+            std::fs::write(&output, out).map_err(ScenarioFileError::Journal)?;
+            Ok(format!("converted {} event(s): bjl -> jsonl\n", records.len()))
+        }
+        JournalFormat::Jsonl => {
+            let records = read_journal(bytes.as_slice()).map_err(ScenarioFileError::Journal)?;
+            std::fs::write(&output, records_to_bjl(&records, dt_s))
+                .map_err(ScenarioFileError::Journal)?;
+            Ok(format!("converted {} event(s): jsonl -> bjl (dt_s = {dt_s})\n", records.len()))
+        }
+    }
 }
 
 /// True when the file at `path` looks like a chaos counterexample corpus
@@ -157,16 +235,22 @@ pub fn apply_corpus(
 
 /// Runs a loaded scenario and renders a human-readable report: summary
 /// line, per-node statistics, temperature plot. When `journal_out` is
-/// given, every control-plane event is also streamed to that path as JSONL
-/// (one [`unitherm_obs::EventRecord`] per line — see `docs/FORMATS.md`).
+/// given, every control-plane event is also streamed to that path in the
+/// requested encoding: JSONL (one [`unitherm_obs::EventRecord`] per line)
+/// or `unitherm-bjl/v1` binary frames — see `docs/FORMATS.md` §2 and §5.
 pub fn run_and_render_with_journal(
     scenario: Scenario,
     journal_out: Option<&Path>,
+    format: JournalFormat,
 ) -> Result<(RunReport, String), ScenarioFileError> {
     let mut sim = Simulation::new(scenario);
     if let Some(path) = journal_out {
         let file = std::fs::File::create(path).map_err(ScenarioFileError::Journal)?;
-        sim.attach_journal(Box::new(JournalWriter::new(std::io::BufWriter::new(file))));
+        let buffered = std::io::BufWriter::new(file);
+        match format {
+            JournalFormat::Jsonl => sim.attach_journal(Box::new(JournalWriter::new(buffered))),
+            JournalFormat::Bjl => sim.attach_binary_journal(buffered),
+        }
     }
     Ok(render(sim.run()))
 }
@@ -182,6 +266,9 @@ fn render(report: RunReport) -> (RunReport, String) {
     let mut out = String::new();
     out.push_str(&report.summary_line());
     out.push('\n');
+    if let Some(warning) = &report.journal_warning {
+        out.push_str(&format!("WARNING: {warning} — the journal on disk is incomplete\n"));
+    }
     if let Some(node) = report.nodes.first() {
         if !node.temp.is_empty() {
             out.push_str(
@@ -261,6 +348,54 @@ mod tests {
         assert_eq!(report.nodes.len(), 2);
         assert!(text.contains("node0:"));
         assert!(text.contains("rack intake air"));
+    }
+
+    #[test]
+    fn journal_converts_both_directions_byte_identically() {
+        let dir = std::env::temp_dir().join("unitherm_scn_convert");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("events.jsonl");
+        let bjl = dir.join("events.bjl");
+        let back = dir.join("events_back.jsonl");
+
+        // Record a real journal through the simulation's JSONL sink.
+        let (_, _) = run_and_render_with_journal(sample(), Some(&jsonl), JournalFormat::Jsonl)
+            .expect("record");
+        let desc = convert_journal(&jsonl, &bjl, 0.05).expect("jsonl -> bjl");
+        assert!(desc.contains("jsonl -> bjl"), "{desc}");
+        let desc = convert_journal(&bjl, &back, 0.05).expect("bjl -> jsonl");
+        assert!(desc.contains("bjl -> jsonl"), "{desc}");
+        let original = std::fs::read(&jsonl).unwrap();
+        let round_tripped = std::fs::read(&back).unwrap();
+        assert!(!original.is_empty());
+        assert_eq!(original, round_tripped, "round trip must be byte-identical");
+
+        // Both encodings parse to the same records; the sniffing reader
+        // agrees on the formats.
+        let (rec_jsonl, f1) = read_any_journal(&jsonl).expect("read jsonl");
+        let (rec_bjl, f2) = read_any_journal(&bjl).expect("read bjl");
+        assert_eq!(f1, JournalFormat::Jsonl);
+        assert_eq!(f2, JournalFormat::Bjl);
+        assert_eq!(rec_jsonl, rec_bjl);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn apply_replay_accepts_both_encodings_identically() {
+        let dir = std::env::temp_dir().join("unitherm_scn_replay_fmt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("events.jsonl");
+        let bjl = dir.join("events.bjl");
+        let (_, _) = run_and_render_with_journal(sample(), Some(&jsonl), JournalFormat::Jsonl)
+            .expect("record");
+        convert_journal(&jsonl, &bjl, 0.05).expect("convert");
+
+        let (s1, d1) = apply_replay(sample(), &jsonl).expect("jsonl replay");
+        let (s2, d2) = apply_replay(sample(), &bjl).expect("bjl replay");
+        assert_eq!(s1.tick_faults, s2.tick_faults, "both encodings derive the same plan");
+        assert!(d1.contains("(jsonl)"), "{d1}");
+        assert!(d2.contains("(bjl)"), "{d2}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

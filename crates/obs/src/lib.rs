@@ -14,7 +14,9 @@
 //!   steady-state sink: a fixed-capacity ring buffer whose `record` path
 //!   performs **zero heap allocations** (enforced by the counting-allocator
 //!   test in `unitherm-cluster`). [`JournalWriter`] streams records as JSONL
-//!   for offline analysis; [`TeeSink`] fans one stream out to both.
+//!   for offline analysis; [`BinaryJournalWriter`] streams the same records
+//!   as compact seekable `unitherm-bjl/v1` frames (see [`binary`]);
+//!   [`TeeSink`] fans one stream out to both.
 //! * [`Observer`] — the per-sample emission context threaded through
 //!   `unitherm-core::control_plane`: a sink plus the [`Counters`] block and
 //!   the record metadata (node id, timestamp);
@@ -25,17 +27,22 @@
 //! `serde` for the journal schema) so `unitherm-core`, the cluster
 //! simulator, the hwmon stack and the bench harness can all share it.
 
+pub mod binary;
 pub mod counters;
 pub mod event;
 pub mod journal;
 pub mod ring;
 pub mod sink;
 
+pub use binary::{
+    bjl_to_records, is_bjl, records_to_bjl, BinaryJournalError, BinaryJournalReader,
+    BinaryJournalWriter, BJL_FRAME_LEN, BJL_HEADER_LEN, BJL_MAGIC, BJL_VERSION,
+};
 pub use counters::{prometheus_text, Counters};
 pub use event::{
     ActuatorKind, CrossDirection, Event, EventRecord, InjectedFault, SearchPhase, TripCause,
     WindowLevel,
 };
-pub use journal::{read_journal, JournalCursor, JournalWriter};
+pub use journal::{read_journal, record_tick, JournalCursor, JournalFormat, JournalWriter};
 pub use ring::RingSink;
 pub use sink::{EventSink, NullSink, Observer, TeeSink, VecSink};

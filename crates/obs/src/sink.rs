@@ -26,6 +26,15 @@ pub trait EventSink {
     /// Records one event. The record is borrowed — hot-path sinks copy it
     /// into pre-reserved storage.
     fn record(&mut self, rec: &EventRecord);
+
+    /// A human-readable description of a failure the sink entered while
+    /// recording, if any. In-memory sinks never fail; journal writers latch
+    /// their first I/O error here so the simulation can surface "your
+    /// journal is incomplete" in the run report instead of silently
+    /// dropping the tail of the stream.
+    fn sink_error(&self) -> Option<String> {
+        None
+    }
 }
 
 /// Discards every event (the default when observability is off).
@@ -68,6 +77,10 @@ impl EventSink for TeeSink<'_> {
     fn record(&mut self, rec: &EventRecord) {
         self.a.record(rec);
         self.b.record(rec);
+    }
+
+    fn sink_error(&self) -> Option<String> {
+        self.a.sink_error().or_else(|| self.b.sink_error())
     }
 }
 
