@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! unitherm-bench [--quick] [--out PATH] [--min-time SECONDS] [--journal PATH]
-//!                [--journal-format jsonl|bjl] [--threads N]
+//!                [--journal-format jsonl|bjl] [--threads N] [--nodes N]
 //! unitherm-bench --check FILE [--baseline FILE] [--max-regression-pct N]
 //! unitherm-bench --replay-faults JOURNAL
 //! unitherm-bench --chaos-smoke SCENARIO.json
@@ -26,7 +26,11 @@
 //! `--journal-format bjl` for the `unitherm-bjl/v1` binary encoding. Every
 //! bench run also measures both encodings' bytes/event and write throughput
 //! on the reference case's event stream (the `journal_formats` report
-//! section). `--check` validates
+//! section). A `fleet_scale` section measures 1k/10k/100k-node cpu-burn
+//! fleets through the structure-of-arrays physics batch (ticks/s,
+//! node-ticks/s and live heap bytes/node); `--nodes N` replaces that sweep
+//! with a single N-node point, and `--quick` keeps only the 1k point.
+//! `--check` validates
 //! a previously written report against the `unitherm-bench/v1` schema and,
 //! with `--baseline`, fails (exit 1) when any shared case regressed by more
 //! than `--max-regression-pct` percent (default 15). `--replay-faults`
@@ -43,8 +47,10 @@
 //! the cheapest counterexample replays bit-identically at 1, 2 and 4
 //! threads — the determinism gate extended to the search layer.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fs::File;
 use std::io::BufWriter;
+use std::sync::atomic::{AtomicIsize, Ordering};
 use std::time::Instant;
 
 use serde::Serialize;
@@ -63,6 +69,56 @@ use unitherm_obs::{
     JournalFormat, JournalWriter, NullSink, BJL_HEADER_LEN,
 };
 use unitherm_workload::{NpbBenchmark, NpbClass};
+
+/// Live-heap tracking allocator: every fleet-scale point reports its
+/// steady-state heap footprint per node, so the whole binary routes
+/// allocation through a counter. One relaxed atomic per alloc/dealloc —
+/// noise well below the measurement floor of the throughput numbers.
+struct CountingAlloc;
+
+/// Bytes currently allocated and not yet freed.
+static LIVE_BYTES: AtomicIsize = AtomicIsize::new(0);
+
+// SAFETY: delegates every operation to `System` unchanged; the counter is
+// bookkeeping on the side.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            LIVE_BYTES.fetch_add(layout.size() as isize, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc_zeroed(layout) };
+        if !p.is_null() {
+            LIVE_BYTES.fetch_add(layout.size() as isize, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        LIVE_BYTES.fetch_sub(layout.size() as isize, Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            LIVE_BYTES.fetch_add(new_size as isize - layout.size() as isize, Ordering::Relaxed);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Bytes currently live on the heap.
+fn live_bytes() -> isize {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
 
 /// Pre-PR tick throughput of the 16-node cpu-burn / dynamic-fan case,
 /// measured at commit 18f0b99 (before the allocation-free tick loop) on the
@@ -183,6 +239,31 @@ struct IntraRunScaling {
     points: Vec<ScalingPoint>,
 }
 
+/// One fleet-scale point: an N-node cpu-burn fleet (dynamic-fan, recording
+/// off) measured for steady-state throughput and heap footprint.
+#[derive(Serialize)]
+struct FleetScalePoint {
+    /// `fleet-<N>x-burn`, so `--check --baseline` gates these points with
+    /// the same per-case regression rule as the matrix.
+    name: String,
+    nodes: usize,
+    ticks_per_s: f64,
+    node_ticks_per_s: f64,
+    measured_ticks: u64,
+    /// Live heap attributable to the simulation (construction through
+    /// steady state), divided by the node count.
+    bytes_per_node: f64,
+}
+
+/// The `fleet_scale` report section: how throughput and per-node memory
+/// hold up from cluster to datacenter size on the lane-batched tick loop.
+#[derive(Serialize)]
+struct FleetScale {
+    workload: String,
+    scheme: String,
+    points: Vec<FleetScalePoint>,
+}
+
 /// A digest of the reference scenario's complete `RunReport` at the
 /// configured thread count. Bit-identical sharding means this string must
 /// not depend on `--threads`; CI compares the digests of a 1-thread and a
@@ -232,6 +313,7 @@ struct BenchReport {
     observability: Observability,
     journal_formats: JournalFormats,
     intra_run_scaling: IntraRunScaling,
+    fleet_scale: FleetScale,
     determinism: Determinism,
 }
 
@@ -293,6 +375,65 @@ fn measure_scenario(build_scenario: impl Fn() -> Scenario, min_wall_s: f64) -> (
     }
 
     (f64::from(BATCH_TICKS) / best_batch_s, ticks)
+}
+
+/// Measures the fleet-scale points: N-node cpu-burn fleets under the
+/// dynamic-fan scheme with recording off — the lane-batched tick loop at
+/// increasing fleet size. The heap is sampled around construction plus
+/// warmup, so `bytes_per_node` reports the simulation's steady-state
+/// footprint (burn fleets allocate nothing per tick; the alloc-free tick
+/// tests pin that).
+fn measure_fleet_scale(node_counts: &[usize], min_wall_s: f64) -> FleetScale {
+    const WARMUP_TICKS: u32 = 200;
+    let mut points = Vec::with_capacity(node_counts.len());
+    for &nodes in node_counts {
+        let name = format!("fleet-{nodes}x-burn");
+        let scenario = Scenario::new(name.clone())
+            .with_nodes(nodes)
+            .with_workload(WorkloadSpec::CpuBurn)
+            .with_recording(false)
+            .with_max_time(1e9)
+            .with_fan(FanScheme::dynamic(Policy::MODERATE, 100));
+        let heap_before = live_bytes();
+        let mut sim = Simulation::new(scenario);
+        for _ in 0..WARMUP_TICKS {
+            sim.tick();
+        }
+        let bytes_per_node = (live_bytes() - heap_before).max(0) as f64 / nodes as f64;
+
+        // Fixed node-tick batches keep the timing granularity comparable
+        // across four orders of magnitude of fleet size: ~1M node-ticks
+        // per batch, floored so even the largest fleet times a real loop.
+        let batch = u32::try_from((1_000_000 / nodes).max(50)).expect("batch fits u32");
+        let mut ticks: u64 = 0;
+        let mut elapsed = 0.0;
+        let mut best_batch_s = f64::INFINITY;
+        while elapsed < min_wall_s {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                sim.tick();
+            }
+            let batch_s = t0.elapsed().as_secs_f64();
+            elapsed += batch_s;
+            ticks += u64::from(batch);
+            best_batch_s = best_batch_s.min(batch_s);
+        }
+        let ticks_per_s = f64::from(batch) / best_batch_s;
+        eprintln!(
+            "{name:<26} {ticks_per_s:>12.0} ticks/s  ({:>12.0} node-ticks/s)  {:.0} B/node",
+            ticks_per_s * nodes as f64,
+            bytes_per_node
+        );
+        points.push(FleetScalePoint {
+            name,
+            nodes,
+            ticks_per_s,
+            node_ticks_per_s: ticks_per_s * nodes as f64,
+            measured_ticks: ticks,
+            bytes_per_node,
+        });
+    }
+    FleetScale { workload: "cpu-burn".to_string(), scheme: "dynamic-fan".to_string(), points }
 }
 
 /// Median of a sample set (mean of the middle pair for even counts).
@@ -666,6 +807,41 @@ fn validate_report(v: &Value, path: &str) -> Result<(), String> {
             }
         }
     }
+    // `fleet_scale` arrived with the SoA physics batch; when present each
+    // point must carry real throughput and memory measurements.
+    if let Some(fleet) = v.get("fleet_scale") {
+        let points = match fleet.get("points") {
+            Some(Value::Seq(points)) if !points.is_empty() => points,
+            _ => return err("`fleet_scale.points` must be a non-empty array"),
+        };
+        for (i, point) in points.iter().enumerate() {
+            if !matches!(point.get("name"), Some(Value::Str(s)) if !s.is_empty()) {
+                return err(&format!("fleet_scale.points[{i}]: missing string field `name`"));
+            }
+            match point.get("nodes").and_then(Value::as_u64) {
+                Some(n) if n >= 1 => {}
+                _ => return err(&format!("fleet_scale.points[{i}]: `nodes` must be >= 1")),
+            }
+            for field in ["ticks_per_s", "node_ticks_per_s"] {
+                match point.get(field).and_then(Value::as_f64) {
+                    Some(t) if t.is_finite() && t > 0.0 => {}
+                    _ => {
+                        return err(&format!(
+                            "fleet_scale.points[{i}]: `{field}` must be finite and positive"
+                        ))
+                    }
+                }
+            }
+            match point.get("bytes_per_node").and_then(Value::as_f64) {
+                Some(b) if b.is_finite() && b >= 0.0 => {}
+                _ => {
+                    return err(&format!(
+                        "fleet_scale.points[{i}]: `bytes_per_node` must be finite and >= 0"
+                    ))
+                }
+            }
+        }
+    }
     if let Some(det) = v.get("determinism") {
         match det.get("digest") {
             Some(Value::Str(s)) if !s.is_empty() => {}
@@ -679,16 +855,26 @@ fn validate_report(v: &Value, path: &str) -> Result<(), String> {
 }
 
 /// Extracts `(name, ticks_per_s)` pairs from a validated report.
+///
+/// Covers the matrix `results` plus any `fleet_scale` points, so the
+/// `--check --baseline` regression gate applies the same per-case rule to
+/// the fleet-scale burn measurements.
 fn case_throughputs(v: &Value) -> Vec<(String, f64)> {
-    let Some(Value::Seq(items)) = v.get("results") else { return Vec::new() };
-    items
-        .iter()
-        .filter_map(|case| {
+    let mut out: Vec<(String, f64)> = Vec::new();
+    let mut collect = |items: &[Value]| {
+        out.extend(items.iter().filter_map(|case| {
             let Some(Value::Str(name)) = case.get("name") else { return None };
             let ticks = case.get("ticks_per_s").and_then(Value::as_f64)?;
             Some((name.clone(), ticks))
-        })
-        .collect()
+        }));
+    };
+    if let Some(Value::Seq(items)) = v.get("results") {
+        collect(items);
+    }
+    if let Some(Value::Seq(points)) = v.get("fleet_scale").and_then(|f| f.get("points")) {
+        collect(points);
+    }
+    out
 }
 
 /// `--check` entry point: schema-validate `check_path` and, when a baseline
@@ -959,6 +1145,7 @@ fn main() {
     let mut chaos_path: Option<String> = None;
     let mut max_regression_pct = 15.0;
     let mut threads = 1usize;
+    let mut fleet_nodes: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -995,11 +1182,16 @@ fn main() {
                 threads = args.next().expect("--threads needs a count").parse().expect("number");
                 assert!(threads >= 1, "--threads needs at least 1");
             }
+            "--nodes" => {
+                let n: usize = args.next().expect("--nodes needs a count").parse().expect("number");
+                assert!(n >= 1, "--nodes needs at least 1");
+                fleet_nodes = Some(n);
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: unitherm-bench [--quick] [--out PATH] [--min-time SECONDS] \
-                     [--journal PATH] [--journal-format jsonl|bjl] [--threads N]"
+                     [--journal PATH] [--journal-format jsonl|bjl] [--threads N] [--nodes N]"
                 );
                 eprintln!(
                     "       unitherm-bench --check FILE [--baseline FILE] \
@@ -1075,6 +1267,17 @@ fn main() {
         scheme: Scheme::DynamicFan,
     };
     let intra_run_scaling = measure_intra_run_scaling(scaling_case, min_wall_s.max(0.02));
+
+    // Fleet scale: 1k/10k/100k-node burn fleets in full mode, the 1k point
+    // alone in quick mode (the CI bench-gate case), or whatever `--nodes`
+    // pinned.
+    let fleet_counts: Vec<usize> = match fleet_nodes {
+        Some(n) => vec![n],
+        None if quick => vec![1_000],
+        None => vec![1_000, 10_000, 100_000],
+    };
+    let fleet_scale = measure_fleet_scale(&fleet_counts, min_wall_s.max(0.02));
+
     let determinism = measure_determinism(probe_case, threads);
     eprintln!(
         "determinism: {} @ {} thread(s) -> {}",
@@ -1129,6 +1332,7 @@ fn main() {
         observability,
         journal_formats,
         intra_run_scaling,
+        fleet_scale,
         determinism,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

@@ -46,16 +46,31 @@ pub struct NodeRecorder {
 impl NodeRecorder {
     /// `expected_samples` pre-reserves the series so steady-state recording
     /// appends without reallocating (0 when recording is disabled).
+    ///
+    /// A disabled recorder allocates nothing at all — no metric-name
+    /// strings, no series or event capacity — so fleet-scale benchmark runs
+    /// (100k nodes, recording off) pay zero heap for recorders.
     fn new(node_idx: usize, enabled: bool, expected_samples: usize) -> Self {
-        let n = |metric: &str| format!("node{node_idx}.{metric}");
+        let n = |metric: &str| {
+            if enabled {
+                format!("node{node_idx}.{metric}")
+            } else {
+                String::new()
+            }
+        };
+        let u = |unit: &'static str| if enabled { unit } else { "" };
         let cap = if enabled { expected_samples } else { 0 };
+        // Frequency events arrive at most once per sample; a quarter of the
+        // sample count absorbs even a thrashing governor without growth,
+        // while short scenarios stay at a small floor instead of a flat 64.
+        let event_cap = if enabled { (expected_samples / 4).clamp(8, 4096) } else { 0 };
         Self {
-            temp: TimeSeries::with_capacity(n("temp"), "°C", cap),
-            duty: TimeSeries::with_capacity(n("duty"), "%", cap),
-            freq: TimeSeries::with_capacity(n("freq"), "MHz", cap),
-            power: TimeSeries::with_capacity(n("power"), "W", cap),
-            util: TimeSeries::with_capacity(n("util"), "", cap),
-            freq_events: Vec::with_capacity(if enabled { 64 } else { 0 }),
+            temp: TimeSeries::with_capacity(n("temp"), u("°C"), cap),
+            duty: TimeSeries::with_capacity(n("duty"), u("%"), cap),
+            freq: TimeSeries::with_capacity(n("freq"), u("MHz"), cap),
+            power: TimeSeries::with_capacity(n("power"), u("W"), cap),
+            util: TimeSeries::with_capacity(n("util"), u(""), cap),
+            freq_events: Vec::with_capacity(event_cap),
             enabled,
             temp_stats: RunningStats::new(),
             duty_stats: RunningStats::new(),
@@ -89,6 +104,14 @@ pub struct NodeSim {
     /// Watermark into `Node::fault_log`: entries before it have already
     /// been emitted as `FaultInjected` events.
     fault_log_seen: usize,
+    /// True when this node must take the scalar tick path every tick: its
+    /// control plane runs per-tick daemons, it has fault sources, or the
+    /// scenario forces scalar. False means the node's physics runs on the
+    /// structure-of-arrays lanes between samples (see `crate::sim`).
+    pub(crate) passthrough: bool,
+    /// True when the workload reports `Running` forever (never parks,
+    /// never finishes) — lets the fleet skip its per-tick state poll.
+    pub(crate) endless: bool,
 }
 
 impl NodeSim {
@@ -125,6 +148,12 @@ impl NodeSim {
             &mut PlatformActuators { node: &mut node, binding: &mut binding },
         );
 
+        // Per-tick daemons (e.g. CPUSPEED) and fault sources need the full
+        // scalar tick every tick; everything else can ride the batch lanes
+        // between samples.
+        let passthrough = plane.wants_tick() || node.has_fault_sources() || scenario.force_scalar;
+        let endless = workload.is_endless();
+
         Self {
             node,
             workload,
@@ -137,6 +166,8 @@ impl NodeSim {
             events: RingSink::with_capacity(scenario.event_capacity),
             counters: Counters::default(),
             fault_log_seen: 0,
+            passthrough,
+            endless,
         }
     }
 
@@ -271,19 +302,22 @@ impl NodeSim {
             }
         }
 
-        let s = self.node.state();
+        // Read the two summary inputs directly; a full `node.state()`
+        // snapshot recomputes the wall-power law per sample, which the
+        // recording-off fast path never uses.
+        let duty = f64::from(self.node.fan().duty().percent());
         if let Some(t) = temp {
             self.rec.temp_stats.push(t);
         }
-        self.rec.duty_stats.push(f64::from(s.fan_duty.percent()));
+        self.rec.duty_stats.push(duty);
         if self.rec.enabled {
             if let Some(t) = temp {
                 self.rec.temp.push(now_s, t);
             }
-            self.rec.duty.push(now_s, f64::from(s.fan_duty.percent()));
+            self.rec.duty.push(now_s, duty);
             self.rec.freq.push(now_s, f64::from(self.node.requested_frequency_khz() / 1000));
-            self.rec.power.push(now_s, s.wall_power_w);
-            self.rec.util.push(now_s, s.utilization);
+            self.rec.power.push(now_s, self.node.wall_power_w());
+            self.rec.util.push(now_s, self.node.utilization());
         }
     }
 

@@ -41,7 +41,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::{JoinHandle, Thread};
 
 use unitherm_obs::{EventSink, VecSink};
-use unitherm_workload::WorkState;
+use unitherm_simnode::PhysicsBatch;
 
 use crate::node_sim::NodeSim;
 
@@ -64,6 +64,9 @@ pub(crate) enum PassKind {
         release: bool,
         /// Whether to capture per-node heat for the rack reduction.
         couple_rack: bool,
+        /// Whether the workload can finish on its own (gates the pure-lane
+        /// route in `sim::hardware_pass`).
+        finite: bool,
     },
     /// The 4 Hz sampling pass: sensor read, control plane, recorders.
     Sample {
@@ -93,6 +96,9 @@ pub(crate) struct ShardOut {
 #[derive(Clone, Copy)]
 struct Job {
     nodes: *mut NodeSim,
+    /// Per-shard physics batches (`shards` entries); slot `s` mirrors the
+    /// node range of shard `s`.
+    batches: *mut PhysicsBatch,
     len: usize,
     shards: usize,
     kind: PassKind,
@@ -197,11 +203,13 @@ impl WorkerPool {
     pub fn run(
         &self,
         nodes: &mut [NodeSim],
+        batches: &mut [PhysicsBatch],
         kind: PassKind,
         heat: Option<&mut [f64]>,
         outs: &mut [ShardOut],
         scratch: Option<&mut [VecSink]>,
     ) {
+        assert_eq!(batches.len(), self.shards, "one physics batch per shard");
         assert_eq!(outs.len(), self.shards, "one reduction slot per shard");
         if let Some(heat) = &heat {
             assert_eq!(heat.len(), nodes.len(), "one heat slot per node");
@@ -211,6 +219,7 @@ impl WorkerPool {
         }
         let job = Job {
             nodes: nodes.as_mut_ptr(),
+            batches: batches.as_mut_ptr(),
             len: nodes.len(),
             shards: self.shards,
             kind,
@@ -304,48 +313,33 @@ fn worker_loop(shared: &Shared, shard: usize) {
 }
 
 /// Processes shard `s` of the published job. Caller guarantees exclusive
-/// access to the shard's node range and to slot `s` of `outs` / `scratch`
-/// (plus the shard's rows of `heat`).
+/// access to the shard's node range, its physics batch, and slot `s` of
+/// `outs` / `scratch` (plus the shard's rows of `heat`).
+///
+/// The pass bodies are the shared `crate::sim` functions the serial loop
+/// runs — same code over the shard's slice, so the two paths cannot drift.
 unsafe fn exec_shard(job: &Job, s: usize) {
     let range = shard_range(job.len, job.shards, s);
     let nodes = std::slice::from_raw_parts_mut(job.nodes.add(range.start), range.len());
+    let batch = &mut *job.batches.add(s);
     let out = &mut *job.outs.add(s);
     *out = ShardOut { unfinished_parked: true, any_parked: false, finished_delta: 0 };
-    let mut scratch = if job.scratch.is_null() { None } else { Some(&mut *job.scratch.add(s)) };
+    let journal = (!job.scratch.is_null())
+        .then(|| &mut *job.scratch.add(s) as &mut (dyn EventSink + 'static));
 
     match job.kind {
         PassKind::Workload { dt_s } => {
-            for ns in nodes {
-                match ns.tick_workload(dt_s) {
-                    WorkState::AtBarrier(_) => out.any_parked = true,
-                    WorkState::Finished => {}
-                    _ => out.unfinished_parked = false,
-                }
-            }
+            crate::sim::workload_pass(nodes, batch, dt_s, out);
         }
-        PassKind::Hardware { dt_s, now_s, release, couple_rack } => {
-            for (i, ns) in nodes.iter_mut().enumerate() {
-                if release {
-                    ns.workload.release_barrier();
-                }
-                ns.tick_hardware(
-                    dt_s,
-                    now_s,
-                    scratch.as_deref_mut().map(|s| s as &mut dyn EventSink),
-                );
-                if couple_rack {
-                    *job.heat.add(range.start + i) = ns.node.heat_output_w();
-                }
-                if ns.finish_time_s.is_none() && ns.workload.is_finished() {
-                    ns.finish_time_s = Some(now_s);
-                    out.finished_delta += 1;
-                }
-            }
+        PassKind::Hardware { dt_s, now_s, release, couple_rack, finite } => {
+            let heat = couple_rack
+                .then(|| std::slice::from_raw_parts_mut(job.heat.add(range.start), range.len()));
+            crate::sim::hardware_pass(
+                nodes, batch, dt_s, now_s, release, finite, heat, journal, out,
+            );
         }
         PassKind::Sample { now_s } => {
-            for ns in nodes {
-                ns.on_sample(now_s, scratch.as_deref_mut().map(|s| s as &mut dyn EventSink));
-            }
+            crate::sim::sample_pass(nodes, batch, now_s, journal);
         }
     }
 }

@@ -14,6 +14,7 @@
 //! mechanism behind the paper's execution-time results.
 
 use unitherm_obs::{EventSink, VecSink};
+use unitherm_simnode::PhysicsBatch;
 use unitherm_workload::WorkState;
 
 use crate::node_sim::NodeSim;
@@ -42,12 +43,22 @@ pub struct Simulation {
     /// teed into it on top of the per-node rings (e.g. a JSONL
     /// [`unitherm_obs::JournalWriter`] behind `unitherm-bench --journal`).
     journal: Option<Box<dyn EventSink>>,
-    /// Per-shard reduction slots for the parallel passes (empty on the
+    /// Structure-of-arrays lanes over the hot physics state, one batch per
+    /// shard (exactly one on the serial path). Nodes whose semantics the
+    /// lanes cannot replicate (per-tick daemons, fault sources,
+    /// `Scenario::force_scalar`) are flagged passthrough and keep ticking
+    /// through their scalar [`unitherm_simnode::Node`]; everyone else ticks
+    /// on the lanes and syncs back at every sample (see `sample_pass`).
+    batches: Vec<PhysicsBatch>,
+    /// Node indices of the passthrough nodes (scalar-authoritative), so the
+    /// rack ambient fan-out does not scan 100k `NodeSim` structs per tick.
+    passthrough_idx: Vec<usize>,
+    /// Per-shard reduction slots for the parallel passes (one slot on the
     /// serial path).
     shard_outs: Vec<ShardOut>,
-    /// Per-node heat slots for the rack reduction: workers fill their
+    /// Per-node heat slots for the rack reduction: each pass fills its
     /// shard's rows, the coordinator folds them in node order so the f64
-    /// summation order matches the serial loop exactly.
+    /// summation order matches the historical serial loop exactly.
     heat_scratch: Vec<f64>,
     /// Per-shard journal scratch: parallel passes tee events here and the
     /// coordinator drains shard 0, 1, … — i.e. node order — into the
@@ -80,10 +91,23 @@ impl Simulation {
         // (the default) skips the pool entirely and runs the serial loop.
         let shards = scenario.threads.min(nodes.len()).max(1);
         let pool = (shards > 1).then(|| WorkerPool::new(shards));
-        let heat_scratch =
-            if pool.is_some() && rack.is_some() { vec![0.0; nodes.len()] } else { Vec::new() };
-        let shard_outs =
-            if pool.is_some() { vec![ShardOut::default(); shards] } else { Vec::new() };
+        let heat_scratch = if rack.is_some() { vec![0.0; nodes.len()] } else { Vec::new() };
+        let shard_outs = vec![ShardOut::default(); shards];
+        // One physics batch per shard, loaded from the post-attach (and
+        // post-rack-ambient) node state so the lanes resume bit-exactly.
+        let batches: Vec<PhysicsBatch> = (0..shards)
+            .map(|s| {
+                let range = shard_range(nodes.len(), shards, s);
+                let mut batch =
+                    PhysicsBatch::from_nodes(nodes[range.clone()].iter().map(|ns| &ns.node));
+                for (j, ns) in nodes[range].iter().enumerate() {
+                    batch.set_passthrough(j, ns.passthrough);
+                }
+                batch
+            })
+            .collect();
+        let passthrough_idx =
+            nodes.iter().enumerate().filter(|(_, ns)| ns.passthrough).map(|(i, _)| i).collect();
         Ok(Self {
             pool,
             scenario,
@@ -95,6 +119,8 @@ impl Simulation {
             ticks_per_sample,
             finished_nodes: 0,
             journal: None,
+            batches,
+            passthrough_idx,
             shard_outs,
             heat_scratch,
             event_scratch: Vec::new(),
@@ -152,7 +178,19 @@ impl Simulation {
     }
 
     /// Immutable access to the nodes (diagnostics, tests).
+    ///
+    /// Between samples the hot physics state of non-passthrough nodes lives
+    /// in the structure-of-arrays lanes, so the scalar `Node` structs seen
+    /// here can lag by up to one sample period; [`Simulation::nodes_synced`]
+    /// stores the lanes back first.
     pub fn nodes(&self) -> &[NodeSim] {
+        &self.nodes
+    }
+
+    /// Like [`Simulation::nodes`], but stores the physics lanes back into
+    /// the scalar nodes first, so every `Node` reflects the current tick.
+    pub fn nodes_synced(&mut self) -> &[NodeSim] {
+        self.sync_batches();
         &self.nodes
     }
 
@@ -173,66 +211,75 @@ impl Simulation {
         }
     }
 
-    /// The single-threaded tick loop (`threads = 1`).
+    /// The single-threaded tick loop (`threads = 1`): the shared pass
+    /// functions over the lone shard.
     fn tick_serial(&mut self) {
         let dt = self.scenario.dt_s;
         self.ticks += 1;
         self.time_s += dt;
+        let finite = self.scenario.workload.is_finite();
 
         // Pass A — workloads advance; the barrier reduction folds in.
         // Release is all-or-nothing, so the decision needs every rank's
         // post-advance state and cannot merge with pass B.
-        let mut unfinished_parked = true;
-        let mut any_parked = false;
-        for ns in &mut self.nodes {
-            match ns.tick_workload(dt) {
-                WorkState::AtBarrier(_) => any_parked = true,
-                WorkState::Finished => {}
-                _ => unfinished_parked = false,
-            }
-        }
-        if unfinished_parked && any_parked {
-            for ns in &mut self.nodes {
-                ns.workload.release_barrier();
-            }
-        }
+        let batch = &mut self.batches[0];
+        let out = &mut self.shard_outs[0];
+        workload_pass(&mut self.nodes, batch, dt, out);
+        let release = out.unfinished_parked && out.any_parked;
 
-        // Pass B — per-tick daemons + physics, rack heat reduction, and
-        // finish times, all per-node-independent once the barrier settled.
-        let couple_rack = self.rack.is_some();
-        let mut heat = 0.0;
-        let journal = &mut self.journal;
-        for ns in &mut self.nodes {
-            ns.tick_hardware(dt, self.time_s, journal.as_deref_mut());
-            if couple_rack {
-                heat += ns.node.heat_output_w();
-            }
-            if ns.finish_time_s.is_none() && ns.workload.is_finished() {
-                ns.finish_time_s = Some(self.time_s);
-                self.finished_nodes += 1;
-            }
-        }
+        // Pass B — per-tick daemons + physics (lanes for fast nodes), rack
+        // heat capture, and finish times.
+        hardware_pass(
+            &mut self.nodes,
+            batch,
+            dt,
+            self.time_s,
+            release,
+            finite,
+            self.rack.is_some().then_some(&mut self.heat_scratch[..]),
+            self.journal.as_deref_mut(),
+            out,
+        );
+        self.finished_nodes += out.finished_delta;
 
-        // Rack air coupling: exhaust heat recirculates into the shared
-        // intake volume; every node breathes the updated air.
-        if let Some(rack) = &mut self.rack {
-            rack.step(dt, heat);
-            let air = rack.air_c();
-            for ns in &mut self.nodes {
-                ns.node.set_ambient_c(air);
-            }
-        }
+        self.step_rack(dt);
 
-        // Sampling path at 4 Hz.
+        // Sampling path at 4 Hz: lanes store back, daemons run, lanes
+        // reload — fused per node so each cache line is touched once.
         if self.ticks.is_multiple_of(self.ticks_per_sample) {
-            let journal = &mut self.journal;
-            for ns in &mut self.nodes {
-                ns.on_sample(self.time_s, journal.as_deref_mut());
-            }
-            if let Some(rack) = &self.rack {
-                if self.scenario.record_series {
-                    self.rack_air.push(self.time_s, rack.air_c());
-                }
+            sample_pass(
+                &mut self.nodes,
+                &mut self.batches[0],
+                self.time_s,
+                self.journal.as_deref_mut(),
+            );
+            self.record_rack_air();
+        }
+    }
+
+    /// Rack air coupling: folds the per-node heat slots in node order (the
+    /// exact historical `heat += …` summation), steps the shared intake-air
+    /// volume, and fans the new ambient out — to every batch lane, and to
+    /// the scalar nodes of the passthrough set.
+    fn step_rack(&mut self, dt: f64) {
+        let Some(rack) = &mut self.rack else { return };
+        let heat = self.heat_scratch.iter().fold(0.0f64, |acc, h| acc + h);
+        rack.step(dt, heat);
+        let air = rack.air_c();
+        for batch in &mut self.batches {
+            batch.set_ambient_all(air);
+        }
+        for &i in &self.passthrough_idx {
+            self.nodes[i].node.set_ambient_c(air);
+        }
+    }
+
+    /// Appends the rack air sample when a rack is coupled and series
+    /// recording is on.
+    fn record_rack_air(&mut self) {
+        if let Some(rack) = &self.rack {
+            if self.scenario.record_series {
+                self.rack_air.push(self.time_s, rack.air_c());
             }
         }
     }
@@ -250,11 +297,13 @@ impl Simulation {
         self.time_s += dt;
         let pool = self.pool.as_ref().expect("tick_sharded requires a pool");
         let teeing = self.journal.is_some();
+        let finite = self.scenario.workload.is_finite();
 
         // Pass A — workloads advance shard-parallel; the barrier reduction
         // folds per shard, then across shards (order-free booleans).
         pool.run(
             &mut self.nodes,
+            &mut self.batches,
             PassKind::Workload { dt_s: dt },
             None,
             &mut self.shard_outs,
@@ -274,7 +323,8 @@ impl Simulation {
         }
         pool.run(
             &mut self.nodes,
-            PassKind::Hardware { dt_s: dt, now_s: self.time_s, release, couple_rack },
+            &mut self.batches,
+            PassKind::Hardware { dt_s: dt, now_s: self.time_s, release, couple_rack, finite },
             couple_rack.then_some(&mut self.heat_scratch[..]),
             &mut self.shard_outs,
             teeing.then_some(&mut self.event_scratch[..]),
@@ -288,16 +338,7 @@ impl Simulation {
             }
         }
 
-        // Rack air coupling, folded from the per-node slots in node order —
-        // bit-identical to the serial `heat += …` accumulation.
-        if let Some(rack) = &mut self.rack {
-            let heat = self.heat_scratch.iter().fold(0.0f64, |acc, h| acc + h);
-            rack.step(dt, heat);
-            let air = rack.air_c();
-            for ns in &mut self.nodes {
-                ns.node.set_ambient_c(air);
-            }
-        }
+        self.step_rack(dt);
 
         // Sampling path at 4 Hz, shard-parallel with the same journal
         // buffering.
@@ -307,8 +348,10 @@ impl Simulation {
                     scratch.records.clear();
                 }
             }
+            let pool = self.pool.as_ref().expect("tick_sharded requires a pool");
             pool.run(
                 &mut self.nodes,
+                &mut self.batches,
                 PassKind::Sample { now_s: self.time_s },
                 None,
                 &mut self.shard_outs,
@@ -321,11 +364,7 @@ impl Simulation {
                     }
                 }
             }
-            if let Some(rack) = &self.rack {
-                if self.scenario.record_series {
-                    self.rack_air.push(self.time_s, rack.air_c());
-                }
-            }
+            self.record_rack_air();
         }
     }
 
@@ -354,8 +393,27 @@ impl Simulation {
         self.into_report()
     }
 
+    /// Stores every non-passthrough node's physics lanes back into its
+    /// scalar `Node` and flushes the batched-tick counters. Idempotent —
+    /// a second call with no ticks in between stores the same bits and
+    /// drains zero skipped ticks.
+    fn sync_batches(&mut self) {
+        let shards = self.batches.len();
+        let len = self.nodes.len();
+        for (s, batch) in self.batches.iter_mut().enumerate() {
+            let range = shard_range(len, shards, s);
+            for (j, ns) in self.nodes[range].iter_mut().enumerate() {
+                if !ns.passthrough {
+                    batch.store(j, &mut ns.node);
+                    ns.counters.ticks_skipped += batch.take_skipped(j);
+                }
+            }
+        }
+    }
+
     /// Finalizes the report from the current state.
-    pub fn into_report(self) -> RunReport {
+    pub fn into_report(mut self) -> RunReport {
+        self.sync_batches();
         let completed = self.nodes.iter().all(|ns| ns.finish_time_s.is_some());
         let exec_time_s = if completed {
             self.nodes.iter().filter_map(|ns| ns.finish_time_s).fold(0.0f64, f64::max)
@@ -402,6 +460,137 @@ impl Simulation {
             exec_time_s,
             rack_air: if self.rack.is_some() { Some(self.rack_air) } else { None },
             journal_warning,
+        }
+    }
+}
+
+// --- Shared per-shard pass bodies -----------------------------------------
+//
+// The serial loop and the worker pool's `exec_shard` both run these exact
+// functions over (their slice of) the nodes plus the matching physics batch,
+// so the two paths cannot drift apart. `nodes` and `batch` are index-aligned:
+// slot `i` of the batch mirrors `nodes[i]`.
+
+/// Pass A: advance every rank's workload and fold the barrier flags into
+/// `out`. Fast (non-passthrough) ranks read their execution speed from and
+/// write their load into the lanes; passthrough ranks use the scalar node.
+pub(crate) fn workload_pass(
+    nodes: &mut [NodeSim],
+    batch: &mut PhysicsBatch,
+    dt_s: f64,
+    out: &mut ShardOut,
+) {
+    out.unfinished_parked = true;
+    out.any_parked = false;
+    for (i, ns) in nodes.iter_mut().enumerate() {
+        if !ns.passthrough {
+            let speed = batch.speed_factor(i);
+            let w = ns.workload.advance(dt_s, speed);
+            batch.set_load(i, w.utilization, w.activity);
+            // Endless workloads are `Running` by contract — skip the
+            // second virtual dispatch on the hot path.
+            if ns.endless {
+                out.unfinished_parked = false;
+                continue;
+            }
+            match ns.workload.state() {
+                WorkState::AtBarrier(_) => out.any_parked = true,
+                WorkState::Finished => {}
+                _ => out.unfinished_parked = false,
+            }
+            continue;
+        }
+        match ns.tick_workload(dt_s) {
+            WorkState::AtBarrier(_) => out.any_parked = true,
+            WorkState::Finished => {}
+            _ => out.unfinished_parked = false,
+        }
+    }
+}
+
+/// Pass B: optional barrier release, per-tick daemons + physics (lanes for
+/// fast ranks, the scalar tick for passthrough ranks), per-node heat
+/// capture, finish detection.
+///
+/// When the whole range is batchable the pass takes the pure-lane route:
+/// barrier release and finish detection touch only workload state — disjoint
+/// from the physics lanes — so they hoist into their own ascending-index
+/// loops around `tick_all` without perturbing per-node evaluation order.
+/// Fast ranks emit no per-tick journal events (no tick daemons, no fault
+/// sources), so the journal stream is unaffected.
+#[allow(clippy::too_many_arguments)] // mirrors PassKind::Hardware exactly
+pub(crate) fn hardware_pass(
+    nodes: &mut [NodeSim],
+    batch: &mut PhysicsBatch,
+    dt_s: f64,
+    now_s: f64,
+    release: bool,
+    finite: bool,
+    mut heat: Option<&mut [f64]>,
+    mut journal: Option<&mut (dyn EventSink + 'static)>,
+    out: &mut ShardOut,
+) {
+    out.finished_delta = 0;
+    batch.begin_tick(dt_s);
+    if batch.all_fast() {
+        if release {
+            for ns in nodes.iter_mut() {
+                ns.workload.release_barrier();
+            }
+        }
+        batch.tick_all(dt_s);
+        if let Some(heat) = heat {
+            batch.write_heat(heat);
+        }
+        if finite {
+            for ns in nodes.iter_mut() {
+                if ns.finish_time_s.is_none() && ns.workload.is_finished() {
+                    ns.finish_time_s = Some(now_s);
+                    out.finished_delta += 1;
+                }
+            }
+        }
+        return;
+    }
+    for (i, ns) in nodes.iter_mut().enumerate() {
+        if release {
+            ns.workload.release_barrier();
+        }
+        if ns.passthrough {
+            ns.tick_hardware(dt_s, now_s, journal.as_deref_mut());
+        } else {
+            batch.tick_node(i, dt_s);
+        }
+        if let Some(heat) = heat.as_deref_mut() {
+            heat[i] = if ns.passthrough { ns.node.heat_output_w() } else { batch.heat_output_w(i) };
+        }
+        if ns.finish_time_s.is_none() && ns.workload.is_finished() {
+            ns.finish_time_s = Some(now_s);
+            out.finished_delta += 1;
+        }
+    }
+}
+
+/// The 4 Hz sampling pass: for each fast rank, store the lanes back into
+/// the scalar node, run the sampling path (sensor read, control plane,
+/// recorders), and reload the lanes from the possibly-actuated node — fused
+/// per node so each node's cache lines are touched once per sample.
+/// Batched ticks flush into the node's `ticks_skipped` counter here, exactly
+/// matching the scalar path's per-tick early-out accounting.
+pub(crate) fn sample_pass(
+    nodes: &mut [NodeSim],
+    batch: &mut PhysicsBatch,
+    now_s: f64,
+    mut journal: Option<&mut (dyn EventSink + 'static)>,
+) {
+    for (i, ns) in nodes.iter_mut().enumerate() {
+        if ns.passthrough {
+            ns.on_sample(now_s, journal.as_deref_mut());
+        } else {
+            batch.store(i, &mut ns.node);
+            ns.counters.ticks_skipped += batch.take_skipped(i);
+            ns.on_sample(now_s, journal.as_deref_mut());
+            batch.reload_control(i, &ns.node);
         }
     }
 }

@@ -106,3 +106,32 @@ fn recording_run_stays_within_reserved_capacity() {
     });
     assert_eq!(n, 0, "recording tick loop allocated {n} times over 1000 ticks");
 }
+
+#[test]
+fn disabled_recording_skips_recorder_allocations_at_build() {
+    // A recording-disabled run must not pay recorder heap at construction:
+    // no metric-name strings, no pre-reserved series or event buffers. Pin
+    // it by comparing identical builds that differ only in the recording
+    // flag — the enabled build reserves several buffers per node (5 named
+    // series plus the freq-event log), the disabled build none of them.
+    let nodes = 8;
+    let build = |record: bool| {
+        Scenario::new("alloc-recorder-gate")
+            .with_nodes(nodes)
+            .with_workload(WorkloadSpec::CpuBurn)
+            .with_fan(FanScheme::dynamic(Policy::MODERATE, 100))
+            .with_recording(record)
+            .with_max_time(3600.0)
+    };
+    let disabled = allocations_during(|| {
+        std::hint::black_box(Simulation::new(build(false)));
+    });
+    let enabled = allocations_during(|| {
+        std::hint::black_box(Simulation::new(build(true)));
+    });
+    assert!(
+        enabled >= disabled + 6 * nodes as u64,
+        "recording-on build must reserve recorder buffers that the \
+         recording-off build skips (enabled {enabled}, disabled {disabled})"
+    );
+}

@@ -374,6 +374,13 @@ impl ControlPlane {
         Self { daemons, failsafe: failsafe.map(Failsafe::new), any_wants_tick }
     }
 
+    /// True when any attached daemon runs on the per-tick path. When false,
+    /// `on_tick` is a guaranteed no-op between samples — simulators use this
+    /// to route the node onto a batched physics fast path.
+    pub fn wants_tick(&self) -> bool {
+        self.any_wants_tick
+    }
+
     /// One-time initialization: lets every daemon apply its initial
     /// actuation (called once after the platform binding is probed).
     pub fn attach(&mut self, sample: &SensorSample, act: &mut dyn Actuators) {

@@ -51,16 +51,47 @@ pub enum PwmMode {
     Manual,
 }
 
-/// The ADT7467 model.
-#[derive(Debug, Clone)]
-pub struct Adt7467 {
-    measured_temp_c: f64,
-    mode: PwmMode,
-    pwm_current: u8,
+/// Raw Figure-1 static curve, shared verbatim by
+/// [`Adt7467::static_curve_duty`] and the SoA batch path (`crate::batch`) so
+/// both evaluate the exact same expressions.
+#[inline]
+pub(crate) fn static_curve_duty_raw(
     pwm_min: u8,
     pwm_max: u8,
     tmin_c: u8,
     tmax_c: u8,
+    temp_c: f64,
+) -> DutyCycle {
+    // Tabulated `from_register(..).fraction()` — bit-identical entries,
+    // no per-call divide (this runs for every node on every tick).
+    let lut = DutyCycle::register_fraction_lut();
+    let max = lut[usize::from(pwm_max)];
+    // PWM_MAX caps the whole channel: a PWM_MIN programmed above it is
+    // effectively clamped (keeps the curve monotone under any register
+    // contents).
+    let min = lut[usize::from(pwm_min)].min(max);
+    let tmin = f64::from(tmin_c);
+    let tmax = f64::from(tmax_c);
+    let frac = if temp_c <= tmin || tmax <= tmin {
+        min
+    } else if temp_c >= tmax {
+        max
+    } else {
+        min + (max - min) * (temp_c - tmin) / (tmax - tmin)
+    };
+    DutyCycle::from_fraction(frac.clamp(0.0, 1.0))
+}
+
+/// The ADT7467 model.
+#[derive(Debug, Clone)]
+pub struct Adt7467 {
+    pub(crate) measured_temp_c: f64,
+    pub(crate) mode: PwmMode,
+    pub(crate) pwm_current: u8,
+    pub(crate) pwm_min: u8,
+    pub(crate) pwm_max: u8,
+    pub(crate) tmin_c: u8,
+    pub(crate) tmax_c: u8,
 }
 
 impl Default for Adt7467 {
@@ -110,21 +141,7 @@ impl Adt7467 {
     /// The Figure-1 static curve evaluated at `temp_c` with the chip's
     /// current Tmin/Tmax/PWMmin/PWMmax registers.
     pub fn static_curve_duty(&self, temp_c: f64) -> DutyCycle {
-        let max = DutyCycle::from_register(self.pwm_max).fraction();
-        // PWM_MAX caps the whole channel: a PWM_MIN programmed above it is
-        // effectively clamped (keeps the curve monotone under any register
-        // contents).
-        let min = DutyCycle::from_register(self.pwm_min).fraction().min(max);
-        let tmin = f64::from(self.tmin_c);
-        let tmax = f64::from(self.tmax_c);
-        let frac = if temp_c <= tmin || tmax <= tmin {
-            min
-        } else if temp_c >= tmax {
-            max
-        } else {
-            min + (max - min) * (temp_c - tmin) / (tmax - tmin)
-        };
-        DutyCycle::from_fraction(frac.clamp(0.0, 1.0))
+        static_curve_duty_raw(self.pwm_min, self.pwm_max, self.tmin_c, self.tmax_c, temp_c)
     }
 
     fn apply_automatic_curve(&mut self) {

@@ -33,21 +33,96 @@ pub enum ThermalCondition {
     ShutDown,
 }
 
+/// Raw load clamp shared verbatim by [`Cpu::set_load`] and the SoA batch
+/// path (`crate::batch`).
+#[inline]
+pub(crate) fn clamp_load(utilization: f64, activity: f64) -> (f64, f64) {
+    assert!(utilization.is_finite(), "utilization must be finite");
+    assert!(activity.is_finite(), "activity must be finite");
+    (utilization.clamp(0.0, 1.0), activity.clamp(0.0, 1.0))
+}
+
+/// Raw CMOS power law shared verbatim by [`Cpu::power_w`] and the SoA batch
+/// path. Frequencies arrive pre-widened to `f64` (`f64::from(freq_mhz)` at
+/// the call site) so both paths feed the multiply identical operands.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn power_raw(
+    shut_down: bool,
+    top_voltage_v: f64,
+    top_freq_mhz: f64,
+    eff_voltage_v: f64,
+    eff_freq_mhz: f64,
+    leakage_power_ref_w: f64,
+    leakage_temp_coeff_per_k: f64,
+    leakage_ref_temp_c: f64,
+    dynamic_power_max_w: f64,
+    activity: f64,
+    sleep_gate: f64,
+    die_temp_c: f64,
+) -> f64 {
+    if shut_down {
+        return 0.0;
+    }
+    let leak_scale = (eff_voltage_v / top_voltage_v)
+        * (1.0 + leakage_temp_coeff_per_k * (die_temp_c - leakage_ref_temp_c)).max(0.0);
+    let leakage = leakage_power_ref_w * leak_scale;
+
+    let vf = eff_voltage_v * eff_voltage_v * eff_freq_mhz;
+    let vf0 = top_voltage_v * top_voltage_v * top_freq_mhz;
+    let dynamic = activity * dynamic_power_max_w * vf / vf0;
+
+    // Sleep states gate the whole package (clocks, caches, uncore), so
+    // the gate scales total power, not just the dynamic term.
+    (leakage + dynamic) * sleep_gate
+}
+
+/// Raw thermal-monitor state machine shared verbatim by
+/// [`Cpu::update_thermal_monitor`] and the SoA batch path.
+#[inline]
+pub(crate) fn monitor_raw(
+    condition: &mut ThermalCondition,
+    throttle_events: &mut u64,
+    die_temp_c: f64,
+    emergency_throttle_c: f64,
+    emergency_shutdown_c: f64,
+    emergency_hysteresis_c: f64,
+) {
+    match *condition {
+        ThermalCondition::ShutDown => {} // latched until explicitly reset
+        ThermalCondition::Throttled => {
+            if die_temp_c >= emergency_shutdown_c {
+                *condition = ThermalCondition::ShutDown;
+            } else if die_temp_c < emergency_throttle_c - emergency_hysteresis_c {
+                *condition = ThermalCondition::Nominal;
+            }
+        }
+        ThermalCondition::Nominal => {
+            if die_temp_c >= emergency_shutdown_c {
+                *condition = ThermalCondition::ShutDown;
+            } else if die_temp_c >= emergency_throttle_c {
+                *condition = ThermalCondition::Throttled;
+                *throttle_events += 1;
+            }
+        }
+    }
+}
+
 /// A DVFS-capable CPU.
 #[derive(Debug, Clone)]
 pub struct Cpu {
-    cfg: CpuConfig,
+    pub(crate) cfg: CpuConfig,
     /// Index into `cfg.pstates` of the software-requested P-state.
-    requested: usize,
-    utilization: f64,
-    activity: f64,
-    condition: ThermalCondition,
+    pub(crate) requested: usize,
+    pub(crate) utilization: f64,
+    pub(crate) activity: f64,
+    pub(crate) condition: ThermalCondition,
     /// ACPI sleep-state power/speed gate in `[0, 1]`: 1.0 = C0 (fully
     /// awake), lower values model the package-level savings of deeper
     /// processor sleep states.
-    sleep_gate: f64,
-    freq_transitions: u64,
-    throttle_events: u64,
+    pub(crate) sleep_gate: f64,
+    pub(crate) freq_transitions: u64,
+    pub(crate) throttle_events: u64,
 }
 
 impl Cpu {
@@ -138,10 +213,7 @@ impl Cpu {
     /// separately (both clamped to `[0, 1]`). Utilization is what a
     /// governor observes; activity is what scales dynamic power.
     pub fn set_load(&mut self, utilization: f64, activity: f64) {
-        assert!(utilization.is_finite(), "utilization must be finite");
-        assert!(activity.is_finite(), "activity must be finite");
-        self.utilization = utilization.clamp(0.0, 1.0);
-        self.activity = activity.clamp(0.0, 1.0);
+        (self.utilization, self.activity) = clamp_load(utilization, activity);
     }
 
     /// Current utilization in `[0, 1]`.
@@ -190,50 +262,35 @@ impl Cpu {
 
     /// Electrical power draw in W at the given die temperature.
     pub fn power_w(&self, die_temp_c: f64) -> f64 {
-        if self.condition == ThermalCondition::ShutDown {
-            return 0.0;
-        }
         let top = self.cfg.pstates[0];
         let eff = self.effective_pstate();
-
-        let leak_scale = (eff.voltage_v / top.voltage_v)
-            * (1.0
-                + self.cfg.leakage_temp_coeff_per_k * (die_temp_c - self.cfg.leakage_ref_temp_c))
-                .max(0.0);
-        let leakage = self.cfg.leakage_power_ref_w * leak_scale;
-
-        let vf = eff.voltage_v * eff.voltage_v * f64::from(eff.freq_mhz);
-        let vf0 = top.voltage_v * top.voltage_v * f64::from(top.freq_mhz);
-        let dynamic = self.activity * self.cfg.dynamic_power_max_w * vf / vf0;
-
-        // Sleep states gate the whole package (clocks, caches, uncore), so
-        // the gate scales total power, not just the dynamic term.
-        (leakage + dynamic) * self.sleep_gate
+        power_raw(
+            self.condition == ThermalCondition::ShutDown,
+            top.voltage_v,
+            f64::from(top.freq_mhz),
+            eff.voltage_v,
+            f64::from(eff.freq_mhz),
+            self.cfg.leakage_power_ref_w,
+            self.cfg.leakage_temp_coeff_per_k,
+            self.cfg.leakage_ref_temp_c,
+            self.cfg.dynamic_power_max_w,
+            self.activity,
+            self.sleep_gate,
+            die_temp_c,
+        )
     }
 
     /// Updates the thermal-monitor state machine for the current die
     /// temperature. Call once per simulation tick.
     pub fn update_thermal_monitor(&mut self, die_temp_c: f64) {
-        match self.condition {
-            ThermalCondition::ShutDown => {} // latched until explicitly reset
-            ThermalCondition::Throttled => {
-                if die_temp_c >= self.cfg.emergency_shutdown_c {
-                    self.condition = ThermalCondition::ShutDown;
-                } else if die_temp_c
-                    < self.cfg.emergency_throttle_c - self.cfg.emergency_hysteresis_c
-                {
-                    self.condition = ThermalCondition::Nominal;
-                }
-            }
-            ThermalCondition::Nominal => {
-                if die_temp_c >= self.cfg.emergency_shutdown_c {
-                    self.condition = ThermalCondition::ShutDown;
-                } else if die_temp_c >= self.cfg.emergency_throttle_c {
-                    self.condition = ThermalCondition::Throttled;
-                    self.throttle_events += 1;
-                }
-            }
-        }
+        monitor_raw(
+            &mut self.condition,
+            &mut self.throttle_events,
+            die_temp_c,
+            self.cfg.emergency_throttle_c,
+            self.cfg.emergency_shutdown_c,
+            self.cfg.emergency_hysteresis_c,
+        );
     }
 
     /// Clears a latched shutdown (models a power cycle) and returns to the

@@ -11,18 +11,68 @@
 use crate::config::FanConfig;
 use crate::units::DutyCycle;
 
+/// Raw steady-state RPM law, shared verbatim by [`Fan::step`] and the SoA
+/// batch path (`crate::batch`) so both evaluate the exact same expressions.
+#[inline]
+pub(crate) fn target_rpm_raw(
+    failed: bool,
+    duty_fraction: f64,
+    stall_fraction: f64,
+    max_rpm: f64,
+) -> f64 {
+    if failed {
+        return 0.0;
+    }
+    if duty_fraction < stall_fraction {
+        // Below the stall threshold the motor cannot sustain rotation.
+        return 0.0;
+    }
+    max_rpm * duty_fraction
+}
+
+/// Raw first-order rotor lag, shared verbatim by [`Fan::step`] and the SoA
+/// batch path. `lag_cache` memoizes `(dt_s, alpha)` keyed on the exact bits
+/// of `dt_s` so the `exp()` only runs when `dt` changes.
+#[inline]
+pub(crate) fn step_raw(
+    rpm: &mut f64,
+    target: f64,
+    dt_s: f64,
+    time_constant_s: f64,
+    lag_cache: &mut (f64, f64),
+) {
+    assert!(dt_s > 0.0, "time step must be positive");
+    // Exact solution of the first-order lag over dt (stable for any dt).
+    if lag_cache.0.to_bits() != dt_s.to_bits() {
+        *lag_cache = (dt_s, 1.0 - (-dt_s / time_constant_s).exp());
+    }
+    let alpha = lag_cache.1;
+    *rpm += (target - *rpm) * alpha;
+    if *rpm < 1.0 && target == 0.0 {
+        *rpm = 0.0;
+    }
+}
+
+/// Raw fan motor power (cubic in speed), shared verbatim by [`Fan::power_w`]
+/// and the SoA batch path.
+#[inline]
+pub(crate) fn power_raw(rpm: f64, max_rpm: f64, max_power_w: f64) -> f64 {
+    let speed_fraction = (rpm / max_rpm).clamp(0.0, 1.0);
+    max_power_w * speed_fraction.powi(3)
+}
+
 /// A PWM-controlled axial fan.
 #[derive(Debug, Clone)]
 pub struct Fan {
-    cfg: FanConfig,
-    duty: DutyCycle,
-    rpm: f64,
-    failed: bool,
-    pwm_stuck: bool,
+    pub(crate) cfg: FanConfig,
+    pub(crate) duty: DutyCycle,
+    pub(crate) rpm: f64,
+    pub(crate) failed: bool,
+    pub(crate) pwm_stuck: bool,
     /// Memoized `(dt_s, alpha)` for the lag update below. The simulator calls
     /// `step` with a fixed `dt`, so the `exp()` only runs when `dt` changes;
     /// the exact-match key keeps results bit-identical to the uncached path.
-    lag_cache: (f64, f64),
+    pub(crate) lag_cache: (f64, f64),
 }
 
 impl Fan {
@@ -79,7 +129,7 @@ impl Fan {
 
     /// Electrical power drawn by the fan motor in W (cubic in speed).
     pub fn power_w(&self) -> f64 {
-        self.cfg.max_power_w * self.speed_fraction().powi(3)
+        power_raw(self.rpm, self.cfg.max_rpm, self.cfg.max_power_w)
     }
 
     /// True when the rotor has seized.
@@ -116,30 +166,13 @@ impl Fan {
 
     /// Steady-state RPM for the current duty command.
     fn target_rpm(&self) -> f64 {
-        if self.failed {
-            return 0.0;
-        }
-        let frac = self.duty.fraction();
-        if frac < self.cfg.stall_fraction {
-            // Below the stall threshold the motor cannot sustain rotation.
-            return 0.0;
-        }
-        self.cfg.max_rpm * frac
+        target_rpm_raw(self.failed, self.duty.fraction(), self.cfg.stall_fraction, self.cfg.max_rpm)
     }
 
     /// Advances rotor dynamics by `dt_s` seconds.
     pub fn step(&mut self, dt_s: f64) {
-        assert!(dt_s > 0.0, "time step must be positive");
         let target = self.target_rpm();
-        // Exact solution of the first-order lag over dt (stable for any dt).
-        if self.lag_cache.0.to_bits() != dt_s.to_bits() {
-            self.lag_cache = (dt_s, 1.0 - (-dt_s / self.cfg.time_constant_s).exp());
-        }
-        let alpha = self.lag_cache.1;
-        self.rpm += (target - self.rpm) * alpha;
-        if self.rpm < 1.0 && target == 0.0 {
-            self.rpm = 0.0;
-        }
+        step_raw(&mut self.rpm, target, dt_s, self.cfg.time_constant_s, &mut self.lag_cache);
     }
 }
 

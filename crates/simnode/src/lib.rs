@@ -24,11 +24,14 @@
 //! * [`sensor`] — a quantizing, noisy digital thermal sensor,
 //! * [`power`] — a sampling wall-power meter,
 //! * [`node`] — the assembled server node advanced by a fixed-step tick loop,
-//! * [`faults`] — fault injection (fan failure, sensor dropout, ambient steps).
+//! * [`faults`] — fault injection (fan failure, sensor dropout, ambient steps),
+//! * [`batch`] — structure-of-arrays lanes over the hot per-node physics
+//!   state, bit-identical to the scalar tick for 100k-node fleets.
 //!
 //! Everything is deterministic given the seed in [`config::NodeConfig`].
 
 pub mod adt7467;
+pub mod batch;
 pub mod config;
 pub mod cpu;
 pub mod fan;
@@ -40,6 +43,7 @@ pub mod sensor;
 pub mod thermal;
 pub mod units;
 
+pub use batch::PhysicsBatch;
 pub use config::NodeConfig;
 pub use node::{Node, NodeState};
 pub use units::{DutyCycle, MilliCelsius, PState};

@@ -62,15 +62,15 @@ pub struct NodeState {
 /// A simulated server node.
 #[derive(Debug)]
 pub struct Node {
-    cfg: NodeConfig,
-    cpu: Cpu,
-    fan: Fan,
-    thermal: ThermalModel,
+    pub(crate) cfg: NodeConfig,
+    pub(crate) cpu: Cpu,
+    pub(crate) fan: Fan,
+    pub(crate) thermal: ThermalModel,
     /// One DTS per core (index 0 is the coolest spot, the last the
     /// hottest); the paper's platform has exactly one.
     sensors: Vec<ThermalSensor>,
-    bus: I2cBus,
-    meter: PowerMeter,
+    pub(crate) bus: I2cBus,
+    pub(crate) meter: PowerMeter,
     faults: FaultPlan,
     /// Tick-addressed faults (deterministic replay); delivered before the
     /// time-addressed plan within a tick.
@@ -79,8 +79,8 @@ pub struct Node {
     /// Pre-reserved to the total scheduled count so steady-state ticks
     /// never allocate.
     fault_log: Vec<(u64, FaultEvent)>,
-    time_s: f64,
-    ticks: u64,
+    pub(crate) time_s: f64,
+    pub(crate) ticks: u64,
 }
 
 impl Node {
@@ -176,6 +176,13 @@ impl Node {
     /// Every fault delivered so far, with the tick each landed on.
     pub fn fault_log(&self) -> &[(u64, FaultEvent)] {
         &self.fault_log
+    }
+
+    /// True when this node has any scheduled fault sources (time- or
+    /// tick-addressed). Such nodes must take the scalar tick path in batched
+    /// simulations so fault delivery and logging semantics stay unchanged.
+    pub fn has_fault_sources(&self) -> bool {
+        !self.faults.is_empty() || !self.tick_faults.is_empty()
     }
 
     /// Configuration the node was built from.

@@ -7,22 +7,58 @@
 
 use unitherm_metrics::RunningStats;
 
+/// Raw meter accumulation, shared verbatim by [`PowerMeter::observe`] and
+/// the SoA batch path (`crate::batch`). Operates on caller-owned state so
+/// the batch can run it over contiguous lanes.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn observe_raw(
+    psu_efficiency: f64,
+    sample_period_s: f64,
+    since_sample_s: &mut f64,
+    window_energy_j: &mut f64,
+    total_energy_j: &mut f64,
+    total_time_s: &mut f64,
+    stats: &mut RunningStats,
+    last_sample_w: &mut Option<f64>,
+    dt_s: f64,
+    dc_power_w: f64,
+) -> Option<f64> {
+    assert!(dt_s > 0.0, "time step must be positive");
+    assert!(dc_power_w >= 0.0, "power cannot be negative");
+    let wall_w = dc_power_w / psu_efficiency;
+    *total_energy_j += wall_w * dt_s;
+    *total_time_s += dt_s;
+    *window_energy_j += wall_w * dt_s;
+    *since_sample_s += dt_s;
+    if *since_sample_s + 1e-9 >= sample_period_s {
+        let sample = *window_energy_j / *since_sample_s;
+        *window_energy_j = 0.0;
+        *since_sample_s = 0.0;
+        stats.push(sample);
+        *last_sample_w = Some(sample);
+        Some(sample)
+    } else {
+        None
+    }
+}
+
 /// A sampling wall-power meter.
 #[derive(Debug, Clone)]
 pub struct PowerMeter {
-    psu_efficiency: f64,
-    sample_period_s: f64,
+    pub(crate) psu_efficiency: f64,
+    pub(crate) sample_period_s: f64,
     /// Time accumulated since the last emitted sample.
-    since_sample_s: f64,
+    pub(crate) since_sample_s: f64,
     /// Energy accumulated since the last emitted sample (J, wall side).
-    window_energy_j: f64,
+    pub(crate) window_energy_j: f64,
     /// Total wall energy in joules.
-    total_energy_j: f64,
+    pub(crate) total_energy_j: f64,
     /// Total observation time in seconds.
-    total_time_s: f64,
+    pub(crate) total_time_s: f64,
     /// Statistics over emitted samples.
-    stats: RunningStats,
-    last_sample_w: Option<f64>,
+    pub(crate) stats: RunningStats,
+    pub(crate) last_sample_w: Option<f64>,
 }
 
 impl PowerMeter {
@@ -46,23 +82,18 @@ impl PowerMeter {
     /// (average wall power over the sample window) each time a sampling
     /// period completes.
     pub fn observe(&mut self, dt_s: f64, dc_power_w: f64) -> Option<f64> {
-        assert!(dt_s > 0.0, "time step must be positive");
-        assert!(dc_power_w >= 0.0, "power cannot be negative");
-        let wall_w = dc_power_w / self.psu_efficiency;
-        self.total_energy_j += wall_w * dt_s;
-        self.total_time_s += dt_s;
-        self.window_energy_j += wall_w * dt_s;
-        self.since_sample_s += dt_s;
-        if self.since_sample_s + 1e-9 >= self.sample_period_s {
-            let sample = self.window_energy_j / self.since_sample_s;
-            self.window_energy_j = 0.0;
-            self.since_sample_s = 0.0;
-            self.stats.push(sample);
-            self.last_sample_w = Some(sample);
-            Some(sample)
-        } else {
-            None
-        }
+        observe_raw(
+            self.psu_efficiency,
+            self.sample_period_s,
+            &mut self.since_sample_s,
+            &mut self.window_energy_j,
+            &mut self.total_energy_j,
+            &mut self.total_time_s,
+            &mut self.stats,
+            &mut self.last_sample_w,
+            dt_s,
+            dc_power_w,
+        )
     }
 
     /// Total wall energy observed, in joules.

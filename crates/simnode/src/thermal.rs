@@ -23,18 +23,77 @@
 
 use crate::config::ThermalConfig;
 
+/// The raw conductance law, shared verbatim by
+/// [`ThermalModel::sink_conductance`] and the SoA batch path
+/// (`crate::batch`): both sides must evaluate the exact same expression for
+/// bit-identical results.
+#[inline]
+pub(crate) fn sink_conductance_raw(g_nat: f64, g_air: f64, exponent: f64, airflow: f64) -> f64 {
+    let a = airflow.clamp(0.0, 1.0);
+    g_nat + g_air * a.powf(exponent)
+}
+
+/// The raw RC update shared verbatim by [`ThermalModel::step`] and the SoA
+/// batch path. Operates on caller-owned state so the batch can run it over
+/// contiguous lanes; the expression order is the determinism contract.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn step_raw(
+    die_c: &mut f64,
+    sink_c: &mut f64,
+    ambient_c: f64,
+    g_ds: f64,
+    die_capacity: f64,
+    sink_capacity: f64,
+    g_nat: f64,
+    g_air: f64,
+    exponent: f64,
+    conductance_cache: &mut (f64, f64),
+    substep_cache: &mut (f64, f64, usize, f64),
+    dt_s: f64,
+    power_w: f64,
+    airflow: f64,
+) {
+    assert!(dt_s > 0.0, "time step must be positive");
+    assert!(power_w >= 0.0, "CPU power cannot be negative");
+
+    if conductance_cache.0.to_bits() != airflow.to_bits() {
+        *conductance_cache = (airflow, sink_conductance_raw(g_nat, g_air, exponent, airflow));
+    }
+    let g_sa = conductance_cache.1;
+
+    // Sub-step so that the explicit update stays well inside the
+    // stability region: dt_sub << C/G for the fastest lump.
+    if substep_cache.0.to_bits() != dt_s.to_bits() || substep_cache.1.to_bits() != g_sa.to_bits() {
+        let tau_die = die_capacity / g_ds;
+        let tau_sink = sink_capacity / (g_ds + g_sa);
+        let max_sub = (tau_die.min(tau_sink) * 0.25).max(1e-4);
+        let n = (dt_s / max_sub).ceil() as usize;
+        let h = dt_s / n as f64;
+        *substep_cache = (dt_s, g_sa, n, h);
+    }
+    let (n, h) = (substep_cache.2, substep_cache.3);
+
+    for _ in 0..n {
+        let flow_ds = g_ds * (*die_c - *sink_c);
+        let flow_sa = g_sa * (*sink_c - ambient_c);
+        *die_c += h * (power_w - flow_ds) / die_capacity;
+        *sink_c += h * (flow_ds - flow_sa) / sink_capacity;
+    }
+}
+
 /// Two-lump die + heatsink thermal model.
 #[derive(Debug, Clone)]
 pub struct ThermalModel {
-    cfg: ThermalConfig,
-    die_c: f64,
-    sink_c: f64,
+    pub(crate) cfg: ThermalConfig,
+    pub(crate) die_c: f64,
+    pub(crate) sink_c: f64,
     /// Memoized `(airflow, G_sa)` for `step`. Fan speed settles to an exact
     /// f64 fixed point, so after spin-up the `powf` in `sink_conductance`
     /// never re-runs; the exact-match key keeps results bit-identical.
-    conductance_cache: (f64, f64),
+    pub(crate) conductance_cache: (f64, f64),
     /// Memoized `(dt_s, g_sa) → (n, h)` sub-step split for `step`.
-    substep_cache: (f64, f64, usize, f64),
+    pub(crate) substep_cache: (f64, f64, usize, f64),
 }
 
 impl ThermalModel {
@@ -85,9 +144,12 @@ impl ThermalModel {
 
     /// Sink-to-ambient conductance for a given airflow fraction in `[0, 1]`.
     pub fn sink_conductance(&self, airflow: f64) -> f64 {
-        let a = airflow.clamp(0.0, 1.0);
-        self.cfg.natural_conductance_w_per_k
-            + self.cfg.airflow_conductance_w_per_k * a.powf(self.cfg.airflow_exponent)
+        sink_conductance_raw(
+            self.cfg.natural_conductance_w_per_k,
+            self.cfg.airflow_conductance_w_per_k,
+            self.cfg.airflow_exponent,
+            airflow,
+        )
     }
 
     /// Steady-state `(die, sink)` temperatures for constant power and airflow.
@@ -101,35 +163,22 @@ impl ThermalModel {
     /// Advances the network by `dt_s` seconds with the given CPU power (W)
     /// and fan airflow fraction.
     pub fn step(&mut self, dt_s: f64, power_w: f64, airflow: f64) {
-        assert!(dt_s > 0.0, "time step must be positive");
-        assert!(power_w >= 0.0, "CPU power cannot be negative");
-
-        let g_ds = self.cfg.die_sink_conductance_w_per_k;
-        if self.conductance_cache.0.to_bits() != airflow.to_bits() {
-            self.conductance_cache = (airflow, self.sink_conductance(airflow));
-        }
-        let g_sa = self.conductance_cache.1;
-
-        // Sub-step so that the explicit update stays well inside the
-        // stability region: dt_sub << C/G for the fastest lump.
-        if self.substep_cache.0.to_bits() != dt_s.to_bits()
-            || self.substep_cache.1.to_bits() != g_sa.to_bits()
-        {
-            let tau_die = self.cfg.die_capacity_j_per_k / g_ds;
-            let tau_sink = self.cfg.sink_capacity_j_per_k / (g_ds + g_sa);
-            let max_sub = (tau_die.min(tau_sink) * 0.25).max(1e-4);
-            let n = (dt_s / max_sub).ceil() as usize;
-            let h = dt_s / n as f64;
-            self.substep_cache = (dt_s, g_sa, n, h);
-        }
-        let (n, h) = (self.substep_cache.2, self.substep_cache.3);
-
-        for _ in 0..n {
-            let flow_ds = g_ds * (self.die_c - self.sink_c);
-            let flow_sa = g_sa * (self.sink_c - self.cfg.ambient_c);
-            self.die_c += h * (power_w - flow_ds) / self.cfg.die_capacity_j_per_k;
-            self.sink_c += h * (flow_ds - flow_sa) / self.cfg.sink_capacity_j_per_k;
-        }
+        step_raw(
+            &mut self.die_c,
+            &mut self.sink_c,
+            self.cfg.ambient_c,
+            self.cfg.die_sink_conductance_w_per_k,
+            self.cfg.die_capacity_j_per_k,
+            self.cfg.sink_capacity_j_per_k,
+            self.cfg.natural_conductance_w_per_k,
+            self.cfg.airflow_conductance_w_per_k,
+            self.cfg.airflow_exponent,
+            &mut self.conductance_cache,
+            &mut self.substep_cache,
+            dt_s,
+            power_w,
+            airflow,
+        );
     }
 }
 

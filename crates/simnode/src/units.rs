@@ -59,6 +59,23 @@ impl DutyCycle {
     pub fn clamp_max(self, max: DutyCycle) -> Self {
         Self(self.0.min(max.0))
     }
+
+    /// `DutyCycle::from_register(r).fraction()` for every register value,
+    /// tabulated through those exact functions — entries are bit-identical
+    /// to the computed path, they just skip the per-call `f64` divide on
+    /// the hot curve evaluation.
+    pub(crate) fn register_fraction_lut() -> &'static [f64; 256] {
+        static LUT: std::sync::OnceLock<[f64; 256]> = std::sync::OnceLock::new();
+        LUT.get_or_init(|| std::array::from_fn(|r| DutyCycle::from_register(r as u8).fraction()))
+    }
+
+    /// `DutyCycle::new(p).fraction()` for every percent value, tabulated
+    /// through those exact functions (same contract as
+    /// [`DutyCycle::register_fraction_lut`]).
+    pub(crate) fn percent_fraction_lut() -> &'static [f64; 256] {
+        static LUT: std::sync::OnceLock<[f64; 256]> = std::sync::OnceLock::new();
+        LUT.get_or_init(|| std::array::from_fn(|p| DutyCycle::new(p as u8).fraction()))
+    }
 }
 
 impl std::fmt::Display for DutyCycle {

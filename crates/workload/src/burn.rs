@@ -99,6 +99,10 @@ impl Workload for CpuBurn {
     fn progress(&self) -> f64 {
         0.0
     }
+
+    fn is_endless(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -126,6 +126,14 @@ pub trait Workload: Send {
     fn is_finished(&self) -> bool {
         self.state() == WorkState::Finished
     }
+
+    /// True when this workload never parks at a barrier and never finishes
+    /// — [`Workload::state`] is `Running` forever. A static property of the
+    /// workload type; lets a fleet tick loop skip the per-rank state poll
+    /// on its hot path. Conservative default: `false`.
+    fn is_endless(&self) -> bool {
+        false
+    }
 }
 
 /// A concrete phase-program workload.
