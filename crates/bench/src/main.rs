@@ -1023,24 +1023,15 @@ fn run_replay_check(journal_path: &str) -> i32 {
 /// counterexample replays bit-identically at 1, 2 and 4 threads. Returns
 /// the process exit code.
 fn run_chaos_smoke(scenario_path: &str) -> i32 {
-    let text = match std::fs::read_to_string(scenario_path) {
-        Ok(t) => t,
+    // The shared scenario loader (parse + validate with named errors) —
+    // the same path `repro run-scenario` and `unitherm-serve` use.
+    let mut scenario = match unitherm_experiments::scenario_file::load(scenario_path) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("chaos smoke failed: {scenario_path}: {e}");
             return 1;
         }
     };
-    let mut scenario: Scenario = match serde_json::from_str(&text) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("chaos smoke failed: {scenario_path}: invalid scenario JSON: {e}");
-            return 1;
-        }
-    };
-    if let Err(e) = scenario.validate() {
-        eprintln!("chaos smoke failed: {scenario_path}: {e}");
-        return 1;
-    }
     // Bound the horizon so each candidate evaluation stays cheap; the
     // search is deterministic for any fixed horizon.
     scenario.max_time_s = scenario.max_time_s.min(60.0);

@@ -64,4 +64,7 @@ pub use report::{NodeReport, RunReport};
 pub use scenario::{Scenario, ScenarioError, WorkloadSpec};
 pub use scheme::{DvfsScheme, FanScheme, SchemeSpec};
 pub use sim::Simulation;
-pub use sweep::{run_scenarios_parallel, thread_budget, try_run_scenarios_parallel, SweepError};
+pub use sweep::{
+    run_scenarios_parallel, thread_budget, try_run_scenarios_parallel, PermitGuard, SweepError,
+    ThreadPermits,
+};

@@ -7,7 +7,7 @@
 //! idiom — and reassembles results in input order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Condvar, Mutex};
 
 use crate::report::RunReport;
 use crate::scenario::{Scenario, ScenarioError};
@@ -48,6 +48,94 @@ pub fn thread_budget(max_threads: usize, jobs: usize, threads_per_job: usize) ->
         return 0;
     }
     (max_threads.max(1) / threads_per_job.max(1)).clamp(1, jobs)
+}
+
+/// A counting semaphore over a fixed thread budget, for callers that run
+/// simulations concurrently *over time* rather than as one batch.
+///
+/// [`thread_budget`] sizes a one-shot sweep up front; a long-lived service
+/// (e.g. `unitherm-serve`) instead admits jobs as they arrive, each bringing
+/// its own intra-run worker pool (`Scenario::threads`). `ThreadPermits`
+/// makes the same no-oversubscription guarantee dynamic: a job acquires as
+/// many permits as its pool is wide before running and returns them when the
+/// run finishes, so the sum of intra-run pool widths in flight never exceeds
+/// the budget.
+///
+/// Requests larger than the whole budget are clamped to it (an oversized
+/// pool still gets to run — alone), mirroring [`thread_budget`]'s
+/// "an oversized pool still gets one worker" rule.
+///
+/// # Example
+///
+/// ```
+/// use unitherm_cluster::sweep::ThreadPermits;
+///
+/// let permits = ThreadPermits::new(4);
+/// let a = permits.acquire(3);
+/// assert_eq!(permits.available(), 1);
+/// drop(a); // releases the 3 permits
+/// let b = permits.acquire(9); // clamped to the budget of 4
+/// assert_eq!(permits.available(), 0);
+/// drop(b);
+/// assert_eq!(permits.available(), 4);
+/// ```
+pub struct ThreadPermits {
+    available: Mutex<usize>,
+    returned: Condvar,
+    total: usize,
+}
+
+impl ThreadPermits {
+    /// A budget of `total` thread permits (at least one, so a degenerate
+    /// budget still makes progress).
+    pub fn new(total: usize) -> Self {
+        let total = total.max(1);
+        Self { available: Mutex::new(total), returned: Condvar::new(), total }
+    }
+
+    /// The full budget.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Permits not currently held.
+    pub fn available(&self) -> usize {
+        *self.available.lock().expect("permit lock")
+    }
+
+    /// Blocks until `n` permits (clamped to the budget) are free, takes
+    /// them, and returns a guard that gives them back on drop.
+    pub fn acquire(&self, n: usize) -> PermitGuard<'_> {
+        let n = n.clamp(1, self.total);
+        let mut available = self.available.lock().expect("permit lock");
+        while *available < n {
+            available = self.returned.wait(available).expect("permit lock");
+        }
+        *available -= n;
+        PermitGuard { permits: self, n }
+    }
+}
+
+/// Holds `n` permits from a [`ThreadPermits`] budget; dropping the guard
+/// returns them and wakes blocked acquirers.
+pub struct PermitGuard<'a> {
+    permits: &'a ThreadPermits,
+    n: usize,
+}
+
+impl PermitGuard<'_> {
+    /// How many permits this guard holds (the clamped request).
+    pub fn held(&self) -> usize {
+        self.n
+    }
+}
+
+impl Drop for PermitGuard<'_> {
+    fn drop(&mut self) {
+        let mut available = self.permits.available.lock().expect("permit lock");
+        *available += self.n;
+        self.permits.returned.notify_all();
+    }
 }
 
 /// Runs every scenario, using up to `max_threads` worker threads, and
@@ -285,6 +373,41 @@ mod tests {
         assert_eq!(err.scenario, "bad");
         assert_eq!(err.error.message(), "need at least one node");
         assert!(err.to_string().contains("\"bad\""), "{err}");
+    }
+
+    #[test]
+    fn permits_clamp_block_and_release() {
+        let permits = ThreadPermits::new(4);
+        assert_eq!(permits.total(), 4);
+        let a = permits.acquire(2);
+        assert_eq!(a.held(), 2);
+        assert_eq!(permits.available(), 2);
+        // A request larger than the budget clamps instead of deadlocking.
+        drop(a);
+        let big = permits.acquire(100);
+        assert_eq!(big.held(), 4);
+        assert_eq!(permits.available(), 0);
+
+        // A blocked acquirer proceeds once the permits come back.
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| {
+                let g = permits.acquire(3);
+                g.held()
+            });
+            // Give the waiter a moment to block, then release.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(big);
+            assert_eq!(waiter.join().expect("waiter"), 3);
+        });
+        assert_eq!(permits.available(), 4);
+    }
+
+    #[test]
+    fn degenerate_permit_budget_still_makes_progress() {
+        let permits = ThreadPermits::new(0);
+        assert_eq!(permits.total(), 1);
+        let g = permits.acquire(0);
+        assert_eq!(g.held(), 1, "zero-width requests still hold one permit");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! repro <experiment> [--fast] [--csv DIR]
 //! repro run-scenario <file.json> [--journal OUT] [--journal-format jsonl|bjl]
-//!                    [--replay-faults IN]
+//!                    [--replay-faults IN] [--digest]
 //! repro journal convert <IN> <OUT> [--dt S]
 //! repro chaos-search <file.json> [--out CORPUS.json] [--seed N] [--budget N]
 //!                    [--batch N] [--threads N] [--predicate P]
@@ -25,7 +25,10 @@
 //! installed and the resulting report digest is checked against the corpus)
 //! — see docs/FORMATS.md and DESIGN.md §12–§13. The two flags compose:
 //! replay a faulted run while recording its journal to diff fault delivery
-//! against the plan.
+//! against the plan. `--digest` prints the report's FNV-1a digest
+//! (`fnv1a64:…`) on stdout — the same digest `unitherm-serve` reports for a
+//! submitted job, so operators can check service runs against direct CLI
+//! runs (docs/API.md).
 //!
 //! `journal convert` translates a journal between the JSONL and binary
 //! encodings (direction inferred from the input's magic bytes); `--dt S`
@@ -77,7 +80,7 @@ const ALL: &[&str] = &[
 
 fn usage() -> String {
     format!(
-        "usage: repro <experiment> [--fast] [--csv DIR]\n       repro run-scenario <file.json> [--journal OUT] [--journal-format jsonl|bjl] [--replay-faults IN.jsonl|IN.bjl|CORPUS.json]\n       repro journal convert <IN> <OUT> [--dt S]\n       repro chaos-search <file.json> [--out CORPUS.json] [--seed N] [--budget N] [--batch N] [--threads N] [--predicate failsafe-trip|thermal-limit:<C>|shutdown|completion-miss|sla-miss:<S>]\n       experiments: {} all",
+        "usage: repro <experiment> [--fast] [--csv DIR]\n       repro run-scenario <file.json> [--journal OUT] [--journal-format jsonl|bjl] [--replay-faults IN.jsonl|IN.bjl|CORPUS.json] [--digest]\n       repro journal convert <IN> <OUT> [--dt S]\n       repro chaos-search <file.json> [--out CORPUS.json] [--seed N] [--budget N] [--batch N] [--threads N] [--predicate failsafe-trip|thermal-limit:<C>|shutdown|completion-miss|sla-miss:<S>]\n       experiments: {} all",
         ALL.join(" ")
     )
 }
@@ -314,9 +317,11 @@ fn main() -> ExitCode {
         let mut journal_out: Option<PathBuf> = None;
         let mut journal_format = unitherm_obs::JournalFormat::Jsonl;
         let mut replay_in: Option<PathBuf> = None;
+        let mut print_digest = false;
         let mut it = args.iter().skip(2);
         while let Some(arg) = it.next() {
             match arg.as_str() {
+                "--digest" => print_digest = true,
                 "--journal" => match it.next() {
                     Some(p) => journal_out = Some(PathBuf::from(p)),
                     None => {
@@ -401,6 +406,9 @@ fn main() -> ExitCode {
             eprintln!("journal written to {} ({journal_format})", out.display());
         }
         println!("{text}");
+        if print_digest {
+            println!("report digest: {}", report_digest(&report));
+        }
         if let Some(expected) = &expected_digest {
             let actual = report_digest(&report);
             if actual == *expected {

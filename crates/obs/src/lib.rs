@@ -21,7 +21,10 @@
 //!   `unitherm-core::control_plane`: a sink plus the [`Counters`] block and
 //!   the record metadata (node id, timestamp);
 //! * [`Counters`] — per-daemon monotonic counters (ticks skipped, L2
-//!   fallbacks, saturations, …) with a Prometheus text-format exporter.
+//!   fallbacks, saturations, …) with a Prometheus text-format exporter;
+//! * [`sse`] — Server-Sent Events framing over the journal stream, shared
+//!   by `unitherm-serve` and its clients so the SSE payload is bit-for-bit
+//!   the JSONL journal encoding.
 //!
 //! The crate is deliberately at the bottom of the dependency graph (only
 //! `serde` for the journal schema) so `unitherm-core`, the cluster
@@ -33,6 +36,7 @@ pub mod event;
 pub mod journal;
 pub mod ring;
 pub mod sink;
+pub mod sse;
 
 pub use binary::{
     bjl_to_records, is_bjl, records_to_bjl, BinaryJournalError, BinaryJournalReader,
@@ -46,3 +50,4 @@ pub use event::{
 pub use journal::{read_journal, record_tick, JournalCursor, JournalFormat, JournalWriter};
 pub use ring::RingSink;
 pub use sink::{EventSink, NullSink, Observer, TeeSink, VecSink};
+pub use sse::{sse_frame, sse_journal_frame};

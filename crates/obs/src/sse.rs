@@ -1,0 +1,119 @@
+//! Server-Sent Events framing over the journal event stream.
+//!
+//! `unitherm-serve` streams a running job's control-plane events to HTTP
+//! subscribers as `text/event-stream` frames (see `docs/API.md`). The
+//! framing rules live here, next to the event vocabulary, so every server
+//! and test agrees on the bytes:
+//!
+//! * each frame carries an `id:` (the record's 0-based sequence number in
+//!   the journal), an `event:` name, and one `data:` line per line of
+//!   payload;
+//! * journal frames use `event: journal` and carry **exactly the JSONL
+//!   encoding** of the [`EventRecord`] (`docs/FORMATS.md` §2) as their
+//!   payload — stripping the SSE framing off a complete stream reproduces
+//!   the journal file byte for byte.
+
+use crate::event::EventRecord;
+
+/// Renders one SSE frame: optional `id:` and `event:` fields followed by
+/// one `data:` line per line of `data`, terminated by the blank line that
+/// ends an SSE frame.
+///
+/// Multi-line payloads are split across `data:` lines per the SSE spec (the
+/// receiver rejoins them with `\n`); a trailing newline in `data` is not
+/// preserved by that round trip, so keep payloads newline-free when byte
+/// identity matters (JSONL journal lines are).
+///
+/// # Example
+///
+/// ```
+/// use unitherm_obs::sse_frame;
+///
+/// let frame = sse_frame(Some(7), Some("journal"), "{\"time_s\":1.0}");
+/// assert_eq!(frame, "id: 7\nevent: journal\ndata: {\"time_s\":1.0}\n\n");
+/// ```
+pub fn sse_frame(id: Option<u64>, event: Option<&str>, data: &str) -> String {
+    let mut out = String::with_capacity(data.len() + 32);
+    if let Some(id) = id {
+        out.push_str("id: ");
+        out.push_str(&id.to_string());
+        out.push('\n');
+    }
+    if let Some(event) = event {
+        out.push_str("event: ");
+        out.push_str(event);
+        out.push('\n');
+    }
+    for line in data.split('\n') {
+        out.push_str("data: ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders one journal record as its SSE frame: `id:` is `seq` (the
+/// record's position in the journal), `event:` is `journal`, and the data
+/// payload is the record's JSONL line — the same bytes a
+/// [`crate::JournalWriter`] would emit for it, minus the trailing newline.
+///
+/// # Example
+///
+/// ```
+/// use unitherm_obs::{sse_journal_frame, Event, EventRecord};
+///
+/// let rec = EventRecord { time_s: 1.5, node: 0, event: Event::FailsafeRelease };
+/// let frame = sse_journal_frame(3, &rec);
+/// assert!(frame.starts_with("id: 3\nevent: journal\ndata: {"));
+/// assert!(frame.ends_with("}\n\n"));
+/// ```
+pub fn sse_journal_frame(seq: u64, rec: &EventRecord) -> String {
+    let line = serde_json::to_string(rec).expect("event records always serialize");
+    sse_frame(Some(seq), Some("journal"), &line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::journal::JournalWriter;
+    use crate::sink::EventSink;
+
+    #[test]
+    fn journal_frame_payload_matches_jsonl_encoding_exactly() {
+        let records = vec![
+            EventRecord {
+                time_s: 0.25,
+                node: 1,
+                event: Event::TdvfsEngage { from_mhz: 2400, to_mhz: 2200 },
+            },
+            EventRecord { time_s: 0.5, node: 0, event: Event::FailsafeRelease },
+        ];
+        let mut writer = JournalWriter::new(Vec::new());
+        for rec in &records {
+            writer.record(rec);
+        }
+        let jsonl = String::from_utf8(writer.finish().expect("finish")).expect("utf8");
+
+        // Stripping the SSE framing must reproduce the journal byte for byte.
+        let mut reassembled = String::new();
+        for (i, rec) in records.iter().enumerate() {
+            let frame = sse_journal_frame(i as u64, rec);
+            assert!(frame.starts_with(&format!("id: {i}\nevent: journal\ndata: ")), "{frame}");
+            for line in frame.lines().filter_map(|l| l.strip_prefix("data: ")) {
+                reassembled.push_str(line);
+                reassembled.push('\n');
+            }
+        }
+        assert_eq!(reassembled, jsonl);
+    }
+
+    #[test]
+    fn multi_line_payloads_split_into_data_lines() {
+        let frame = sse_frame(None, Some("done"), "line1\nline2");
+        assert_eq!(frame, "event: done\ndata: line1\ndata: line2\n\n");
+        let bare = sse_frame(None, None, "x");
+        assert_eq!(bare, "data: x\n\n");
+    }
+}

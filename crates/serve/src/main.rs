@@ -1,0 +1,79 @@
+//! `unitherm-serve`: run the thermal-control simulator as a service.
+//!
+//! ```text
+//! unitherm-serve [--addr HOST:PORT] [--queue-depth N] [--tenant-quota N]
+//!                [--max-threads N]
+//! ```
+//!
+//! See `docs/API.md` for the HTTP API and the README for an operator
+//! quick-start (submit with curl, tail the SSE stream, scrape /metrics).
+
+use unitherm_serve::{Limits, QueueConfig, ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: unitherm-serve [--addr HOST:PORT] [--queue-depth N] [--tenant-quota N] [--max-threads N]
+
+  --addr HOST:PORT   listen address                (default 127.0.0.1:7070)
+  --queue-depth N    max open jobs across tenants  (default 16)
+  --tenant-quota N   max open jobs per tenant      (default 8)
+  --max-threads N    simulation-thread budget      (default: available parallelism)
+
+Endpoints (docs/API.md): POST /jobs, GET /jobs, GET /jobs/{{id}},
+GET /jobs/{{id}}/events (SSE | ?format=jsonl | ?format=bjl),
+GET /metrics, GET /healthz"
+    );
+    std::process::exit(2)
+}
+
+fn parse_flag<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(value) = value else {
+        eprintln!("error: {flag} needs a value");
+        usage()
+    };
+    match value.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("error: invalid value {value:?} for {flag}");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let mut cfg = ServeConfig::default();
+    let mut queue = QueueConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => cfg.addr = parse_flag("--addr", args.next()),
+            "--queue-depth" => queue.capacity = parse_flag("--queue-depth", args.next()),
+            "--tenant-quota" => queue.tenant_quota = parse_flag("--tenant-quota", args.next()),
+            "--max-threads" => cfg.max_threads = parse_flag("--max-threads", args.next()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    cfg.queue = queue;
+    cfg.limits = Limits::default();
+
+    let server = match Server::bind(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", cfg.addr);
+            std::process::exit(1)
+        }
+    };
+    let addr = server.local_addr().map(|a| a.to_string()).unwrap_or_else(|_| cfg.addr.clone());
+    println!(
+        "unitherm-serve listening on http://{addr} (queue depth {}, tenant quota {}, {} simulation threads)",
+        cfg.queue.capacity, cfg.queue.tenant_quota, cfg.max_threads
+    );
+    if let Err(e) = server.run() {
+        eprintln!("error: accept loop failed: {e}");
+        std::process::exit(1)
+    }
+}

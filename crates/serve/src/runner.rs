@@ -1,0 +1,191 @@
+//! Runner threads: claim jobs from the [`JobQueue`], execute them through
+//! [`Simulation`], and tee every journal event back into the queue.
+//!
+//! Concurrency discipline (DESIGN.md §15): the service owns one
+//! [`ThreadPermits`] budget of `max_threads` permits. Each runner acquires
+//! `scenario.threads.min(nodes).max(1)` permits — the exact worker-pool
+//! width `Simulation::run` will use — before it starts, so the sum of all
+//! intra-run pool widths never exceeds `max_threads` no matter how many
+//! jobs are in flight. This is the same arithmetic `sweep::thread_budget`
+//! applies to a static sweep, restated for a long-lived service where the
+//! job count is open-ended.
+//!
+//! Determinism: the per-job journal sink collects [`EventRecord`]s in the
+//! same order `JournalWriter` would receive them, and attaching a healthy
+//! sink does not perturb the run, so the report (and its FNV digest) is
+//! bit-identical to `repro run-scenario` on the same scenario JSON.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread;
+
+use unitherm_cluster::{thread_budget, Simulation, ThreadPermits};
+use unitherm_obs::{EventRecord, EventSink};
+
+use crate::queue::{JobId, JobQueue};
+
+/// An [`EventSink`] that forwards every record into the queue's per-job
+/// event log (the service-side analogue of a `JournalWriter`).
+pub struct QueueSink {
+    queue: JobQueue,
+    id: JobId,
+}
+
+impl QueueSink {
+    /// A sink feeding job `id` on `queue`.
+    pub fn new(queue: JobQueue, id: JobId) -> Self {
+        Self { queue, id }
+    }
+}
+
+impl EventSink for QueueSink {
+    fn record(&mut self, rec: &EventRecord) {
+        self.queue.append_event(self.id, *rec);
+    }
+}
+
+/// Handle to the running pool; joining it only makes sense in tests, the
+/// service keeps it alive for the process lifetime.
+pub struct RunnerPool {
+    /// The shared permit budget (exposed for `/metrics`).
+    pub permits: Arc<ThreadPermits>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl RunnerPool {
+    /// Number of runner threads.
+    pub fn runners(&self) -> usize {
+        self.handles.len()
+    }
+}
+
+/// Spawns the runner pool: `thread_budget(max_threads, capacity, 1)`
+/// claiming threads sharing a [`ThreadPermits`] budget of `max_threads`.
+pub fn spawn_runners(queue: JobQueue, max_threads: usize) -> RunnerPool {
+    let max_threads = max_threads.max(1);
+    let permits = Arc::new(ThreadPermits::new(max_threads));
+    let runners = thread_budget(max_threads, queue.config().capacity, 1);
+    let handles = (0..runners)
+        .map(|i| {
+            let queue = queue.clone();
+            let permits = Arc::clone(&permits);
+            thread::Builder::new()
+                .name(format!("unitherm-runner-{i}"))
+                .spawn(move || runner_loop(queue, permits))
+                .expect("spawn runner thread")
+        })
+        .collect();
+    RunnerPool { permits, handles }
+}
+
+/// Runs one job to completion: acquire permits, execute, record outcome.
+/// Exposed so tests can drive a single job synchronously.
+pub fn run_one(
+    queue: &JobQueue,
+    permits: &ThreadPermits,
+    id: JobId,
+    scenario: unitherm_cluster::Scenario,
+) {
+    // The pool width Simulation::run will actually use for this scenario;
+    // oversized requests clamp to the budget (an oversized pool still runs,
+    // just narrower than asked — mirroring thread_budget's floor of one).
+    let width = scenario.threads.min(scenario.nodes).max(1);
+    let _guard = permits.acquire(width);
+    match Simulation::try_new(scenario) {
+        Ok(mut sim) => {
+            sim.attach_journal(Box::new(QueueSink::new(queue.clone(), id)));
+            match catch_unwind(AssertUnwindSafe(move || sim.run())) {
+                Ok(report) => queue.complete(id, report),
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "simulation panicked".to_string());
+                    queue.fail(id, format!("simulation panicked: {msg}"));
+                }
+            }
+        }
+        Err(e) => queue.fail(id, format!("scenario rejected: {e}")),
+    }
+}
+
+fn runner_loop(queue: JobQueue, permits: Arc<ThreadPermits>) {
+    loop {
+        let (id, scenario) = queue.claim();
+        run_one(&queue, &permits, id, scenario);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::{JobStatus, QueueConfig};
+    use unitherm_cluster::{report_digest, Scenario};
+
+    fn tiny() -> Scenario {
+        Scenario::new("runner-test").with_max_time(2.0).with_recording(false)
+    }
+
+    /// A short run that reliably emits journal events (dynamic fan + burn).
+    fn eventful() -> Scenario {
+        use unitherm_core::control_array::Policy;
+        tiny()
+            .with_max_time(5.0)
+            .with_nodes(1)
+            .with_fan(unitherm_cluster::FanScheme::dynamic(Policy::MODERATE, 100))
+    }
+
+    #[test]
+    fn pool_runs_submitted_job_to_done() {
+        let queue = JobQueue::new(QueueConfig { capacity: 2, tenant_quota: 2 });
+        let _pool = spawn_runners(queue.clone(), 2);
+        let id = queue.submit("t", eventful()).expect("submit");
+        let snap = queue.wait_done(id).expect("job exists");
+        assert_eq!(snap.status, JobStatus::Done, "error: {:?}", snap.error);
+        assert!(snap.report.is_some());
+        assert!(snap.events_len > 0, "journal tee captured events");
+    }
+
+    #[test]
+    fn service_report_matches_direct_run_bit_for_bit() {
+        let queue = JobQueue::new(QueueConfig::default());
+        let permits = ThreadPermits::new(2);
+        let scenario = tiny().with_nodes(2).with_threads(2);
+
+        let direct = Simulation::try_new(scenario.clone()).expect("valid").run();
+        let id = queue.submit("t", scenario.clone()).expect("submit");
+        let (claimed, claimed_scenario) = queue.try_claim().expect("claim");
+        run_one(&queue, &permits, claimed, claimed_scenario);
+
+        let snap = queue.snapshot(id).expect("job exists");
+        assert_eq!(snap.status, JobStatus::Done, "error: {:?}", snap.error);
+        assert_eq!(snap.digest.as_deref(), Some(report_digest(&direct).as_str()));
+    }
+
+    #[test]
+    fn oversized_thread_request_clamps_instead_of_deadlocking() {
+        let queue = JobQueue::new(QueueConfig::default());
+        let permits = ThreadPermits::new(1);
+        // Asks for 8 threads against a budget of 1; acquire() clamps.
+        let scenario = tiny().with_nodes(8).with_threads(8);
+        let id = queue.submit("t", scenario).expect("submit");
+        let (claimed, claimed_scenario) = queue.try_claim().expect("claim");
+        run_one(&queue, &permits, claimed, claimed_scenario);
+        assert_eq!(queue.snapshot(id).unwrap().status, JobStatus::Done);
+        assert_eq!(permits.available(), 1, "permits returned after the run");
+    }
+
+    #[test]
+    fn invalid_scenario_fails_with_named_reason() {
+        let queue = JobQueue::new(QueueConfig::default());
+        let permits = ThreadPermits::new(1);
+        let scenario = tiny().with_max_time(-1.0);
+        let id = queue.submit("t", scenario).expect("submit accepts; validation is the runner's");
+        let (claimed, claimed_scenario) = queue.try_claim().expect("claim");
+        run_one(&queue, &permits, claimed, claimed_scenario);
+        let snap = queue.snapshot(id).unwrap();
+        assert_eq!(snap.status, JobStatus::Failed);
+        assert!(snap.error.as_deref().unwrap_or("").contains("scenario rejected"), "{snap:?}");
+    }
+}

@@ -1,0 +1,479 @@
+//! Routing and response rendering for the service's five endpoints
+//! (`docs/API.md`): `POST /jobs`, `GET /jobs`, `GET /jobs/{id}`,
+//! `GET /jobs/{id}/events`, `GET /metrics`, `GET /healthz`.
+//!
+//! The server is deliberately plain: one OS thread per connection, one
+//! request per connection (`Connection: close`), bodies bounded by
+//! [`Limits`]. Connection handling never touches the simulator directly —
+//! every route reads or writes through the shared [`JobQueue`], so HTTP
+//! concurrency and simulation concurrency stay decoupled.
+
+use std::io::{BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use unitherm_cluster::ThreadPermits;
+use unitherm_experiments::scenario_file;
+use unitherm_obs::{prometheus_text, records_to_bjl, sse_frame, sse_journal_frame};
+
+use crate::http::{parse_request, render_response, HttpError, Limits, Method, Request};
+use crate::queue::{JobId, JobQueue, JobSnapshot, SubmitError};
+use crate::runner::{spawn_runners, RunnerPool};
+
+/// Service configuration (flags of the `unitherm-serve` binary).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7070` (port 0 for tests).
+    pub addr: String,
+    /// Total simulation-thread budget shared by all concurrent jobs.
+    pub max_threads: usize,
+    /// Queue bounds.
+    pub queue: crate::queue::QueueConfig,
+    /// HTTP parser limits.
+    pub limits: Limits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7070".to_string(),
+            max_threads: thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            queue: crate::queue::QueueConfig::default(),
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// A bound listener plus the queue and runner pool behind it.
+pub struct Server {
+    listener: TcpListener,
+    queue: JobQueue,
+    pool: RunnerPool,
+    limits: Limits,
+}
+
+impl Server {
+    /// Binds the listener and spawns the runner pool. The returned server
+    /// is not yet accepting — call [`Server::run`] (blocking) to serve.
+    pub fn bind(cfg: &ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let queue = JobQueue::new(cfg.queue);
+        let pool = spawn_runners(queue.clone(), cfg.max_threads);
+        Ok(Server { listener, queue, pool, limits: cfg.limits })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared job queue (tests submit and poll through this).
+    pub fn queue(&self) -> JobQueue {
+        self.queue.clone()
+    }
+
+    /// Accept loop: one thread per connection, forever.
+    pub fn run(self) -> std::io::Result<()> {
+        let permits = Arc::clone(&self.pool.permits);
+        for stream in self.listener.incoming() {
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let queue = self.queue.clone();
+            let permits = Arc::clone(&permits);
+            let limits = self.limits;
+            let _ = thread::Builder::new().name("unitherm-conn".to_string()).spawn(move || {
+                handle_connection(stream, &queue, &permits, &limits);
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the job-status JSON document (`docs/FORMATS.md` §6).
+fn job_status_json(snap: &JobSnapshot) -> String {
+    let mut out = format!(
+        "{{\"id\":{},\"tenant\":\"{}\",\"name\":\"{}\",\"status\":\"{}\",\"events\":{}",
+        snap.id,
+        json_escape(&snap.tenant),
+        json_escape(&snap.name),
+        snap.status.as_str(),
+        snap.events_len
+    );
+    if let Some(digest) = &snap.digest {
+        out.push_str(&format!(",\"digest\":\"{}\"", json_escape(digest)));
+    }
+    if let Some(error) = &snap.error {
+        out.push_str(&format!(",\"error\":\"{}\"", json_escape(error)));
+    }
+    if let Some(report) = &snap.report {
+        match serde_json::to_string(report) {
+            Ok(json) => out.push_str(&format!(",\"report\":{json}")),
+            Err(e) => out.push_str(&format!(
+                ",\"error\":\"report serialization: {}\"",
+                json_escape(&e.to_string())
+            )),
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn error_json(error: &str, detail: &str) -> Vec<u8> {
+    format!("{{\"error\":\"{}\",\"detail\":\"{}\"}}", json_escape(error), json_escape(detail))
+        .into_bytes()
+}
+
+fn write_all(stream: &mut TcpStream, bytes: &[u8]) {
+    let _ = stream.write_all(bytes);
+    let _ = stream.flush();
+}
+
+/// Reads one request, routes it, writes one response, closes.
+fn handle_connection(
+    mut stream: TcpStream,
+    queue: &JobQueue,
+    permits: &ThreadPermits,
+    limits: &Limits,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let request = {
+        let mut reader = BufReader::new(match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        });
+        parse_request(&mut reader, limits)
+    };
+    let request = match request {
+        Ok(req) => req,
+        Err(HttpError::ConnectionClosed) => return,
+        Err(e) => {
+            let (status, reason) = e.status();
+            let body = error_json(reason, &e.to_string());
+            write_all(
+                &mut stream,
+                &render_response(status, reason, "application/json", &[], &body),
+            );
+            return;
+        }
+    };
+    let _ = stream.set_read_timeout(None);
+    route(&mut stream, &request, queue, permits);
+}
+
+fn route(stream: &mut TcpStream, req: &Request, queue: &JobQueue, permits: &ThreadPermits) {
+    match (req.method, req.path.as_str()) {
+        (Method::Get, "/healthz") => {
+            write_all(
+                stream,
+                &render_response(200, "OK", "text/plain; charset=utf-8", &[], b"ok\n"),
+            );
+        }
+        (Method::Get, "/metrics") => serve_metrics(stream, queue, permits),
+        (Method::Post, "/jobs") => serve_submit(stream, req, queue),
+        (Method::Get, "/jobs") => serve_job_list(stream, queue),
+        (Method::Get, path) if path.starts_with("/jobs/") => {
+            let rest = &path["/jobs/".len()..];
+            match rest.split_once('/') {
+                None => match rest.parse::<JobId>() {
+                    Ok(id) => serve_job_status(stream, queue, id),
+                    Err(_) => not_found(stream, path),
+                },
+                Some((id, "events")) => match id.parse::<JobId>() {
+                    Ok(id) => serve_job_events(stream, req, queue, id),
+                    Err(_) => not_found(stream, path),
+                },
+                Some(_) => not_found(stream, path),
+            }
+        }
+        (_, path) => not_found(stream, path),
+    }
+}
+
+fn not_found(stream: &mut TcpStream, path: &str) {
+    let body = error_json("Not Found", &format!("no route for {path}"));
+    write_all(stream, &render_response(404, "Not Found", "application/json", &[], &body));
+}
+
+/// `POST /jobs`: validate the scenario body, enqueue, answer 202 with the
+/// job id — or a named 4xx/503 rejection.
+fn serve_submit(stream: &mut TcpStream, req: &Request, queue: &JobQueue) {
+    let tenant = req
+        .header("x-unitherm-tenant")
+        .or_else(|| req.query_param("tenant"))
+        .unwrap_or("default")
+        .to_string();
+    if tenant.is_empty()
+        || tenant.len() > 64
+        || !tenant.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    {
+        let body = error_json("Bad Request", "tenant must be 1-64 chars of [A-Za-z0-9_-]");
+        write_all(stream, &render_response(400, "Bad Request", "application/json", &[], &body));
+        return;
+    }
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => {
+            let body = error_json("Bad Request", "scenario body must be UTF-8 JSON");
+            write_all(stream, &render_response(400, "Bad Request", "application/json", &[], &body));
+            return;
+        }
+    };
+    let scenario = match scenario_file::parse(text) {
+        Ok(s) => s,
+        Err(e) => {
+            let body = error_json("Bad Request", &e.to_string());
+            write_all(stream, &render_response(400, "Bad Request", "application/json", &[], &body));
+            return;
+        }
+    };
+    match queue.submit(&tenant, scenario) {
+        Ok(id) => {
+            let body = format!(
+                "{{\"id\":{id},\"status\":\"queued\",\"tenant\":\"{}\"}}",
+                json_escape(&tenant)
+            );
+            write_all(
+                stream,
+                &render_response(
+                    202,
+                    "Accepted",
+                    "application/json",
+                    &[&format!("Location: /jobs/{id}")],
+                    body.as_bytes(),
+                ),
+            );
+        }
+        Err(e @ SubmitError::QueueFull { .. }) => {
+            let body = error_json("Service Unavailable", &e.to_string());
+            write_all(
+                stream,
+                &render_response(
+                    503,
+                    "Service Unavailable",
+                    "application/json",
+                    &["Retry-After: 1"],
+                    &body,
+                ),
+            );
+        }
+        Err(e @ SubmitError::TenantQuota { .. }) => {
+            let body = error_json("Too Many Requests", &e.to_string());
+            write_all(
+                stream,
+                &render_response(
+                    429,
+                    "Too Many Requests",
+                    "application/json",
+                    &["Retry-After: 1"],
+                    &body,
+                ),
+            );
+        }
+    }
+}
+
+fn serve_job_list(stream: &mut TcpStream, queue: &JobQueue) {
+    let docs: Vec<String> = queue.snapshots().iter().map(job_status_json).collect();
+    let body = format!("{{\"jobs\":[{}]}}", docs.join(","));
+    write_all(stream, &render_response(200, "OK", "application/json", &[], body.as_bytes()));
+}
+
+fn serve_job_status(stream: &mut TcpStream, queue: &JobQueue, id: JobId) {
+    match queue.snapshot(id) {
+        Some(snap) => {
+            let body = job_status_json(&snap);
+            write_all(
+                stream,
+                &render_response(200, "OK", "application/json", &[], body.as_bytes()),
+            );
+        }
+        None => {
+            let body = error_json("Not Found", &format!("no job {id}"));
+            write_all(stream, &render_response(404, "Not Found", "application/json", &[], &body));
+        }
+    }
+}
+
+/// `GET /jobs/{id}/events`: SSE stream by default; `?format=jsonl` (or
+/// `Accept: application/x-ndjson`) downloads the journal as JSONL,
+/// `?format=bjl` (or `Accept: application/vnd.unitherm.bjl`) as
+/// unitherm-bjl/v1 — both byte-identical to what `repro run-scenario
+/// --journal/--bjl` writes for the same scenario (FORMATS.md §6).
+fn serve_job_events(stream: &mut TcpStream, req: &Request, queue: &JobQueue, id: JobId) {
+    if queue.snapshot(id).is_none() {
+        let body = error_json("Not Found", &format!("no job {id}"));
+        write_all(stream, &render_response(404, "Not Found", "application/json", &[], &body));
+        return;
+    }
+    let accept = req.header("accept").unwrap_or("");
+    let format = req.query_param("format").map(str::to_string).unwrap_or_else(|| {
+        if accept.contains("application/vnd.unitherm.bjl") {
+            "bjl".to_string()
+        } else if accept.contains("application/x-ndjson") {
+            "jsonl".to_string()
+        } else {
+            "sse".to_string()
+        }
+    });
+    match format.as_str() {
+        "sse" => stream_sse(stream, queue, id),
+        "jsonl" => {
+            // Journal downloads wait for the run to finish so the body is
+            // the complete journal, not a racing prefix.
+            let _ = queue.wait_done(id);
+            let events = queue.events(id).unwrap_or_default();
+            let mut body = String::new();
+            for rec in &events {
+                if let Ok(line) = serde_json::to_string(rec) {
+                    body.push_str(&line);
+                    body.push('\n');
+                }
+            }
+            write_all(
+                stream,
+                &render_response(200, "OK", "application/x-ndjson", &[], body.as_bytes()),
+            );
+        }
+        "bjl" => {
+            let _ = queue.wait_done(id);
+            let events = queue.events(id).unwrap_or_default();
+            let dt_s = queue.dt_s(id).unwrap_or(0.0);
+            let body = records_to_bjl(&events, dt_s);
+            write_all(
+                stream,
+                &render_response(200, "OK", "application/vnd.unitherm.bjl", &[], &body),
+            );
+        }
+        other => {
+            let body =
+                error_json("Bad Request", &format!("unknown format {other:?} (sse, jsonl, bjl)"));
+            write_all(stream, &render_response(400, "Bad Request", "application/json", &[], &body));
+        }
+    }
+}
+
+/// Streams a job's journal as SSE: one `event: journal` frame per record
+/// (whose `data:` payload is the exact JSONL line), keep-alive comments
+/// while idle, and a final `event: done` frame carrying the job-status
+/// document.
+fn stream_sse(stream: &mut TcpStream, queue: &JobQueue, id: JobId) {
+    let head = "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-store\r\nConnection: close\r\n\r\n";
+    if stream.write_all(head.as_bytes()).is_err() {
+        return;
+    }
+    let mut seq: u64 = 0;
+    loop {
+        let Some((fresh, done)) = queue.wait_events(id, seq as usize, Duration::from_secs(1))
+        else {
+            return;
+        };
+        for rec in &fresh {
+            let frame = sse_journal_frame(seq, rec);
+            if stream.write_all(frame.as_bytes()).is_err() {
+                return;
+            }
+            seq += 1;
+        }
+        if done {
+            let status = queue
+                .snapshot(id)
+                .map(|snap| job_status_json(&snap))
+                .unwrap_or_else(|| format!("{{\"id\":{id}}}"));
+            let _ = stream.write_all(sse_frame(None, Some("done"), &status).as_bytes());
+            let _ = stream.flush();
+            return;
+        }
+        if fresh.is_empty() {
+            // SSE comment line as a keep-alive so proxies don't cut us off.
+            if stream.write_all(b": keep-alive\n\n").is_err() {
+                return;
+            }
+        }
+        let _ = stream.flush();
+    }
+}
+
+/// `GET /metrics`: service-level counters plus the merged control-plane
+/// [`Counters`] of every finished job, in Prometheus text exposition.
+fn serve_metrics(stream: &mut TcpStream, queue: &JobQueue, permits: &ThreadPermits) {
+    let stats = queue.stats();
+    let mut body = String::new();
+    let mut counter = |name: &str, help: &str, kind: &str, value: u64| {
+        body.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"));
+    };
+    counter(
+        "unitherm_serve_jobs_submitted_total",
+        "Jobs accepted since start.",
+        "counter",
+        stats.submitted,
+    );
+    counter(
+        "unitherm_serve_jobs_rejected_total",
+        "Submissions rejected (queue full or tenant quota).",
+        "counter",
+        stats.rejected,
+    );
+    counter(
+        "unitherm_serve_jobs_completed_total",
+        "Jobs finished successfully.",
+        "counter",
+        stats.completed,
+    );
+    counter("unitherm_serve_jobs_failed_total", "Jobs that failed.", "counter", stats.failed);
+    counter(
+        "unitherm_serve_jobs_queued",
+        "Jobs currently waiting for a runner.",
+        "gauge",
+        stats.queued as u64,
+    );
+    counter(
+        "unitherm_serve_jobs_running",
+        "Jobs currently executing.",
+        "gauge",
+        stats.running as u64,
+    );
+    counter(
+        "unitherm_serve_thread_permits_total",
+        "Total simulation-thread budget.",
+        "gauge",
+        permits.total() as u64,
+    );
+    counter(
+        "unitherm_serve_thread_permits_available",
+        "Simulation-thread permits not currently held by a run.",
+        "gauge",
+        permits.available() as u64,
+    );
+    body.push_str(&prometheus_text(&queue.counters_total(), ""));
+    write_all(
+        stream,
+        &render_response(
+            200,
+            "OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &[],
+            body.as_bytes(),
+        ),
+    );
+}
